@@ -1,0 +1,34 @@
+"""Benchmark harness configuration.
+
+Every paper table/figure has a bench that regenerates it.  Each bench
+runs its study once under pytest-benchmark (``pedantic`` with one round:
+the studies are deterministic and their cost *is* the measurement) and
+prints the regenerated rows/series with ``-s``.
+
+Set ``REPRO_FULL=1`` to run each study over the paper's full benchmark
+list; the default uses representative subsets so the whole suite
+finishes in a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_run() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture
+def run_study(benchmark):
+    """Run a study callable once under the benchmark timer and emit its
+    rendered output."""
+
+    def runner(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        return result
+
+    return runner

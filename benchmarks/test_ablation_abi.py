@@ -1,0 +1,27 @@
+"""Design-choice ablation benches: ABI call sequences vs inline
+counters, and the Section 9.1 redundant-spill optimization."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import full_run
+from repro.studies import ablation
+
+QUICK = ["parboil/sgemm(small)", "parboil/spmv(small)"]
+FULL = QUICK + ["parboil/stencil", "rodinia/hotspot", "rodinia/nn"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_abi_vs_inline_counter(run_study):
+    names = FULL if full_run() else QUICK
+    results = run_study(lambda: [ablation.run_ablation(n) for n in names])
+    print("\n" + ablation.render(results))
+
+    for result in results:
+        # the ABI sequence is far heavier than the inline counter --
+        # the cost the paper accepts for CUDA-authored handlers
+        assert result.abi_ratio > result.inline_ratio, result.benchmark
+        assert result.abi_injected > 3 * result.inline_injected
+        # spill skipping helps but keeps the ABI structure
+        assert result.spillopt_ratio <= result.abi_ratio + 1e-6

@@ -1,0 +1,44 @@
+"""Regenerates Figure 10 (error-injection outcome distribution).
+
+The paper performs 1 000 injections per application; set REPRO_FULL=1
+for 200 per app here (still minutes, not hours); the default 25 per app
+keeps the bench quick while preserving the qualitative split."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import full_run
+from repro.handlers.error_injection import InjectionOutcome
+from repro.studies import casestudy4
+from repro.workloads import FIGURE10_BENCHMARKS
+
+QUICK = ["rodinia/nn", "parboil/histo", "parboil/sad",
+         "rodinia/pathfinder"]
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_figure10_error_injection(run_study):
+    benchmarks = FIGURE10_BENCHMARKS if full_run() else QUICK
+    injections = 200 if full_run() else 20
+    results = run_study(casestudy4.run, benchmarks, injections)
+    print("\n" + casestudy4.render_figure10(results))
+
+    total = sum(len(r.records) for r in results)
+    assert total == injections * len(benchmarks)
+    counts = {}
+    for result in results:
+        for outcome, count in result.outcome_counts().items():
+            counts[outcome] = counts.get(outcome, 0) + count
+    masked = counts.get(InjectionOutcome.MASKED, 0)
+    crashes = counts.get(InjectionOutcome.CRASH, 0) \
+        + counts.get(InjectionOutcome.HANG, 0)
+    sdc = counts.get(InjectionOutcome.SDC_OUTPUT, 0) \
+        + counts.get(InjectionOutcome.SDC_STDOUT, 0)
+    # paper shape: masking is the most common outcome; crashes are a
+    # minority; SDCs exist.  (Absolute fractions shift with our scaled
+    # kernels: see EXPERIMENTS.md.)
+    assert masked > 0
+    assert crashes < total / 2
+    assert masked + crashes + sdc \
+        + counts.get(InjectionOutcome.FAILURE_SYMPTOM, 0) == total

@@ -1,0 +1,56 @@
+"""Regenerates Figure 7 (unique-cacheline PMFs) and Figure 8 (miniFE
+CSR vs ELL occupancy × divergence matrices)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import full_run
+from repro.studies import casestudy2
+from repro.workloads import FIGURE7_BENCHMARKS
+
+QUICK = [
+    "parboil/bfs(NY)", "parboil/spmv(small)", "rodinia/bfs",
+    "miniFE(ELL)", "miniFE(CSR)",
+]
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_memory_divergence_pmf(run_study):
+    benchmarks = FIGURE7_BENCHMARKS if full_run() else QUICK
+    results = run_study(casestudy2.run, benchmarks)
+    print("\n" + casestudy2.render_figure7(results))
+
+    by_name = {r.benchmark: r for r in results}
+    csr = by_name["miniFE(CSR)"]
+    ell = by_name["miniFE(ELL)"]
+    # the paper's headline: CSR makes most accesses from high-divergence
+    # warps, ELL from low-divergence warps
+    csr_high = float(csr.pmf[8:].sum())
+    ell_low = float(ell.pmf[:8].sum())
+    assert csr_high > 0.5, f"CSR high-divergence mass {csr_high:.2f}"
+    assert ell_low > 0.6, f"ELL low-divergence mass {ell_low:.2f}"
+    # spmv is address-diverged (irregular gathers)
+    spmv = by_name["parboil/spmv(small)"]
+    assert float(spmv.pmf[8:].sum()) > 0.5
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_figure8_minife_matrices(run_study):
+    results = run_study(casestudy2.run, ["miniFE(CSR)", "miniFE(ELL)"])
+    print("\n" + casestudy2.render_figure8(results))
+
+    csr = next(r for r in results if r.benchmark == "miniFE(CSR)")
+    ell = next(r for r in results if r.benchmark == "miniFE(ELL)")
+    # CSR concentrates near the diagonal: unique lines track occupancy
+    occupancy, unique = np.nonzero(csr.matrix)
+    weights = csr.matrix[occupancy, unique].astype(np.float64)
+    near_diagonal = (np.abs(occupancy - unique) <= 8)
+    assert (weights[near_diagonal].sum() / weights.sum()) > 0.5
+    # ELL: the distribution of unique lines is shifted low
+    ell_occupancy, ell_unique = np.nonzero(ell.matrix)
+    ell_weights = ell.matrix[ell_occupancy, ell_unique].astype(np.float64)
+    mean_unique_ell = (ell_unique * ell_weights).sum() / ell_weights.sum()
+    mean_unique_csr = (unique * weights).sum() / weights.sum()
+    assert mean_unique_ell < 0.5 * mean_unique_csr

@@ -1,0 +1,49 @@
+"""Regenerates Table 1 (branch divergence) and Figure 5 (per-branch
+distributions for Parboil bfs on two datasets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import full_run
+from repro.studies import casestudy1
+from repro.workloads import TABLE1_BENCHMARKS
+
+QUICK = [
+    "parboil/bfs(1M)", "parboil/bfs(UT)", "parboil/sgemm(small)",
+    "parboil/tpacf(small)", "rodinia/heartwall", "rodinia/srad_v1",
+    "rodinia/srad_v2", "rodinia/streamcluster",
+]
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_branch_divergence(run_study):
+    benchmarks = TABLE1_BENCHMARKS if full_run() else QUICK
+    rows = run_study(casestudy1.run, benchmarks)
+    print("\n" + casestudy1.render_table1(rows))
+
+    by_name = {r.benchmark: r.summary for r in rows}
+    # paper shape: sgemm and streamcluster are fully convergent
+    assert by_name["parboil/sgemm(small)"].dynamic_divergent == 0
+    assert by_name["rodinia/streamcluster"].dynamic_divergent == 0
+    # srad_v2 diverges far more than srad_v1 (21.3% vs 0.5% in the paper)
+    assert by_name["rodinia/srad_v2"].dynamic_pct \
+        > 5 * max(by_name["rodinia/srad_v1"].dynamic_pct, 0.1)
+    # heartwall and tpacf show abundant divergence (42% / 25%)
+    assert by_name["rodinia/heartwall"].dynamic_pct > 20
+    assert by_name["parboil/tpacf(small)"].dynamic_pct > 15
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_per_branch_distributions(run_study):
+    rows = run_study(casestudy1.run,
+                     ["parboil/bfs(1M)", "parboil/bfs(UT)"])
+    for row in rows:
+        print("\n" + casestudy1.render_figure5(row))
+    # the paper: a small number of branches dominate the divergence
+    for row in rows:
+        divergent = sorted((b.divergent for b in row.branches),
+                           reverse=True)
+        assert divergent[0] > 0
+        top_two = sum(divergent[:2])
+        assert top_two >= 0.6 * sum(divergent)

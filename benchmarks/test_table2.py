@@ -1,0 +1,46 @@
+"""Regenerates Table 2 (value profiling: constant bits and scalar
+operations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import full_run
+from repro.studies import casestudy3
+from repro.workloads import TABLE2_BENCHMARKS
+
+QUICK = [
+    "parboil/sgemm(small)", "parboil/histo", "rodinia/b+tree",
+    "rodinia/nn", "rodinia/lud", "parboil/lbm",
+]
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_value_profile(run_study):
+    benchmarks = TABLE2_BENCHMARKS if full_run() else QUICK
+    rows = run_study(casestudy3.run, benchmarks)
+    print("\n" + casestudy3.render_table2(rows))
+
+    by_name = {r.benchmark: r.summary for r in rows}
+    # paper shape: every app wastes a significant fraction of register
+    # bits (the Table 2 dynamic const-bit column spans 16..73%)
+    for name, summary in by_name.items():
+        assert summary.dynamic_const_bits_pct > 10, name
+    # b+tree is the most scalar-rich application (76% in the paper)
+    btree = by_name["rodinia/b+tree"].dynamic_scalar_pct
+    assert btree >= max(s.dynamic_scalar_pct
+                        for n, s in by_name.items()
+                        if n != "rodinia/b+tree") - 5
+    # meaningful scalar fractions exist across the board
+    assert sum(s.dynamic_scalar_pct for s in by_name.values()) \
+        / len(by_name) > 10
+
+
+@pytest.mark.benchmark(group="table2")
+def test_section72_bit_pattern_dump(run_study):
+    """The Section 7.2 per-instruction dump (R13* <- [000...1])."""
+    row = run_study(casestudy3.profile_benchmark, "parboil/sad", True)
+    print("\nSection 7.2 dump for the hottest instruction:\n"
+          + row.sample_dump)
+    assert "<- [" in row.sample_dump
+    assert any(c in row.sample_dump for c in "T01")

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Case Study IV as a script: a small error-injection campaign
+(the paper's Section 8 flow: profile -> select -> inject -> classify).
+
+Run:  python examples/error_injection_campaign.py [injections]
+"""
+
+import sys
+
+from repro.handlers import ErrorInjectionCampaign
+from repro.workloads import make
+
+
+def main(injections: int = 30):
+    workload = make("rodinia/hotspot")
+    campaign = ErrorInjectionCampaign(workload,
+                                      num_injections=injections,
+                                      seed=7)
+    golden = campaign.golden_run()
+    total = campaign.profile()
+    print(f"golden run: output {golden.shape}, "
+          f"{total:,} eligible dynamic error sites\n")
+
+    result = campaign.run(injections)
+    for record in result.records[:10]:
+        print(f"  event {record.target_event:>8,}  "
+              f"{record.outcome.value:<22s}  {record.description}")
+    if len(result.records) > 10:
+        print(f"  ... {len(result.records) - 10} more\n")
+
+    print("outcome distribution:")
+    for outcome, fraction in result.fractions().items():
+        if fraction:
+            print(f"  {outcome.value:<24s} {100 * fraction:5.1f}%")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 30)

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Case Study II as a script: the miniFE CSR-vs-ELL experiment
+(the paper's Figure 8) plus the Figure 7 PMF summary.
+
+Shows how a *data-format* decision surfaces as memory-address
+divergence: the identical spmv computation run over CSR (row-major
+indirection) and ELL (column-major padded) storage.
+
+Run:  python examples/memory_divergence_study.py
+"""
+
+from repro.handlers import MemoryDivergenceProfiler
+from repro.sim import Device
+from repro.studies.report import heatmap, pmf_sparkline
+from repro.workloads import make
+
+
+def profile(name: str):
+    workload = make(name)
+    device = Device()
+    profiler = MemoryDivergenceProfiler(device)
+    kernel = profiler.compile(workload.build_ir())
+    output = workload.execute(device, kernel)
+    assert workload.verify(output)
+    return profiler
+
+
+def main():
+    for variant in ("CSR", "ELL"):
+        name = f"miniFE({variant})"
+        profiler = profile(name)
+        print(heatmap(profiler.matrix(),
+                      title=f"{name}: occupancy (x) vs unique 32B lines "
+                            "(y)"))
+        print(f"  PMF: {pmf_sparkline(profiler.pmf())}")
+        print(f"  diverged warp accesses: "
+              f"{100 * profiler.diverged_fraction():.0f}%\n")
+    print("Expected shape (paper Figure 8): CSR concentrates on the\n"
+          "diagonal (as many unique lines as active threads); ELL's\n"
+          "unique-line distribution is shifted low (coalesced).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: instrument a kernel with the paper's Figure 3 handler.
+
+Walks the full SASSI workflow end to end:
+
+1. author a CUDA-like kernel with :class:`KernelBuilder`;
+2. register an instrumentation handler (the Figure 3 opcode
+   categorizer) with the runtime — the ``nvlink`` step;
+3. compile with ``ptxas`` + SASSI as the final pass, selecting *where*
+   (before all instructions) and *what* (memory info) via the same flag
+   syntax the paper uses;
+4. launch on the simulated GPU and marshal the counters off the device
+   with the CUPTI-analog callbacks.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.handlers import OpcodeHistogram
+from repro.isa.asmtext import format_kernel
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.sim import Device, Dim3
+
+
+def build_saxpy():
+    b = KernelBuilder("saxpy", [("n", Type.U32), ("alpha", Type.F32),
+                                ("x", PTR), ("y", PTR)])
+    i = b.global_index_x()
+    with b.if_(b.lt(i, b.param("n"))):
+        xv = b.load_f32(b.gep(b.param("x"), i, 4))
+        yv = b.load_f32(b.gep(b.param("y"), i, 4))
+        b.store(b.gep(b.param("y"), i, 4),
+                b.fma(b.param("alpha"), xv, yv))
+    return b.finish()
+
+
+def main():
+    device = Device()
+    histogram = OpcodeHistogram(device)      # registers the handler
+    kernel = histogram.compile(build_saxpy())
+
+    print("=== instrumented SASS (first 24 instructions) ===")
+    listing = format_kernel(kernel).splitlines()
+    print("\n".join(listing[:30]))
+    print(f"... {len(kernel.instructions)} instructions total\n")
+
+    n = 1 << 12
+    rng = np.random.default_rng(0)
+    x = rng.random(n, dtype=np.float32)
+    y = rng.random(n, dtype=np.float32)
+    px, py = device.alloc_array(x), device.alloc_array(y)
+    stats = device.launch(kernel, Dim3((n + 127) // 128), Dim3(128),
+                          [n, 2.0, px, py])
+
+    result = device.read_array(py, n, np.float32)
+    assert np.allclose(result, 2.0 * x + y), "wrong result!"
+    print("saxpy result verified under instrumentation\n")
+
+    print("=== Figure 3 dynamic instruction categories ===")
+    for category, count in histogram.totals().items():
+        print(f"  {category:18s} {count:>12,}")
+    print(f"\nkernel stats: {stats.warp_instructions:,} warp instructions "
+          f"({stats.sassi_warp_instructions:,} injected), "
+          f"{stats.handler_calls:,} handler calls, "
+          f"{stats.cycles:,} simulated cycles")
+
+
+if __name__ == "__main__":
+    main()

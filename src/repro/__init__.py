@@ -1,0 +1,22 @@
+"""repro — a reproduction of "Flexible Software Profiling of GPU
+Architectures" (SASSI, ISCA 2015) on a simulated SIMT substrate.
+
+Layer map (bottom-up):
+
+* :mod:`repro.isa` — the SASS-like native ISA.
+* :mod:`repro.kernelir` — the PTX-like IR and the :class:`KernelBuilder`
+  front-end used to author workloads.
+* :mod:`repro.backend` — the ``ptxas`` analog: lowering, reconvergence
+  placement, register allocation, and the pass pipeline whose *final pass*
+  is the SASSI injector.
+* :mod:`repro.sim` — the GPU: SIMT executor, memory spaces, coalescer,
+  caches, launch machinery, and cost model.
+* :mod:`repro.sassi` — the paper's contribution: instrumentation
+  specification, ABI call-sequence generation, parameter objects, handler
+  runtime, and the CUPTI-like host callback library.
+* :mod:`repro.handlers` — the case-study instrumentation library.
+* :mod:`repro.workloads` — Parboil/Rodinia/miniFE workload analogs.
+* :mod:`repro.studies` — drivers that regenerate every table and figure.
+"""
+
+__version__ = "0.1.0"

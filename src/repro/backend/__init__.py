@@ -1,0 +1,23 @@
+"""The backend compiler (the ``ptxas`` analog).
+
+Pipeline (see :func:`repro.backend.compiler.ptxas`):
+
+1. verify the IR;
+2. lower IR to SASS-like instructions over *virtual* registers, inserting
+   the divergence-control instructions (``SSY``/``SYNC`` at if-reconvergence
+   points computed by immediate-post-dominator analysis, ``PBK``/``BRK``
+   for loop exits and breaks);
+3. peephole (drop branches to the next instruction);
+4. linear-scan register allocation onto ``R0..R254`` (reserving ``R1`` as
+   the ABI stack pointer) and ``P0..P6``;
+5. package a :class:`~repro.isa.program.SassKernel`.
+
+A caller-supplied *final pass* runs last — this is where SASSI's injector
+plugs in, mirroring the paper's design where instrumentation is the final
+pass of the production backend and therefore does not disturb earlier code
+generation.
+"""
+
+from repro.backend.compiler import CompileError, CompileOptions, ptxas
+
+__all__ = ["CompileError", "CompileOptions", "ptxas"]

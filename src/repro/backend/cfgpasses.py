@@ -1,0 +1,105 @@
+"""CFG analyses on the IR used by lowering.
+
+The key product is the immediate post-dominator of every block, which is
+where a divergent branch's threads reconverge.  Lowering plants ``SSY`` at
+the branch and ``SYNC`` at the reconvergence block — unless the
+reconvergence point is a loop boundary, in which case the ``PBK``/``BRK``
+break-stack mechanism covers reconvergence (see
+:mod:`repro.backend.lowering`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.kernelir.ir import KernelIR
+
+#: Virtual exit node label (cannot collide: builder labels are identifiers).
+EXIT_NODE = "<exit>"
+
+
+def postdominators(kernel: KernelIR) -> Dict[str, Optional[str]]:
+    """Immediate post-dominator of every block label.
+
+    Returns a map ``label -> ipdom label`` where the ipdom may be
+    :data:`EXIT_NODE` for blocks whose paths all leave the kernel, or
+    ``None`` for unreachable blocks.
+    """
+    labels = [b.label for b in kernel.blocks]
+    succ: Dict[str, List[str]] = {}
+    for block in kernel.blocks:
+        targets = list(block.successors())
+        succ[block.label] = targets if targets else [EXIT_NODE]
+
+    # Reverse CFG: predecessors in the reversed graph are successors here.
+    nodes = labels + [EXIT_NODE]
+    rpo = _reverse_postorder_on_reverse_cfg(succ, nodes)
+    order = {node: i for i, node in enumerate(rpo)}
+
+    ipdom: Dict[str, Optional[str]] = {node: None for node in nodes}
+    ipdom[EXIT_NODE] = EXIT_NODE
+    changed = True
+    while changed:
+        changed = False
+        for node in rpo:
+            if node == EXIT_NODE:
+                continue
+            candidates = [s for s in succ.get(node, ()) if ipdom[s] is not None]
+            if not candidates:
+                continue
+            new = candidates[0]
+            for other in candidates[1:]:
+                new = _intersect(new, other, ipdom, order)
+            if ipdom[node] != new:
+                ipdom[node] = new
+                changed = True
+    result: Dict[str, Optional[str]] = {}
+    for label in labels:
+        value = ipdom[label]
+        result[label] = value
+    return result
+
+
+def _intersect(a: str, b: str, ipdom: Dict[str, Optional[str]],
+               order: Dict[str, int]) -> str:
+    while a != b:
+        while order.get(a, -1) > order.get(b, -1):
+            a = ipdom[a]  # type: ignore[assignment]
+        while order.get(b, -1) > order.get(a, -1):
+            b = ipdom[b]  # type: ignore[assignment]
+    return a
+
+
+def _reverse_postorder_on_reverse_cfg(succ: Dict[str, List[str]],
+                                      nodes: List[str]) -> List[str]:
+    """Postorder DFS from the exit over the *reverse* CFG, reversed —
+    i.e. a topological-ish order starting at EXIT_NODE."""
+    preds: Dict[str, List[str]] = {node: [] for node in nodes}
+    for node, targets in succ.items():
+        for target in targets:
+            preds.setdefault(target, []).append(node)
+    seen = set()
+    postorder: List[str] = []
+
+    def visit(node: str) -> None:
+        stack = [(node, iter(preds.get(node, ())))]
+        seen.add(node)
+        while stack:
+            current, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, iter(preds.get(nxt, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(current)
+                stack.pop()
+
+    visit(EXIT_NODE)
+    # Unreachable-from-exit nodes (infinite loops) come last, arbitrarily.
+    for node in nodes:
+        if node not in seen:
+            postorder.insert(0, node)
+    return list(reversed(postorder))

@@ -1,0 +1,85 @@
+"""The backend compiler driver — the ``ptxas`` analog.
+
+:func:`ptxas` runs the full pipeline and returns a
+:class:`~repro.isa.program.SassKernel`.  The ``final_pass`` hook is where
+the SASSI injector plugs in (see :mod:`repro.sassi.inject`); it runs after
+all code generation, so instrumentation never perturbs the original
+schedule or allocation — the paper's central design point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.backend.lowering import LoweringError, lower_kernel
+from repro.backend.peephole import drop_branches_to_next
+from repro.backend.regalloc import AllocationError, allocate
+from repro.isa.instruction import Instruction
+from repro.isa.program import KernelParam, SassKernel
+from repro.kernelir.ir import KernelIR
+from repro.kernelir.verify import verify_kernel
+
+
+class CompileError(Exception):
+    """Compilation failed (lowering or allocation)."""
+
+
+@dataclass
+class CompileOptions:
+    """Options for :func:`ptxas`.
+
+    ``final_pass`` mirrors the paper's SASSI hook: a function from
+    :class:`SassKernel` to :class:`SassKernel` run as the very last step.
+    ``peephole`` can be disabled to inspect raw lowering output.
+    """
+
+    peephole: bool = True
+    final_pass: Optional[Callable[[SassKernel], SassKernel]] = None
+
+
+def _package(kernel_ir: KernelIR,
+             items: List[Union[str, Instruction]],
+             num_regs: int) -> SassKernel:
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+    for item in items:
+        if isinstance(item, str):
+            labels[item] = len(instructions)
+        else:
+            instructions.append(item)
+    params = tuple(
+        KernelParam(p.name, kernel_ir.param_offset(p.name), p.type.bytes)
+        for p in kernel_ir.params
+    )
+    kernel = SassKernel(
+        name=kernel_ir.name,
+        instructions=tuple(instructions),
+        labels=labels,
+        params=params,
+        num_regs=num_regs,
+    )
+    kernel.validate()
+    return kernel
+
+
+def ptxas(kernel_ir: KernelIR,
+          options: Optional[CompileOptions] = None) -> SassKernel:
+    """Compile IR to a SASS kernel.
+
+    Raises :class:`CompileError` on lowering/allocation failures.
+    """
+    options = options or CompileOptions()
+    verify_kernel(kernel_ir)
+    try:
+        lowered = lower_kernel(kernel_ir)
+        if options.peephole:
+            lowered.items = drop_branches_to_next(lowered.items)
+        items, num_regs = allocate(lowered)
+    except (LoweringError, AllocationError) as exc:
+        raise CompileError(f"{kernel_ir.name}: {exc}") from exc
+    kernel = _package(kernel_ir, items, num_regs)
+    if options.final_pass is not None:
+        kernel = options.final_pass(kernel)
+        kernel.validate()
+    return kernel

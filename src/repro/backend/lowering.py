@@ -1,0 +1,667 @@
+"""IR → SASS lowering (instruction selection + divergence control).
+
+The lowerer walks blocks in layout order and emits SASS-like instructions
+over virtual registers.  Every 32-bit IR value maps to one virtual GPR;
+64-bit values map to the aligned virtual pair ``(2*id, 2*id+1)``.
+
+Divergence control (Kepler-style, consumed by the simulator's per-warp
+token stack):
+
+* **if/else** — the reconvergence point of a conditional branch is the
+  immediate post-dominator of its block.  ``SSY <reconv>`` is emitted just
+  before the branch and ``SYNC`` as the first instruction of the
+  reconvergence block.
+* **loops** — the builder records (header, exit, preheader) per loop.
+  ``PBK <exit>`` is emitted in the preheader; the header's exit branch and
+  every ``break`` lower to ``BRK``, which parks breaking lanes at the
+  break point and scrubs them from intervening stack entries.  No
+  ``SSY``/``SYNC`` is emitted when a branch's reconvergence point is a
+  loop boundary — the break stack reconverges those lanes.
+* **ret inside divergent code** — ``EXIT`` retires lanes; the stack
+  unwinds past emptied entries.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.backend.cfgpasses import EXIT_NODE, postdominators
+from repro.backend.virtual import VirtGPR, VirtPred
+from repro.isa.instruction import (
+    ConstRef,
+    Imm,
+    Instruction,
+    LabelRef,
+    MemRef,
+    MemSpace,
+    PredGuard,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import GPR, PT, RZ
+from repro.kernelir.ir import (
+    AtomOp,
+    Block,
+    CmpOp,
+    Const,
+    IRInstr,
+    IROp,
+    KernelIR,
+    Space,
+    Value,
+    VReg,
+)
+from repro.kernelir.types import Type
+
+
+class LoweringError(Exception):
+    """An IR construct has no lowering (unsupported type/op combination)."""
+
+
+_SREG_MAP = {
+    "tid.x": "SR_TID.X", "tid.y": "SR_TID.Y", "tid.z": "SR_TID.Z",
+    "ctaid.x": "SR_CTAID.X", "ctaid.y": "SR_CTAID.Y", "ctaid.z": "SR_CTAID.Z",
+    "ntid.x": "SR_NTID.X", "ntid.y": "SR_NTID.Y", "ntid.z": "SR_NTID.Z",
+    "nctaid.x": "SR_NCTAID.X", "nctaid.y": "SR_NCTAID.Y",
+    "nctaid.z": "SR_NCTAID.Z",
+    "laneid": "SR_LANEID", "warpid": "SR_WARPID",
+    "activemask": "SR_ACTIVEMASK", "clock": "SR_CLOCK",
+}
+
+_CMP_MOD = {CmpOp.LT: "LT", CmpOp.LE: "LE", CmpOp.GT: "GT",
+            CmpOp.GE: "GE", CmpOp.EQ: "EQ", CmpOp.NE: "NE"}
+
+_SPACE_MAP = {
+    Space.GLOBAL: (Opcode.LDG, Opcode.STG, MemSpace.GLOBAL),
+    Space.SHARED: (Opcode.LDS, Opcode.STS, MemSpace.SHARED),
+    Space.LOCAL: (Opcode.LDL, Opcode.STL, MemSpace.LOCAL),
+    Space.TEXTURE: (Opcode.TLD, None, MemSpace.TEXTURE),
+}
+
+_COMMUTATIVE = {IROp.ADD, IROp.MUL, IROp.AND, IROp.OR, IROp.XOR,
+                IROp.MIN, IROp.MAX, IROp.MULWIDE}
+
+
+def _float_bits(value: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+@dataclass
+class LoweredKernel:
+    """Output of lowering: virtual-register SASS plus allocator metadata."""
+
+    items: List[Union[str, Instruction]]   # labels interleaved with code
+    paired_roots: Set[int]                 # virtual roots that are 64-bit
+    num_virtual: int
+    num_vpreds: int
+
+
+class Lowerer:
+    """Lowers one :class:`KernelIR` to virtual-register SASS."""
+
+    def __init__(self, kernel: KernelIR):
+        self.kernel = kernel
+        self.items: List[Union[str, Instruction]] = []
+        self.paired_roots: Set[int] = set()
+        self._scratch = 2 * kernel.num_vregs
+        self._vpred_scratch = kernel.num_vregs
+        self._ipdom = postdominators(kernel)
+        self._sync_blocks: Set[str] = set()
+        self._loop_by_exit = {loop.exit: loop for loop in kernel.loops}
+        self._loop_by_header = {loop.header: loop for loop in kernel.loops}
+        self._preheaders = {loop.preheader: loop for loop in kernel.loops}
+
+    # ------------------------------------------------------------ emit
+
+    def emit(self, opcode: Opcode, dsts=(), srcs=(), mods=(),
+             guard: PredGuard = PredGuard()) -> None:
+        self.items.append(Instruction(opcode=opcode, dsts=tuple(dsts),
+                                      srcs=tuple(srcs), mods=tuple(mods),
+                                      guard=guard))
+
+    def _label(self, name: str) -> None:
+        self.items.append(name)
+
+    # ----------------------------------------------------- reg mapping
+
+    def vreg32(self, reg: VReg) -> VirtGPR:
+        return VirtGPR(2 * reg.id)
+
+    def vreg64(self, reg: VReg) -> Tuple[VirtGPR, VirtGPR]:
+        root = 2 * reg.id
+        self.paired_roots.add(root)
+        return VirtGPR(root), VirtGPR(root + 1)
+
+    def vpred(self, reg: VReg) -> VirtPred:
+        return VirtPred(reg.id)
+
+    def scratch32(self) -> VirtGPR:
+        reg = VirtGPR(self._scratch)
+        self._scratch += 2
+        return reg
+
+    def scratch64(self) -> Tuple[VirtGPR, VirtGPR]:
+        root = self._scratch
+        self._scratch += 2
+        self.paired_roots.add(root)
+        return VirtGPR(root), VirtGPR(root + 1)
+
+    # -------------------------------------------------- operand helpers
+
+    def _imm_of(self, const: Const) -> Imm:
+        if const.type.is_float:
+            return Imm(_float_bits(float(const.value)), is_float=True)
+        value = int(const.value)
+        if not -(1 << 31) <= value < (1 << 32):
+            raise LoweringError(f"immediate out of range: {value:#x}")
+        if value >= (1 << 31):
+            value -= 1 << 32
+        return Imm(value)
+
+    def materialize(self, const: Const) -> VirtGPR:
+        """Load a 32-bit constant into a scratch register."""
+        reg = self.scratch32()
+        self.emit(Opcode.MOV32I, (reg,), (self._imm_of(const),))
+        return reg
+
+    def materialize64(self, const: Const) -> Tuple[VirtGPR, VirtGPR]:
+        lo, hi = self.scratch64()
+        value = int(const.value)
+        self.emit(Opcode.MOV32I, (lo,), (Imm(_signed32(value & 0xFFFFFFFF)),))
+        self.emit(Opcode.MOV32I, (hi,), (Imm(_signed32((value >> 32) & 0xFFFFFFFF)),))
+        return lo, hi
+
+    def reg_of(self, value: Value) -> VirtGPR:
+        """A 32-bit value as a register (materializing constants)."""
+        if isinstance(value, VReg):
+            if value.type.is_wide:
+                raise LoweringError(f"expected 32-bit value, got {value.type}")
+            return self.vreg32(value)
+        return self.materialize(value)
+
+    def pair_of(self, value: Value) -> Tuple[VirtGPR, VirtGPR]:
+        """A 64-bit value as a register pair."""
+        if isinstance(value, VReg):
+            if not value.type.is_wide:
+                raise LoweringError(f"expected 64-bit value, got {value.type}")
+            return self.vreg64(value)
+        return self.materialize64(value)
+
+    def operand_of(self, value: Value) -> Union[VirtGPR, Imm]:
+        """A 32-bit source operand; constants stay immediates."""
+        if isinstance(value, Const):
+            return self._imm_of(value)
+        return self.reg_of(value)
+
+    # --------------------------------------------------------- driver
+
+    def lower(self) -> LoweredKernel:
+        for block in self.kernel.blocks:
+            self._label(block.label)
+            if block.label in self._sync_blocks:
+                self.emit(Opcode.SYNC)
+            for instr in block.instrs:
+                self._lower_instr(block, instr)
+        return LoweredKernel(items=self.items,
+                             paired_roots=self.paired_roots,
+                             num_virtual=self._scratch,
+                             num_vpreds=self._vpred_scratch)
+
+    # NOTE: _sync_blocks is filled while lowering earlier blocks; the
+    # builder always lays a reconvergence block *after* the branch that
+    # targets it, so the marking is always seen in time.  A safety check
+    # in _mark_sync enforces this.
+
+    def _mark_sync(self, label: str) -> None:
+        emitted = {item for item in self.items if isinstance(item, str)}
+        if label in emitted:
+            raise LoweringError(
+                f"reconvergence block {label!r} precedes its branch")
+        self._sync_blocks.add(label)
+
+    # ----------------------------------------------------- instruction
+
+    def _lower_instr(self, block: Block, instr: IRInstr) -> None:
+        handler = getattr(self, f"_lower_{instr.op.name.lower()}", None)
+        if handler is None:
+            raise LoweringError(f"no lowering for {instr.op}")
+        handler(block, instr)
+
+    # ---- moves & params
+
+    def _lower_mov(self, block: Block, instr: IRInstr) -> None:
+        dst = instr.dst
+        src = instr.srcs[0]
+        if dst.type is Type.PRED:
+            if not isinstance(src, VReg):
+                raise LoweringError("predicate moves need a register source")
+            self.emit(Opcode.PSETP, (self.vpred(dst), PT),
+                      (self.vpred(src), PT), mods=("AND",))
+            return
+        if dst.type.is_wide:
+            if isinstance(src, Const):
+                lo, hi = self.vreg64(dst)
+                value = int(src.value)
+                self.emit(Opcode.MOV32I, (lo,),
+                          (Imm(_signed32(value & 0xFFFFFFFF)),))
+                self.emit(Opcode.MOV32I, (hi,),
+                          (Imm(_signed32((value >> 32) & 0xFFFFFFFF)),))
+            else:
+                dlo, dhi = self.vreg64(dst)
+                slo, shi = self.pair_of(src)
+                self.emit(Opcode.MOV, (dlo,), (slo,))
+                self.emit(Opcode.MOV, (dhi,), (shi,))
+            return
+        if isinstance(src, Const):
+            self.emit(Opcode.MOV32I, (self.vreg32(dst),), (self._imm_of(src),))
+        else:
+            self.emit(Opcode.MOV, (self.vreg32(dst),), (self.reg_of(src),))
+
+    def _lower_ld(self, block: Block, instr: IRInstr) -> None:
+        if instr.space is Space.CONST:
+            offset = int(instr.srcs[0].value)
+            if instr.dst.type.is_wide:
+                lo, hi = self.vreg64(instr.dst)
+                self.emit(Opcode.MOV, (lo,), (ConstRef(0, offset),))
+                self.emit(Opcode.MOV, (hi,), (ConstRef(0, offset + 4),))
+            else:
+                self.emit(Opcode.MOV, (self.vreg32(instr.dst),),
+                          (ConstRef(0, offset),))
+            return
+        load_op, _, mem_space = _SPACE_MAP[instr.space]
+        offset = int(instr.srcs[1].value) if len(instr.srcs) > 1 else 0
+        base = self._address_base(instr.space, instr.srcs[0])
+        if instr.width in (1, 2):
+            mods = ("U8",) if instr.width == 1 else ("U16",)
+        elif instr.dst.type.is_wide:
+            mods = ("64",)
+        else:
+            mods = ()
+        dst = self.vreg64(instr.dst)[0] if instr.dst.type.is_wide \
+            else self.vreg32(instr.dst)
+        self.emit(load_op, (dst,), (MemRef(mem_space, base, offset),),
+                  mods=mods)
+
+    def _lower_st(self, block: Block, instr: IRInstr) -> None:
+        space = instr.space
+        _, store_op, mem_space = _SPACE_MAP[space]
+        if store_op is None:
+            raise LoweringError(f"cannot store to {space}")
+        pointer, value, offset_const = instr.srcs
+        offset = int(offset_const.value)
+        base = self._address_base(space, pointer)
+        if isinstance(value, VReg) and value.type.is_wide:
+            data = self.vreg64(value)[0]
+            mods = ("64",)
+        else:
+            data = self.reg_of(value) if not isinstance(value, Const) \
+                else self.materialize(value)
+            mods = ()
+            if instr.width in (1, 2):
+                mods = ("U8",) if instr.width == 1 else ("U16",)
+        self.emit(store_op, (), (MemRef(mem_space, base, offset), data),
+                  mods=mods)
+
+    def _address_base(self, space: Space, pointer: Value) -> VirtGPR:
+        """The base register of a memory operand: the root of a 64-bit
+        pair for global/texture, a single 32-bit register otherwise."""
+        if space in (Space.GLOBAL, Space.TEXTURE):
+            return self.pair_of(pointer)[0]
+        if isinstance(pointer, Const):
+            return self.materialize(pointer)
+        return self.reg_of(pointer)
+
+    def _lower_atom(self, block: Block, instr: IRInstr) -> None:
+        opcode = Opcode.ATOM if instr.space is Space.GLOBAL else Opcode.ATOMS
+        base = self._address_base(instr.space, instr.srcs[0])
+        value = self.reg_of(instr.srcs[1]) if isinstance(instr.srcs[1], VReg) \
+            else self.materialize(instr.srcs[1])
+        space = MemSpace.GLOBAL if instr.space is Space.GLOBAL \
+            else MemSpace.SHARED
+        mod = instr.atom.name
+        sign = "S32" if instr.type is Type.S32 else "U32"
+        self.emit(opcode, (self.vreg32(instr.dst),),
+                  (MemRef(space, base, 0), value), mods=(mod, sign))
+
+    # ---- integer / float arithmetic
+
+    def _binary_operands(self, instr: IRInstr):
+        lhs, rhs = instr.srcs
+        if isinstance(lhs, Const) and isinstance(rhs, VReg) \
+                and instr.op in _COMMUTATIVE:
+            lhs, rhs = rhs, lhs
+        return lhs, rhs
+
+    def _lower_add(self, block: Block, instr: IRInstr) -> None:
+        lhs, rhs = self._binary_operands(instr)
+        if instr.type.is_float:
+            self.emit(Opcode.FADD, (self.vreg32(instr.dst),),
+                      (self.reg_of(lhs), self.operand_of(rhs)))
+            return
+        if instr.type.is_wide:
+            self._lower_add64(instr.dst, lhs, rhs)
+            return
+        self.emit(Opcode.IADD, (self.vreg32(instr.dst),),
+                  (self.reg_of(lhs), self.operand_of(rhs)))
+
+    def _lower_add64(self, dst: VReg, lhs: Value, rhs: Value) -> None:
+        dlo, dhi = self.vreg64(dst)
+        # rhs may be a 64-bit register pair or a constant.
+        if isinstance(rhs, Const):
+            value = int(rhs.value)
+            lo_imm = Imm(_signed32(value & 0xFFFFFFFF))
+            hi_imm = Imm(_signed32((value >> 32) & 0xFFFFFFFF))
+            llo, lhi = self.pair_of(lhs)
+            self.emit(Opcode.IADD, (dlo,), (llo, lo_imm), mods=("CC",))
+            self.emit(Opcode.IADD, (dhi,), (lhi, hi_imm), mods=("X",))
+            return
+        if isinstance(lhs, Const):
+            lhs, rhs = rhs, lhs
+            self._lower_add64(dst, lhs, rhs)
+            return
+        llo, lhi = self.pair_of(lhs)
+        rlo, rhi = self.pair_of(rhs)
+        self.emit(Opcode.IADD, (dlo,), (llo, rlo), mods=("CC",))
+        self.emit(Opcode.IADD, (dhi,), (lhi, rhi), mods=("X",))
+
+    def _lower_sub(self, block: Block, instr: IRInstr) -> None:
+        lhs, rhs = instr.srcs
+        if instr.type.is_float:
+            if isinstance(rhs, Const):
+                negated = Const(-float(rhs.value), Type.F32)
+                self.emit(Opcode.FADD, (self.vreg32(instr.dst),),
+                          (self.reg_of(lhs), self._imm_of(negated)))
+            else:
+                self.emit(Opcode.FADD, (self.vreg32(instr.dst),),
+                          (self.reg_of(lhs), self.reg_of(rhs)),
+                          mods=("NEGB",))
+            return
+        if instr.type.is_wide:
+            raise LoweringError("64-bit subtract is not supported")
+        if isinstance(rhs, Const):
+            self.emit(Opcode.IADD, (self.vreg32(instr.dst),),
+                      (self.reg_of(lhs), Imm(-int(rhs.value))))
+        else:
+            self.emit(Opcode.IADD, (self.vreg32(instr.dst),),
+                      (self.reg_of(lhs), self.reg_of(rhs)), mods=("NEGB",))
+
+    def _lower_mul(self, block: Block, instr: IRInstr) -> None:
+        lhs, rhs = self._binary_operands(instr)
+        opcode = Opcode.FMUL if instr.type.is_float else Opcode.IMUL
+        if instr.type.is_wide:
+            raise LoweringError("use mul.wide for 64-bit products")
+        self.emit(opcode, (self.vreg32(instr.dst),),
+                  (self.reg_of(lhs), self.operand_of(rhs)))
+
+    def _lower_mulwide(self, block: Block, instr: IRInstr) -> None:
+        lhs, rhs = self._binary_operands(instr)
+        dlo, _ = self.vreg64(instr.dst)
+        self.emit(Opcode.IMUL, (dlo,),
+                  (self.reg_of(lhs), self.operand_of(rhs)),
+                  mods=("WIDE", "U32"))
+
+    def _lower_mad(self, block: Block, instr: IRInstr) -> None:
+        a, b, c = instr.srcs
+        if instr.type.is_float:
+            self.emit(Opcode.FFMA, (self.vreg32(instr.dst),),
+                      (self.reg_of(a), self.operand_of(b),
+                       self.operand_of(c)))
+        else:
+            self.emit(Opcode.IMAD, (self.vreg32(instr.dst),),
+                      (self.reg_of(a), self.operand_of(b),
+                       self.operand_of(c)))
+
+    def _minmax(self, instr: IRInstr, which: str) -> None:
+        lhs, rhs = self._binary_operands(instr)
+        if instr.type.is_float:
+            self.emit(Opcode.FMNMX, (self.vreg32(instr.dst),),
+                      (self.reg_of(lhs), self.operand_of(rhs)), mods=(which,))
+        else:
+            sign = "S32" if instr.type.is_signed else "U32"
+            self.emit(Opcode.IMNMX, (self.vreg32(instr.dst),),
+                      (self.reg_of(lhs), self.operand_of(rhs)),
+                      mods=(which, sign))
+
+    def _lower_min(self, block: Block, instr: IRInstr) -> None:
+        self._minmax(instr, "MIN")
+
+    def _lower_max(self, block: Block, instr: IRInstr) -> None:
+        self._minmax(instr, "MAX")
+
+    def _logic(self, instr: IRInstr, which: str) -> None:
+        lhs, rhs = self._binary_operands(instr)
+        if isinstance(rhs, Const):
+            self.emit(Opcode.LOP32I, (self.vreg32(instr.dst),),
+                      (self.reg_of(lhs), self._imm_of(rhs)), mods=(which,))
+        else:
+            self.emit(Opcode.LOP, (self.vreg32(instr.dst),),
+                      (self.reg_of(lhs), self.reg_of(rhs)), mods=(which,))
+
+    def _lower_and(self, block: Block, instr: IRInstr) -> None:
+        self._logic(instr, "AND")
+
+    def _lower_or(self, block: Block, instr: IRInstr) -> None:
+        self._logic(instr, "OR")
+
+    def _lower_xor(self, block: Block, instr: IRInstr) -> None:
+        self._logic(instr, "XOR")
+
+    def _lower_not(self, block: Block, instr: IRInstr) -> None:
+        self.emit(Opcode.LOP, (self.vreg32(instr.dst),),
+                  (RZ, self.reg_of(instr.srcs[0])), mods=("NOT_B",))
+
+    def _lower_shl(self, block: Block, instr: IRInstr) -> None:
+        self.emit(Opcode.SHL, (self.vreg32(instr.dst),),
+                  (self.reg_of(instr.srcs[0]), self.operand_of(instr.srcs[1])))
+
+    def _lower_shr(self, block: Block, instr: IRInstr) -> None:
+        sign = "S32" if instr.type.is_signed else "U32"
+        self.emit(Opcode.SHR, (self.vreg32(instr.dst),),
+                  (self.reg_of(instr.srcs[0]), self.operand_of(instr.srcs[1])),
+                  mods=(sign,))
+
+    def _lower_abs(self, block: Block, instr: IRInstr) -> None:
+        if instr.type.is_float:
+            self.emit(Opcode.LOP32I, (self.vreg32(instr.dst),),
+                      (self.reg_of(instr.srcs[0]), Imm(0x7FFFFFFF)),
+                      mods=("AND",))
+        else:
+            self.emit(Opcode.IABS, (self.vreg32(instr.dst),),
+                      (self.reg_of(instr.srcs[0]),))
+
+    def _lower_neg(self, block: Block, instr: IRInstr) -> None:
+        if instr.type.is_float:
+            self.emit(Opcode.LOP32I, (self.vreg32(instr.dst),),
+                      (self.reg_of(instr.srcs[0]), Imm(_signed32(0x80000000))),
+                      mods=("XOR",))
+        else:
+            self.emit(Opcode.IADD, (self.vreg32(instr.dst),),
+                      (RZ, self.reg_of(instr.srcs[0])), mods=("NEGB",))
+
+    def _mufu(self, instr: IRInstr, func: str) -> None:
+        self.emit(Opcode.MUFU, (self.vreg32(instr.dst),),
+                  (self.reg_of(instr.srcs[0]),), mods=(func,))
+
+    def _lower_sqrt(self, block: Block, instr: IRInstr) -> None:
+        self._mufu(instr, "SQRT")
+
+    def _lower_rcp(self, block: Block, instr: IRInstr) -> None:
+        self._mufu(instr, "RCP")
+
+    def _lower_ex2(self, block: Block, instr: IRInstr) -> None:
+        self._mufu(instr, "EX2")
+
+    def _lower_lg2(self, block: Block, instr: IRInstr) -> None:
+        self._mufu(instr, "LG2")
+
+    def _lower_sin(self, block: Block, instr: IRInstr) -> None:
+        self._mufu(instr, "SIN")
+
+    def _lower_cos(self, block: Block, instr: IRInstr) -> None:
+        self._mufu(instr, "COS")
+
+    def _lower_fdiv(self, block: Block, instr: IRInstr) -> None:
+        recip = self.scratch32()
+        divisor = self.reg_of(instr.srcs[1]) \
+            if not isinstance(instr.srcs[1], Const) \
+            else self.materialize(instr.srcs[1])
+        self.emit(Opcode.MUFU, (recip,), (divisor,), mods=("RCP",))
+        self.emit(Opcode.FMUL, (self.vreg32(instr.dst),),
+                  (self.reg_of(instr.srcs[0]), recip))
+
+    # ---- predicates / select / convert
+
+    def _lower_setp(self, block: Block, instr: IRInstr) -> None:
+        lhs, rhs = instr.srcs
+        if isinstance(lhs, Const):
+            lhs_reg: Union[VirtGPR, GPR] = self.materialize(lhs)
+        else:
+            lhs_reg = self.reg_of(lhs)
+        cmp_mod = _CMP_MOD[instr.cmp]
+        if instr.type.is_float:
+            self.emit(Opcode.FSETP, (self.vpred(instr.dst), PT),
+                      (lhs_reg, self.operand_of(rhs), PT),
+                      mods=(cmp_mod, "AND"))
+        else:
+            sign = "S32" if instr.type.is_signed else "U32"
+            self.emit(Opcode.ISETP, (self.vpred(instr.dst), PT),
+                      (lhs_reg, self.operand_of(rhs), PT),
+                      mods=(cmp_mod, sign, "AND"))
+
+    def _lower_selp(self, block: Block, instr: IRInstr) -> None:
+        pred, a, b = instr.srcs
+        if instr.dst.type.is_wide:
+            raise LoweringError("64-bit select is not supported")
+        a_reg = self.reg_of(a) if not isinstance(a, Const) \
+            else self.materialize(a)
+        self.emit(Opcode.SEL, (self.vreg32(instr.dst),),
+                  (a_reg, self.operand_of(b), self.vpred(pred)))
+
+    def _psetp(self, instr: IRInstr, which: str, srcs) -> None:
+        self.emit(Opcode.PSETP, (self.vpred(instr.dst), PT), srcs,
+                  mods=(which,))
+
+    def _lower_pand(self, block: Block, instr: IRInstr) -> None:
+        self._psetp(instr, "AND", (self.vpred(instr.srcs[0]),
+                                   self.vpred(instr.srcs[1])))
+
+    def _lower_por(self, block: Block, instr: IRInstr) -> None:
+        self._psetp(instr, "OR", (self.vpred(instr.srcs[0]),
+                                  self.vpred(instr.srcs[1])))
+
+    def _lower_pnot(self, block: Block, instr: IRInstr) -> None:
+        self._psetp(instr, "XOR", (self.vpred(instr.srcs[0]), PT))
+
+    def _lower_cvt(self, block: Block, instr: IRInstr) -> None:
+        src = instr.srcs[0]
+        src_type = src.type
+        dst_type = instr.dst.type
+        if src_type.is_float and dst_type.is_float:
+            self.emit(Opcode.MOV, (self.vreg32(instr.dst),),
+                      (self.reg_of(src),))
+        elif src_type.is_float and dst_type.is_integer:
+            sign = "S32" if dst_type.is_signed else "U32"
+            self.emit(Opcode.F2I, (self.vreg32(instr.dst),),
+                      (self.reg_of(src),), mods=("TRUNC", sign))
+        elif src_type.is_integer and dst_type.is_float:
+            sign = "S32" if src_type.is_signed else "U32"
+            self.emit(Opcode.I2F, (self.vreg32(instr.dst),),
+                      (self.reg_of(src),), mods=(sign,))
+        elif not src_type.is_wide and dst_type.is_wide:
+            lo, hi = self.vreg64(instr.dst)
+            source = self.reg_of(src)
+            self.emit(Opcode.MOV, (lo,), (source,))
+            if src_type.is_signed:
+                self.emit(Opcode.SHR, (hi,), (source, Imm(31)), mods=("S32",))
+            else:
+                self.emit(Opcode.MOV, (hi,), (RZ,))
+        elif src_type.is_wide and not dst_type.is_wide:
+            self.emit(Opcode.MOV, (self.vreg32(instr.dst),),
+                      (self.pair_of(src)[0],))
+        else:
+            self.emit(Opcode.MOV, (self.vreg32(instr.dst),),
+                      (self.reg_of(src),))
+
+    # ---- misc
+
+    def _lower_sreg(self, block: Block, instr: IRInstr) -> None:
+        from repro.isa.registers import SpecialReg
+
+        name = _SREG_MAP.get(instr.sreg)
+        if name is None:
+            raise LoweringError(f"unknown special register {instr.sreg!r}")
+        self.emit(Opcode.S2R, (self.vreg32(instr.dst),), (SpecialReg(name),))
+
+    def _lower_bar(self, block: Block, instr: IRInstr) -> None:
+        self.emit(Opcode.BAR, (), (Imm(0),))
+
+    def _lower_membar(self, block: Block, instr: IRInstr) -> None:
+        self.emit(Opcode.MEMBAR, (), (), mods=("GL",))
+
+    # ---- terminators (divergence control lives here)
+
+    def _enclosing_loop_boundaries(self, block: Block) -> Set[str]:
+        labels: Set[str] = set()
+        for header in block.loops:
+            loop = self._loop_by_header.get(header)
+            if loop is not None:
+                labels.add(loop.header)
+                labels.add(loop.exit)
+        return labels
+
+    def _lower_br(self, block: Block, instr: IRInstr) -> None:
+        target = instr.targets[0]
+        if block.label in self._preheaders:
+            loop = self._preheaders[block.label]
+            if target == loop.header:
+                self.emit(Opcode.PBK, (), (LabelRef(loop.exit),))
+                self.emit(Opcode.BRA, (), (LabelRef(target),))
+                return
+        loop = self._loop_by_exit.get(target)
+        if loop is not None and loop.header in block.loops:
+            self.emit(Opcode.BRK)  # break: park lanes at the PBK target
+            return
+        self.emit(Opcode.BRA, (), (LabelRef(target),))
+
+    def _lower_cbr(self, block: Block, instr: IRInstr) -> None:
+        pred = self.vpred(instr.srcs[0])
+        taken, not_taken = instr.targets
+        loop = self._loop_by_header.get(block.label)
+        if loop is not None and not_taken == loop.exit:
+            # Loop-header test: lanes failing the condition break out.
+            self.emit(Opcode.BRK, guard=PredGuard(pred, negated=True))
+            self.emit(Opcode.BRA, (), (LabelRef(taken),))
+            return
+        reconv = self._ipdom.get(block.label)
+        boundaries = self._enclosing_loop_boundaries(block)
+        if reconv is not None and reconv != EXIT_NODE \
+                and reconv not in boundaries:
+            self.emit(Opcode.SSY, (), (LabelRef(reconv),))
+            self._mark_sync(reconv)
+        if self._next_block_label(block) == taken:
+            # Fall through into the taken block; failing lanes jump away.
+            self.emit(Opcode.BRA, (), (LabelRef(not_taken),),
+                      guard=PredGuard(pred, negated=True))
+        else:
+            self.emit(Opcode.BRA, (), (LabelRef(taken),),
+                      guard=PredGuard(pred))
+            self.emit(Opcode.BRA, (), (LabelRef(not_taken),))
+
+    def _next_block_label(self, block: Block) -> Optional[str]:
+        blocks = self.kernel.blocks
+        index = blocks.index(block)
+        return blocks[index + 1].label if index + 1 < len(blocks) else None
+
+    def _lower_ret(self, block: Block, instr: IRInstr) -> None:
+        self.emit(Opcode.EXIT)
+
+
+def _signed32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value & (1 << 31) else value
+
+
+def lower_kernel(kernel: KernelIR) -> LoweredKernel:
+    """Lower *kernel* to virtual-register SASS."""
+    return Lowerer(kernel).lower()

@@ -1,0 +1,44 @@
+"""Tiny peephole cleanups on lowered code.
+
+Currently: drop unconditional ``BRA`` instructions whose target is the
+immediately following instruction (the builder's structured layout makes
+those common: fall-through then-branches, loop-body entries).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.isa.instruction import Instruction, LabelRef
+from repro.isa.opcodes import Opcode
+
+
+def drop_branches_to_next(items: List[Union[str, Instruction]]
+                          ) -> List[Union[str, Instruction]]:
+    """Remove ``BRA L`` when ``L`` labels the next instruction."""
+    changed = True
+    current = items
+    while changed:
+        changed = False
+        result: List[Union[str, Instruction]] = []
+        for position, item in enumerate(current):
+            if isinstance(item, Instruction) \
+                    and item.opcode is Opcode.BRA \
+                    and item.guard.is_unconditional:
+                target = next(op for op in item.srcs
+                              if isinstance(op, LabelRef)).name
+                # Does the target label appear before any instruction
+                # between here and the next instruction?
+                upcoming = current[position + 1:]
+                labels_before_next_instr = []
+                for follower in upcoming:
+                    if isinstance(follower, str):
+                        labels_before_next_instr.append(follower)
+                    else:
+                        break
+                if target in labels_before_next_instr:
+                    changed = True
+                    continue
+            result.append(item)
+        current = result
+    return current

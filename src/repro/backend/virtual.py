@@ -1,0 +1,39 @@
+"""Virtual register operands used between lowering and allocation.
+
+Lowered code uses :class:`VirtGPR`/:class:`VirtPred` wherever final code
+uses :class:`~repro.isa.registers.GPR`/``Pred``.  64-bit values occupy the
+virtual pair ``(root, root+1)``; the set of paired roots travels alongside
+the code so the allocator can assign aligned physical pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class VirtGPR:
+    """A virtual 32-bit general-purpose register."""
+
+    index: int
+
+    @property
+    def is_zero(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"V{self.index}"
+
+
+@dataclass(frozen=True, order=True)
+class VirtPred:
+    """A virtual predicate register."""
+
+    index: int
+
+    @property
+    def is_true(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"VP{self.index}"

@@ -1,0 +1,136 @@
+"""Command-line interface (the ``ptxas``/``nvdisasm`` analog).
+
+Subcommands::
+
+    python -m repro.cli compile  kernel.ptx [--sassi FLAGS] [-o out.sass]
+    python -m repro.cli disasm   kernel.ptx            # SASS listing
+    python -m repro.cli workloads [--run NAME]         # list / verify
+    python -m repro.cli study    table1|figure7|table2|table3|figure10
+
+``compile`` consumes the PTX-like text form (see
+:mod:`repro.kernelir.ptxtext`), runs the backend, optionally applies the
+SASSI injector with the paper's flag syntax (a no-op handler is bound so
+the output is inspectable), and prints/writes the SASS listing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _cmd_compile(args) -> int:
+    from repro.backend import ptxas
+    from repro.isa.asmtext import format_kernel
+    from repro.kernelir.ptxtext import parse_ptx
+
+    with open(args.input) as handle:
+        kernel_ir = parse_ptx(handle.read())
+    if args.sassi:
+        from repro.sassi import SassiRuntime, spec_from_flags
+        from repro.sim import Device
+
+        runtime = SassiRuntime(Device())
+        runtime.register_before_handler(lambda ctx: None)
+        runtime.register_after_handler(lambda ctx: None)
+        kernel = runtime.compile(kernel_ir, spec_from_flags(args.sassi))
+        report = runtime.reports[-1]
+        print(f"// SASSI: {report.before_sites} before-sites, "
+              f"{report.after_sites} after-sites, "
+              f"{report.injected_instructions} injected instructions, "
+              f"frame 0x{report.max_frame_bytes:x}", file=sys.stderr)
+    else:
+        kernel = ptxas(kernel_ir)
+    listing = format_kernel(kernel)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(listing)
+    else:
+        print(listing)
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    args.sassi = None
+    args.output = None
+    return _cmd_compile(args)
+
+
+def _cmd_workloads(args) -> int:
+    from repro.workloads import all_names, make
+
+    if not args.run:
+        for name in all_names():
+            print(name)
+        return 0
+    from repro.backend import ptxas
+    from repro.sim import Device
+
+    for name in args.run:
+        workload = make(name)
+        device = Device()
+        start = time.perf_counter()
+        output = workload.execute(device, ptxas(workload.build_ir()))
+        elapsed = time.perf_counter() - start
+        status = "ok" if workload.verify(output) else "WRONG RESULT"
+        trace = workload.last_trace
+        print(f"{name:30s} {status:12s} {elapsed:6.2f}s "
+              f"{trace.warp_instructions:>10,} warp instrs "
+              f"{trace.kernel_launches:>5} launches")
+    return 0
+
+
+_STUDIES = {
+    "table1": ("repro.studies.casestudy1", "main"),
+    "figure7": ("repro.studies.casestudy2", "main"),
+    "figure8": ("repro.studies.casestudy2", "main"),
+    "table2": ("repro.studies.casestudy3", "main"),
+    "table3": ("repro.studies.overhead", "main"),
+    "figure10": ("repro.studies.casestudy4", "main"),
+}
+
+
+def _cmd_study(args) -> int:
+    import importlib
+
+    module_name, fn_name = _STUDIES[args.which]
+    module = importlib.import_module(module_name)
+    print(getattr(module, fn_name)())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = sub.add_parser(
+        "compile", help="compile PTX-like text to SASS")
+    compile_parser.add_argument("input")
+    compile_parser.add_argument("--sassi", default=None,
+                                help='e.g. "-sassi-inst-before=memory '
+                                     '-sassi-before-args=mem-info"')
+    compile_parser.add_argument("-o", "--output", default=None)
+    compile_parser.set_defaults(fn=_cmd_compile)
+
+    disasm_parser = sub.add_parser("disasm",
+                                   help="compile and print SASS")
+    disasm_parser.add_argument("input")
+    disasm_parser.set_defaults(fn=_cmd_disasm)
+
+    workloads_parser = sub.add_parser("workloads",
+                                      help="list or run workloads")
+    workloads_parser.add_argument("--run", nargs="*", default=None,
+                                  help="workload names to run+verify")
+    workloads_parser.set_defaults(fn=_cmd_workloads)
+
+    study_parser = sub.add_parser("study", help="regenerate a result")
+    study_parser.add_argument("which", choices=sorted(_STUDIES))
+    study_parser.set_defaults(fn=_cmd_study)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""The case-study instrumentation library.
+
+One module per case study, each packaging the paper's handler, the
+instrumentation spec that drives it, and host-side result marshaling:
+
+* :mod:`repro.handlers.opcode_histogram` — Figure 3's pedagogical
+  dynamic-instruction categorizer.
+* :mod:`repro.handlers.branch_profiler` — Case Study I (Figure 4):
+  per-branch divergence statistics.
+* :mod:`repro.handlers.memory_divergence` — Case Study II (Figure 6):
+  warp-occupancy × address-divergence profiling.
+* :mod:`repro.handlers.value_profiler` — Case Study III (Figure 9):
+  constant-bit and scalar-value profiling.
+* :mod:`repro.handlers.error_injection` — Case Study IV: profiling and
+  architecture-level bit-flip injection.
+* :mod:`repro.handlers.memtrace` — Section 9.4's "driving other
+  simulators" extension: collect a memory trace for replay.
+"""
+
+from repro.handlers.opcode_histogram import OpcodeHistogram
+from repro.handlers.branch_profiler import BranchProfiler
+from repro.handlers.memory_divergence import MemoryDivergenceProfiler
+from repro.handlers.value_profiler import ValueProfiler
+from repro.handlers.error_injection import (
+    ErrorInjectionCampaign,
+    InjectionOutcome,
+)
+from repro.handlers.memtrace import MemoryTracer
+
+__all__ = [
+    "OpcodeHistogram",
+    "BranchProfiler",
+    "MemoryDivergenceProfiler",
+    "ValueProfiler",
+    "ErrorInjectionCampaign",
+    "InjectionOutcome",
+    "MemoryTracer",
+]

@@ -1,0 +1,83 @@
+"""Section 9.4 extension: memory-trace collection for driving other
+simulators.
+
+"SASSI can collect low-level traces of device-side events, which can
+then be processed by separate tools.  For instance, a memory trace
+collected by SASSI can be used to drive a memory hierarchy simulator."
+
+The tracer records, per warp memory access: the instruction address, the
+access kind, and the coalesced 32-byte line addresses.  The
+``examples/memtrace_cachesim.py`` example replays such a trace through
+the :mod:`repro.sim.cache` models offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.sassi import SassiRuntime, spec_from_flags
+from repro.sassi.handlers import SASSIContext
+from repro.sim.coalescer import OFFSET_BITS
+from repro.sim.memory import is_global
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One warp-level memory access."""
+
+    ins_addr: int
+    is_load: bool
+    line_addresses: Tuple[int, ...]
+    active_lanes: int
+
+
+class MemoryTracer:
+    """Attachable trace collector (host-side buffer, as a CPU-side
+    trace consumer per the paper's heterogeneous-instrumentation
+    prototype)."""
+
+    FLAGS = "-sassi-inst-before=memory -sassi-before-args=mem-info"
+
+    def __init__(self, device, global_only: bool = True):
+        self.device = device
+        self.global_only = global_only
+        self.trace: List[TraceRecord] = []
+        self.runtime = SassiRuntime(device)
+        self.runtime.register_before_handler(self.handler)
+        self.spec = spec_from_flags(self.FLAGS)
+
+    def compile(self, kernel_ir):
+        return self.runtime.compile(kernel_ir, self.spec)
+
+    def handler(self, ctx: SASSIContext) -> None:
+        if ctx.mp is None:
+            return
+        will_execute = ctx.bp.GetInstrWillExecute()
+        addresses = ctx.mp.GetAddress()
+        lanes = [lane for lane in ctx.lanes() if will_execute[lane]]
+        if self.global_only:
+            lanes = [lane for lane in lanes
+                     if is_global(int(addresses[lane]),
+                                  self.device.heap_bytes)]
+        if not lanes:
+            return
+        lines = []
+        seen = set()
+        for lane in lanes:
+            line = (int(addresses[lane]) >> OFFSET_BITS) << OFFSET_BITS
+            if line not in seen:
+                seen.add(line)
+                lines.append(line)
+        self.trace.append(TraceRecord(
+            ins_addr=ctx.bp.GetInsAddr(),
+            is_load=ctx.mp.IsLoad(),
+            line_addresses=tuple(lines),
+            active_lanes=len(lanes),
+        ))
+
+    def replay_through(self, cache) -> None:
+        """Feed the collected line addresses to a cache model."""
+        for record in self.trace:
+            for line in record.line_addresses:
+                cache.access(line)

@@ -1,0 +1,74 @@
+"""Figure 3: the pedagogical dynamic-instruction categorizer.
+
+The paper's handler increments seven device counters per executing
+thread: memory, extended memory (width > 4 bytes), control transfer,
+synchronization, numeric, texture, and total.  Counters live in device
+global memory and are marshalled by the CUPTI analog.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.sassi import SassiRuntime, spec_from_flags
+from repro.sassi.cupti import CounterBuffer, CuptiSubscription
+from repro.sassi.handlers import SASSIContext
+
+CATEGORIES = (
+    "memory",
+    "extended_memory",
+    "control_xfer",
+    "sync",
+    "numeric",
+    "texture",
+    "total_executed",
+)
+
+
+class OpcodeHistogram:
+    """Attachable Figure 3 profiler.
+
+    Usage::
+
+        histogram = OpcodeHistogram(device)
+        kernel = histogram.compile(kernel_ir)
+        device.launch(kernel, grid, block, args)
+        print(histogram.totals())
+    """
+
+    FLAGS = "-sassi-inst-before=all -sassi-before-args=mem-info"
+
+    def __init__(self, device, per_kernel: bool = True):
+        self.device = device
+        self.cupti = CuptiSubscription(device)
+        self.counters = CounterBuffer(self.cupti, len(CATEGORIES),
+                                      per_kernel=per_kernel)
+        self.runtime = SassiRuntime(device)
+        self.runtime.register_before_handler(self.handler)
+        self.spec = spec_from_flags(self.FLAGS)
+
+    def compile(self, kernel_ir):
+        return self.runtime.compile(kernel_ir, self.spec)
+
+    def handler(self, ctx: SASSIContext) -> None:
+        threads = len(ctx.lanes())
+        bp, mp = ctx.bp, ctx.mp
+        if bp.IsMem():
+            ctx.atomic_add(self.counters.element_ptr(0), threads)
+            if mp is not None and mp.GetWidth() > 4:
+                ctx.atomic_add(self.counters.element_ptr(1), threads)
+        if bp.IsControlXfer():
+            ctx.atomic_add(self.counters.element_ptr(2), threads)
+        if bp.IsSync():
+            ctx.atomic_add(self.counters.element_ptr(3), threads)
+        if bp.IsNumeric():
+            ctx.atomic_add(self.counters.element_ptr(4), threads)
+        if bp.IsTexture():
+            ctx.atomic_add(self.counters.element_ptr(5), threads)
+        ctx.atomic_add(self.counters.element_ptr(6), threads)
+
+    def totals(self) -> Dict[str, int]:
+        values = self.counters.final_totals()
+        return {name: int(values[i]) for i, name in enumerate(CATEGORIES)}

@@ -1,0 +1,72 @@
+"""SASS-like instruction set architecture.
+
+This package defines the native ISA of the simulated GPU: a register file
+with 255 general-purpose registers plus the always-zero ``RZ``, seven
+predicate registers plus the always-true ``PT``, a 4-bit condition code,
+predication on every instruction, and an opcode set closely modelled on
+NVIDIA's Kepler-era SASS (the target of the SASSI paper).
+
+The public surface:
+
+* :mod:`repro.isa.registers` -- register name spaces and special registers.
+* :mod:`repro.isa.opcodes` -- the opcode enumeration and class predicates
+  (``is_memory``, ``is_control_xfer``, ...) mirroring the queries of
+  ``SASSIBeforeParams`` in the paper's Figure 2(b).
+* :mod:`repro.isa.instruction` -- the :class:`Instruction` model and operand
+  kinds.
+* :mod:`repro.isa.encoding` -- a 128-bit binary encoding with exact
+  encode/decode round-tripping.
+* :mod:`repro.isa.asmtext` -- assembly text printing and parsing.
+* :mod:`repro.isa.program` -- :class:`SassKernel` / :class:`SassProgram`
+  containers with labels and a symbol table.
+* :mod:`repro.isa.analysis` -- CFG construction and live-register dataflow
+  used by the SASSI injector to decide what to spill.
+"""
+
+from repro.isa.registers import (
+    RZ,
+    PT,
+    GPR,
+    Pred,
+    SpecialReg,
+    SREG_NAMES,
+)
+from repro.isa.opcodes import Opcode, OpClass
+from repro.isa.instruction import (
+    Instruction,
+    Imm,
+    ConstRef,
+    MemRef,
+    LabelRef,
+    PredGuard,
+    MemSpace,
+)
+from repro.isa.program import SassKernel, SassProgram, KernelParam
+from repro.isa.asmtext import format_instruction, parse_instruction, parse_kernel
+from repro.isa.encoding import encode_instruction, decode_instruction
+
+__all__ = [
+    "RZ",
+    "PT",
+    "GPR",
+    "Pred",
+    "SpecialReg",
+    "SREG_NAMES",
+    "Opcode",
+    "OpClass",
+    "Instruction",
+    "Imm",
+    "ConstRef",
+    "MemRef",
+    "LabelRef",
+    "PredGuard",
+    "MemSpace",
+    "SassKernel",
+    "SassProgram",
+    "KernelParam",
+    "format_instruction",
+    "parse_instruction",
+    "parse_kernel",
+    "encode_instruction",
+    "decode_instruction",
+]

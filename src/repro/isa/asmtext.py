@@ -1,0 +1,236 @@
+"""Assembly text formatting and parsing for the SASS-like ISA.
+
+The textual syntax follows NVIDIA's ``cuobjdump``/``nvdisasm`` conventions::
+
+    @!P0 LDG.64 R4, [R8+0x10] ;
+         ISETP.LT.AND P1, PT, R5, c[0x0][0x148], PT ;
+         SSY `(RECONV_0) ;
+
+``format_instruction``/``parse_instruction`` round-trip exactly, which the
+property-based tests rely on.  ``parse_kernel`` reads a whole ``.kernel``
+block with labels into a :class:`~repro.isa.program.SassKernel`.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instruction import (
+    ConstRef,
+    Imm,
+    Instruction,
+    LabelRef,
+    MemRef,
+    MemSpace,
+    OPCODE_SPACE,
+    Operand,
+    PredGuard,
+)
+from repro.isa.opcodes import MODIFIERS, Opcode
+from repro.isa.registers import GPR, PT, Pred, RZ_INDEX, SpecialReg
+
+
+def _format_operand(operand: Operand) -> str:
+    if isinstance(operand, Imm) and operand.is_float:
+        value = struct.unpack("<f", struct.pack("<I", operand.value & 0xFFFFFFFF))[0]
+        return f"{value!r}f"
+    return repr(operand)
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render *instr* in nvdisasm-like syntax (no trailing semicolon)."""
+    parts: List[str] = []
+    if not instr.guard.is_unconditional:
+        parts.append(repr(instr.guard))
+    mnemonic = instr.opcode.name
+    if instr.mods:
+        mnemonic += "." + ".".join(instr.mods)
+    parts.append(mnemonic)
+    operands = [*instr.dsts, *instr.srcs]
+    if operands:
+        parts.append(", ".join(_format_operand(op) for op in operands))
+    return " ".join(parts)
+
+
+_GPR_RE = re.compile(r"^R(\d+)$")
+_PRED_RE = re.compile(r"^P(\d+)$")
+_CONST_RE = re.compile(r"^c\[(0x[0-9a-fA-F]+|\d+)\]\[(0x[0-9a-fA-F]+|\d+)\]$")
+_MEM_RE = re.compile(r"^\[(RZ|R\d+)(?:([+-])(0x[0-9a-fA-F]+|\d+))?\]$")
+_LABEL_RE = re.compile(r"^`\((\w+)\)$")
+_FLOAT_RE = re.compile(r"^[-+]?(\d+\.\d*|\.\d+|\d+(\.\d*)?[eE][-+]?\d+|inf|nan)f?$")
+
+
+def _parse_int(text: str) -> int:
+    sign = 1
+    if text.startswith(("-", "+")):
+        sign = -1 if text[0] == "-" else 1
+        text = text[1:]
+    return sign * int(text, 16 if text.startswith("0x") else 10)
+
+
+def _parse_operand(text: str, space: Optional[MemSpace]) -> Operand:
+    text = text.strip()
+    if text == "RZ":
+        return GPR(RZ_INDEX)
+    if text == "PT":
+        return PT
+    match = _GPR_RE.match(text)
+    if match:
+        return GPR(int(match.group(1)))
+    match = _PRED_RE.match(text)
+    if match:
+        return Pred(int(match.group(1)))
+    if text.startswith("SR_"):
+        return SpecialReg(text)
+    match = _CONST_RE.match(text)
+    if match:
+        return ConstRef(_parse_int(match.group(1)), _parse_int(match.group(2)))
+    match = _MEM_RE.match(text)
+    if match:
+        base = GPR(RZ_INDEX) if match.group(1) == "RZ" else GPR(int(match.group(1)[1:]))
+        offset = 0
+        if match.group(3):
+            offset = _parse_int(match.group(3))
+            if match.group(2) == "-":
+                offset = -offset
+        return MemRef(space or MemSpace.GENERIC, base, offset)
+    match = _LABEL_RE.match(text)
+    if match:
+        return LabelRef(match.group(1))
+    if _FLOAT_RE.match(text):
+        raw = text[:-1] if text.endswith("f") else text
+        bits = struct.unpack("<I", struct.pack("<f", float(raw)))[0]
+        return Imm(bits, is_float=True)
+    return Imm(_parse_int(text))
+
+
+#: How many leading operands of each opcode are destinations.  Everything
+#: not listed has 1 destination if it produces a value, else 0; the table
+#: pins the exceptions.
+_NUM_DSTS: Dict[Opcode, int] = {
+    Opcode.ST: 0, Opcode.STG: 0, Opcode.STS: 0, Opcode.STL: 0, Opcode.RED: 0,
+    Opcode.BRA: 0, Opcode.JCAL: 0, Opcode.CAL: 0, Opcode.RET: 0,
+    Opcode.EXIT: 0, Opcode.SSY: 0, Opcode.SYNC: 0, Opcode.BAR: 0,
+    Opcode.NOP: 0, Opcode.BPT: 0, Opcode.MEMBAR: 0,
+    Opcode.PBK: 0, Opcode.BRK: 0,
+    Opcode.ISETP: 2,   # P<dst>, P<combine-dst> (we model 2nd as dst too)
+    Opcode.FSETP: 2,
+    Opcode.PSETP: 2,
+    Opcode.R2P: 0,     # writes predicate file as a side effect
+    Opcode.ATOM: 1, Opcode.ATOMS: 1,
+}
+
+
+def _num_dsts(opcode: Opcode) -> int:
+    return _NUM_DSTS.get(opcode, 1)
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split an operand list on commas not inside brackets."""
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for char in text:
+        if char in "[(":
+            depth += 1
+        elif char in "])":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return [p.strip() for p in parts if p.strip()]
+
+
+def parse_instruction(text: str) -> Instruction:
+    """Parse one instruction from nvdisasm-like text."""
+    text = text.strip().rstrip(";").strip()
+    guard = PredGuard()
+    if text.startswith("@"):
+        guard_text, _, text = text.partition(" ")
+        negated = guard_text.startswith("@!")
+        name = guard_text[2:] if negated else guard_text[1:]
+        pred = PT if name == "PT" else Pred(int(name[1:]))
+        guard = PredGuard(pred, negated)
+        text = text.strip()
+    mnemonic, _, operand_text = text.partition(" ")
+    opcode_name, *mods = mnemonic.split(".")
+    try:
+        opcode = Opcode[opcode_name]
+    except KeyError:
+        raise ValueError(f"unknown opcode: {opcode_name!r}") from None
+    for mod in mods:
+        if mod not in MODIFIERS:
+            raise ValueError(f"unknown modifier {mod!r} on {opcode_name}")
+    space = OPCODE_SPACE.get(opcode)
+    operands = [_parse_operand(part, space) for part in _split_operands(operand_text)]
+    num_dsts = _num_dsts(opcode)
+    return Instruction(
+        opcode=opcode,
+        dsts=tuple(operands[:num_dsts]),
+        srcs=tuple(operands[num_dsts:]),
+        guard=guard,
+        mods=tuple(mods),
+    )
+
+
+def parse_kernel(text: str):
+    """Parse a ``.kernel`` block into a :class:`SassKernel`.
+
+    Syntax::
+
+        .kernel vecadd
+        .param n 0x140 4
+        .param out 0x148 8
+        LOOP:
+            ... ;
+            @P0 BRA `(LOOP) ;
+            EXIT ;
+    """
+    from repro.isa.program import KernelParam, SassKernel
+
+    name = None
+    params: List[KernelParam] = []
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+    for raw_line in text.splitlines():
+        line = raw_line.split("//")[0].strip()
+        if not line:
+            continue
+        if line.startswith(".kernel"):
+            name = line.split()[1]
+            continue
+        if line.startswith(".param"):
+            _, pname, offset, size = line.split()
+            params.append(KernelParam(pname, _parse_int(offset), _parse_int(size)))
+            continue
+        if line.endswith(":") and re.match(r"^\w+:$", line):
+            labels[line[:-1]] = len(instructions)
+            continue
+        instructions.append(parse_instruction(line))
+    if name is None:
+        raise ValueError("missing .kernel directive")
+    return SassKernel(name=name, instructions=tuple(instructions),
+                      labels=labels, params=tuple(params))
+
+
+def format_kernel(kernel) -> str:
+    """Inverse of :func:`parse_kernel`."""
+    lines = [f".kernel {kernel.name}"]
+    for param in kernel.params:
+        lines.append(f".param {param.name} 0x{param.offset:x} {param.size}")
+    label_at: Dict[int, List[str]] = {}
+    for label, index in kernel.labels.items():
+        label_at.setdefault(index, []).append(label)
+    for index, instr in enumerate(kernel.instructions):
+        for label in sorted(label_at.get(index, ())):
+            lines.append(f"{label}:")
+        lines.append(f"        {format_instruction(instr)} ;")
+    for label in sorted(label_at.get(len(kernel.instructions), ())):
+        lines.append(f"{label}:")
+    return "\n".join(lines) + "\n"

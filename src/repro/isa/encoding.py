@@ -1,0 +1,219 @@
+"""Binary encoding of the SASS-like ISA.
+
+Each instruction encodes into a fixed 128-bit word pair.  Word 0 carries the
+opcode, predicate guard, up to three dotted modifiers, and a 3-bit *kind*
+descriptor for each of up to six operand slots (two destinations, four
+sources).  Word 1 (plus spare bits of word 0) is a variable-layout payload
+area written by a bit packer: registers take 8 bits, predicates 3,
+constant-bank references 18, memory references 29, immediates 33, and label
+references 20 (as indices into a label table supplied by the caller).
+
+The format is intentionally simple — its job is to make "the instruction's
+encoding" a real artifact (the injected parameter object in the paper's
+Figure 2 stores ``insEncoding``) and to give the test suite an exact
+round-trip target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instruction import (
+    ConstRef,
+    Imm,
+    Instruction,
+    LabelRef,
+    MemRef,
+    MemSpace,
+    Operand,
+    PredGuard,
+)
+from repro.isa.opcodes import Opcode, modifier_from_index, modifier_index
+from repro.isa.registers import GPR, Pred, SpecialReg
+
+_KIND_ABSENT = 0
+_KIND_GPR = 1
+_KIND_PRED = 2
+_KIND_IMM = 3
+_KIND_CONST = 4
+_KIND_MEM = 5
+_KIND_LABEL = 6
+_KIND_SREG = 7
+
+_MAX_DSTS = 2
+_MAX_SRCS = 4
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction does not fit the 128-bit format."""
+
+
+class _BitWriter:
+    def __init__(self) -> None:
+        self.value = 0
+        self.position = 0
+
+    def write(self, value: int, bits: int) -> None:
+        if value < 0 or value >= (1 << bits):
+            raise EncodingError(f"value {value} does not fit in {bits} bits")
+        self.value |= value << self.position
+        self.position += bits
+
+
+class _BitReader:
+    def __init__(self, value: int) -> None:
+        self.value = value
+        self.position = 0
+
+    def read(self, bits: int) -> int:
+        result = (self.value >> self.position) & ((1 << bits) - 1)
+        self.position += bits
+        return result
+
+
+def _operand_kind(operand: Operand) -> int:
+    if isinstance(operand, GPR):
+        return _KIND_GPR
+    if isinstance(operand, Pred):
+        return _KIND_PRED
+    if isinstance(operand, Imm):
+        return _KIND_IMM
+    if isinstance(operand, ConstRef):
+        return _KIND_CONST
+    if isinstance(operand, MemRef):
+        return _KIND_MEM
+    if isinstance(operand, LabelRef):
+        return _KIND_LABEL
+    if isinstance(operand, SpecialReg):
+        return _KIND_SREG
+    raise EncodingError(f"unencodable operand: {operand!r}")
+
+
+def _write_payload(writer: _BitWriter, operand: Operand,
+                   label_ids: Dict[str, int]) -> None:
+    if isinstance(operand, GPR):
+        writer.write(operand.index, 8)
+    elif isinstance(operand, Pred):
+        writer.write(operand.index, 3)
+    elif isinstance(operand, Imm):
+        writer.write(operand.value & 0xFFFFFFFF, 32)
+        writer.write(1 if operand.is_float else 0, 1)
+    elif isinstance(operand, ConstRef):
+        if not 0 <= operand.offset < (1 << 16):
+            raise EncodingError(f"const offset too large: {operand.offset:#x}")
+        writer.write(operand.bank, 2)
+        writer.write(operand.offset, 16)
+    elif isinstance(operand, MemRef):
+        if not -(1 << 17) <= operand.offset < (1 << 17):
+            raise EncodingError(f"memory offset too large: {operand.offset:#x}")
+        writer.write(operand.space.value, 3)
+        writer.write(operand.base.index, 8)
+        writer.write(operand.offset & ((1 << 18) - 1), 18)
+    elif isinstance(operand, LabelRef):
+        if operand.name not in label_ids:
+            raise EncodingError(f"label {operand.name!r} not in label table")
+        writer.write(label_ids[operand.name], 20)
+    elif isinstance(operand, SpecialReg):
+        writer.write(operand.encoding_index, 5)
+    else:  # pragma: no cover - guarded by _operand_kind
+        raise EncodingError(f"unencodable operand: {operand!r}")
+
+
+def _read_payload(reader: _BitReader, kind: int,
+                  label_names: Dict[int, str]) -> Operand:
+    if kind == _KIND_GPR:
+        return GPR(reader.read(8))
+    if kind == _KIND_PRED:
+        return Pred(reader.read(3))
+    if kind == _KIND_IMM:
+        raw = reader.read(32)
+        is_float = bool(reader.read(1))
+        value = raw - (1 << 32) if raw & (1 << 31) and not is_float else raw
+        return Imm(value, is_float=is_float)
+    if kind == _KIND_CONST:
+        bank = reader.read(2)
+        return ConstRef(bank, reader.read(16))
+    if kind == _KIND_MEM:
+        space = MemSpace(reader.read(3))
+        base = GPR(reader.read(8))
+        raw = reader.read(18)
+        offset = raw - (1 << 18) if raw & (1 << 17) else raw
+        return MemRef(space, base, offset)
+    if kind == _KIND_LABEL:
+        return LabelRef(label_names[reader.read(20)])
+    if kind == _KIND_SREG:
+        return SpecialReg.from_index(reader.read(5))
+    raise EncodingError(f"bad operand kind: {kind}")
+
+
+def encode_instruction(
+    instr: Instruction,
+    label_ids: Optional[Dict[str, int]] = None,
+) -> Tuple[int, int]:
+    """Encode *instr* into a ``(word0, word1)`` pair of 64-bit integers.
+
+    *label_ids* maps label names to small integers; required only when the
+    instruction references labels.
+    """
+    label_ids = label_ids or {}
+    if len(instr.dsts) > _MAX_DSTS:
+        raise EncodingError(f"too many destinations: {len(instr.dsts)}")
+    if len(instr.srcs) > _MAX_SRCS:
+        raise EncodingError(f"too many sources: {len(instr.srcs)}")
+    if len(instr.mods) > 3:
+        raise EncodingError(f"too many modifiers: {instr.mods}")
+
+    head = _BitWriter()
+    head.write(instr.opcode.value, 9)
+    head.write(instr.guard.pred.index, 3)
+    head.write(1 if instr.guard.negated else 0, 1)
+    head.write(len(instr.mods), 2)
+    for mod in instr.mods:
+        head.write(modifier_index(mod), 6)
+    for _ in range(3 - len(instr.mods)):
+        head.write(0, 6)
+    head.write(len(instr.dsts), 2)
+    head.write(len(instr.srcs), 3)
+    for slot in range(_MAX_DSTS + _MAX_SRCS):
+        operands = (*instr.dsts, *instr.srcs)
+        kind = _operand_kind(operands[slot]) if slot < len(operands) else _KIND_ABSENT
+        head.write(kind, 3)
+    if head.position > 64:  # pragma: no cover - layout is static
+        raise EncodingError("header overflow")
+
+    body = _BitWriter()
+    for operand in (*instr.dsts, *instr.srcs):
+        _write_payload(body, operand, label_ids)
+    if body.position > 64:
+        raise EncodingError(f"operand payload does not fit: {instr!r}")
+    return head.value, body.value
+
+
+def decode_instruction(
+    words: Tuple[int, int],
+    label_names: Optional[Dict[int, str]] = None,
+) -> Instruction:
+    """Inverse of :func:`encode_instruction`."""
+    label_names = label_names or {}
+    head = _BitReader(words[0])
+    opcode = Opcode(head.read(9))
+    pred = Pred(head.read(3))
+    negated = bool(head.read(1))
+    num_mods = head.read(2)
+    mod_indices = [head.read(6) for _ in range(3)]
+    mods = tuple(modifier_from_index(mod_indices[i]) for i in range(num_mods))
+    num_dsts = head.read(2)
+    num_srcs = head.read(3)
+    kinds = [head.read(3) for _ in range(_MAX_DSTS + _MAX_SRCS)]
+
+    body = _BitReader(words[1])
+    operands: List[Operand] = []
+    for slot in range(num_dsts + num_srcs):
+        operands.append(_read_payload(body, kinds[slot], label_names))
+    return Instruction(
+        opcode=opcode,
+        dsts=tuple(operands[:num_dsts]),
+        srcs=tuple(operands[num_dsts:]),
+        guard=PredGuard(pred, negated),
+        mods=mods,
+    )

@@ -1,0 +1,296 @@
+"""Instruction and operand model of the SASS-like ISA.
+
+An :class:`Instruction` is a frozen value: opcode, destination operands,
+source operands, a predicate guard, and a tuple of dotted modifiers, e.g.::
+
+    @!P0 LDG.64 R4, [R8+0x10] ;
+
+is ``Instruction(Opcode.LDG, dsts=(GPR(4),), srcs=(MemRef(GLOBAL, GPR(8),
+0x10),), guard=PredGuard(Pred(0), negated=True), mods=("64",))``.
+
+Memory widths are carried as modifiers (``U8``/``S8``/``U16``/``S16``/
+``32``/``64``/``128``); the default width is 32 bits.  64- and 128-bit
+accesses read/write aligned register pairs/quads rooted at the named
+register, as on Kepler.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple, Union
+
+from repro.isa.opcodes import Opcode, OpClass, classes_of
+from repro.isa.registers import GPR, PT, Pred, SpecialReg
+
+
+class MemSpace(enum.Enum):
+    """Memory spaces addressable by memory instructions."""
+
+    GENERIC = 0
+    GLOBAL = 1
+    SHARED = 2
+    LOCAL = 3
+    CONST = 4
+    TEXTURE = 5
+
+
+#: The memory space implied by each memory opcode (generic LD/ST dispatch
+#: by address range at execution time).
+OPCODE_SPACE = {
+    Opcode.LD: MemSpace.GENERIC,
+    Opcode.ST: MemSpace.GENERIC,
+    Opcode.LDG: MemSpace.GLOBAL,
+    Opcode.STG: MemSpace.GLOBAL,
+    Opcode.LDS: MemSpace.SHARED,
+    Opcode.STS: MemSpace.SHARED,
+    Opcode.LDL: MemSpace.LOCAL,
+    Opcode.STL: MemSpace.LOCAL,
+    Opcode.LDC: MemSpace.CONST,
+    Opcode.ATOM: MemSpace.GLOBAL,
+    Opcode.ATOMS: MemSpace.SHARED,
+    Opcode.RED: MemSpace.GLOBAL,
+    Opcode.TLD: MemSpace.TEXTURE,
+}
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand.
+
+    Floating-point immediates are stored bit-cast to their 32-bit pattern;
+    the ``is_float`` flag only affects textual formatting.
+    """
+
+    value: int
+    is_float: bool = False
+
+    def __repr__(self) -> str:
+        if self.is_float:
+            import struct
+
+            return repr(struct.unpack("<f", struct.pack("<I", self.value & 0xFFFFFFFF))[0])
+        if -16 < self.value < 16:
+            return str(self.value)
+        sign = "-" if self.value < 0 else ""
+        return f"{sign}0x{abs(self.value):x}"
+
+
+@dataclass(frozen=True)
+class ConstRef:
+    """A constant-bank reference ``c[bank][offset]``.
+
+    Bank 0 holds the kernel parameters and launch configuration, as on real
+    hardware.  Offsets are in bytes.
+    """
+
+    bank: int
+    offset: int
+
+    def __repr__(self) -> str:
+        return f"c[0x{self.bank:x}][0x{self.offset:x}]"
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A memory operand ``[Rbase+offset]``.
+
+    The base register names the root of a 64-bit register pair holding the
+    address (``base`` may be ``RZ`` for absolute addressing).  Shared and
+    local references use 32-bit offsets within their space, in which case
+    only the root register is read.
+    """
+
+    space: MemSpace
+    base: GPR
+    offset: int = 0
+
+    def __repr__(self) -> str:
+        if self.offset:
+            sign = "+" if self.offset >= 0 else "-"
+            return f"[{self.base}{sign}0x{abs(self.offset):x}]"
+        return f"[{self.base}]"
+
+
+@dataclass(frozen=True)
+class LabelRef:
+    """A branch/call target by label name (resolved by the assembler)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"`({self.name})"
+
+
+Operand = Union[GPR, Pred, Imm, ConstRef, MemRef, LabelRef, SpecialReg]
+
+
+@dataclass(frozen=True)
+class PredGuard:
+    """The ``@[!]Pn`` guard carried by every instruction."""
+
+    pred: Pred = PT
+    negated: bool = False
+
+    @property
+    def is_unconditional(self) -> bool:
+        return self.pred.is_true and not self.negated
+
+    def __repr__(self) -> str:
+        bang = "!" if self.negated else ""
+        return f"@{bang}{self.pred}"
+
+
+#: Byte width implied by width modifiers.
+_WIDTH_BYTES = {"U8": 1, "S8": 1, "U16": 2, "S16": 2, "32": 4, "64": 8, "128": 16}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single SASS-like instruction."""
+
+    opcode: Opcode
+    dsts: Tuple[Operand, ...] = ()
+    srcs: Tuple[Operand, ...] = ()
+    guard: PredGuard = PredGuard()
+    mods: Tuple[str, ...] = ()
+    #: Provenance tag; the SASSI injector marks its code ``"sassi"`` so that
+    #: instrumentation is never itself instrumented.
+    tag: Optional[str] = None
+
+    # ---- class queries (the SASSIBeforeParams menu, Figure 2b) ----
+
+    @property
+    def op_classes(self) -> OpClass:
+        return classes_of(self.opcode)
+
+    @property
+    def is_memory(self) -> bool:
+        return bool(self.op_classes & OpClass.MEMORY)
+
+    @property
+    def is_mem_read(self) -> bool:
+        return bool(self.op_classes & OpClass.MEM_READ)
+
+    @property
+    def is_mem_write(self) -> bool:
+        return bool(self.op_classes & OpClass.MEM_WRITE)
+
+    @property
+    def is_atomic(self) -> bool:
+        return bool(self.op_classes & OpClass.ATOMIC)
+
+    @property
+    def is_control_xfer(self) -> bool:
+        return bool(self.op_classes & OpClass.CONTROL)
+
+    @property
+    def is_cond_control_xfer(self) -> bool:
+        return self.is_control_xfer and not self.guard.is_unconditional
+
+    @property
+    def is_call(self) -> bool:
+        return bool(self.op_classes & OpClass.CALL)
+
+    @property
+    def is_sync(self) -> bool:
+        return bool(self.op_classes & OpClass.SYNC)
+
+    @property
+    def is_numeric(self) -> bool:
+        return bool(self.op_classes & OpClass.NUMERIC)
+
+    @property
+    def is_texture(self) -> bool:
+        return bool(self.op_classes & OpClass.TEXTURE)
+
+    @property
+    def is_spill_or_fill(self) -> bool:
+        """True for accesses to the thread-local stack (LDL/STL)."""
+        return self.opcode in (Opcode.LDL, Opcode.STL)
+
+    @property
+    def mem_space(self) -> Optional[MemSpace]:
+        return OPCODE_SPACE.get(self.opcode)
+
+    @property
+    def mem_width(self) -> int:
+        """Access width in bytes for memory instructions (default 4)."""
+        for mod in self.mods:
+            if mod in _WIDTH_BYTES:
+                return _WIDTH_BYTES[mod]
+        return 4
+
+    @property
+    def mem_ref(self) -> Optional[MemRef]:
+        for operand in (*self.srcs, *self.dsts):
+            if isinstance(operand, MemRef):
+                return operand
+        return None
+
+    # ---- register def/use sets (used by liveness and the injector) ----
+
+    def _regs_in_operand(self, operand: Operand, written: bool) -> Tuple[GPR, ...]:
+        if isinstance(operand, GPR):
+            if operand.is_zero:
+                return ()
+            # Only memory *data* operands widen into pairs/quads; all
+            # arithmetic in this ISA is 32-bit.
+            count = max(1, self.mem_width // 4) if self.is_memory else 1
+            return tuple(GPR(operand.index + i) for i in range(count))
+        if isinstance(operand, MemRef):
+            base = operand.base
+            if base.is_zero:
+                return ()
+            if operand.space in (MemSpace.SHARED, MemSpace.LOCAL):
+                return (base,)
+            return (base, GPR(base.index + 1))
+        return ()
+
+    def gpr_uses(self) -> Tuple[GPR, ...]:
+        """GPRs read by this instruction (address pairs and wide stores
+        included), excluding ``RZ``."""
+        regs: list[GPR] = []
+        for operand in self.srcs:
+            regs.extend(self._regs_in_operand(operand, written=False))
+        # Stores read their data operand, which textually sits in srcs
+        # already for this ISA (see asmtext) -- nothing extra to do.
+        return tuple(r for r in regs if not r.is_zero)
+
+    def gpr_defs(self) -> Tuple[GPR, ...]:
+        """GPRs written by this instruction, excluding ``RZ``."""
+        regs: list[GPR] = []
+        for operand in self.dsts:
+            if isinstance(operand, GPR):
+                if operand.is_zero:
+                    continue
+                if self.is_mem_read:
+                    count = max(1, self.mem_width // 4)
+                elif "WIDE" in self.mods:
+                    count = 2  # widening multiply writes a pair
+                else:
+                    count = 1
+                regs.extend(GPR(operand.index + i) for i in range(count))
+        return tuple(regs)
+
+    def pred_uses(self) -> Tuple[Pred, ...]:
+        preds = [p for p in self.srcs if isinstance(p, Pred) and not p.is_true]
+        if not self.guard.is_unconditional:
+            preds.append(self.guard.pred)
+        return tuple(preds)
+
+    def pred_defs(self) -> Tuple[Pred, ...]:
+        return tuple(p for p in self.dsts if isinstance(p, Pred) and not p.is_true)
+
+    # ---- convenience ----
+
+    def with_guard(self, guard: PredGuard) -> "Instruction":
+        return replace(self, guard=guard)
+
+    def with_tag(self, tag: str) -> "Instruction":
+        return replace(self, tag=tag)
+
+    def __repr__(self) -> str:
+        from repro.isa.asmtext import format_instruction
+
+        return format_instruction(self)

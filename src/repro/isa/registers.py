@@ -1,0 +1,119 @@
+"""Register name spaces of the SASS-like ISA.
+
+The machine has 255 allocatable 32-bit general-purpose registers ``R0..R254``
+and the architectural zero register ``RZ`` (index 255) which reads as zero
+and discards writes.  64-bit quantities (addresses, wide loads) occupy an
+aligned even/odd register pair ``(Rn, Rn+1)``, exactly as on Kepler.
+
+Predicate registers ``P0..P6`` hold one bit per thread; ``PT`` (index 7) is
+the constant-true predicate.  Every instruction carries a predicate guard
+``@[!]Pn`` (defaulting to ``@PT``).
+
+Special (read-only) registers are read with the ``S2R`` instruction and
+expose the thread/CTA coordinates, lane id, and active mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Number of architectural GPRs including RZ.
+NUM_GPRS = 256
+#: Index of the zero register.
+RZ_INDEX = 255
+#: Number of predicate registers including PT.
+NUM_PREDS = 8
+#: Index of the constant-true predicate.
+PT_INDEX = 7
+
+
+@dataclass(frozen=True, order=True)
+class GPR:
+    """A general-purpose register operand, ``R<index>`` or ``RZ``."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < NUM_GPRS:
+            raise ValueError(f"GPR index out of range: {self.index}")
+
+    @property
+    def is_zero(self) -> bool:
+        return self.index == RZ_INDEX
+
+    @property
+    def pair(self) -> "GPR":
+        """The odd half of the 64-bit pair rooted at this register."""
+        if self.index % 2 != 0:
+            raise ValueError(f"64-bit pair must be rooted at an even register, got R{self.index}")
+        return GPR(self.index + 1)
+
+    def __repr__(self) -> str:
+        return "RZ" if self.is_zero else f"R{self.index}"
+
+
+@dataclass(frozen=True, order=True)
+class Pred:
+    """A predicate register operand, ``P<index>`` or ``PT``."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < NUM_PREDS:
+            raise ValueError(f"predicate index out of range: {self.index}")
+
+    @property
+    def is_true(self) -> bool:
+        return self.index == PT_INDEX
+
+    def __repr__(self) -> str:
+        return "PT" if self.is_true else f"P{self.index}"
+
+
+#: The zero register.
+RZ = GPR(RZ_INDEX)
+#: The constant-true predicate.
+PT = Pred(PT_INDEX)
+
+#: Names accepted by ``S2R`` in source order; the executor maps each to a
+#: per-lane value at run time.
+SREG_NAMES = (
+    "SR_TID.X",
+    "SR_TID.Y",
+    "SR_TID.Z",
+    "SR_CTAID.X",
+    "SR_CTAID.Y",
+    "SR_CTAID.Z",
+    "SR_NTID.X",
+    "SR_NTID.Y",
+    "SR_NTID.Z",
+    "SR_NCTAID.X",
+    "SR_NCTAID.Y",
+    "SR_NCTAID.Z",
+    "SR_LANEID",
+    "SR_WARPID",
+    "SR_ACTIVEMASK",
+    "SR_CLOCK",
+)
+
+
+@dataclass(frozen=True)
+class SpecialReg:
+    """A special-register source operand for ``S2R``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in SREG_NAMES:
+            raise ValueError(f"unknown special register: {self.name}")
+
+    @property
+    def encoding_index(self) -> int:
+        return SREG_NAMES.index(self.name)
+
+    @classmethod
+    def from_index(cls, index: int) -> "SpecialReg":
+        return cls(SREG_NAMES[index])
+
+    def __repr__(self) -> str:
+        return self.name

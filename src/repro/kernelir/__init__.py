@@ -1,0 +1,40 @@
+"""PTX-like intermediate representation and kernel-authoring front-end.
+
+This package plays the role of PTX + CUDA in the paper's toolchain: workloads
+are authored against :class:`~repro.kernelir.builder.KernelBuilder` (the
+"CUDA" of this repo), which produces a typed virtual-register IR.  The
+backend (:mod:`repro.backend`) lowers the IR to the SASS-like ISA.
+
+* :mod:`repro.kernelir.types` — the scalar type system.
+* :mod:`repro.kernelir.ir` — ops, virtual registers, blocks, kernels.
+* :mod:`repro.kernelir.builder` — structured control-flow builder.
+* :mod:`repro.kernelir.ptxtext` — PTX-style text emitter and parser.
+* :mod:`repro.kernelir.verify` — the IR verifier.
+"""
+
+from repro.kernelir.types import Type
+from repro.kernelir.ir import (
+    Block,
+    CmpOp,
+    IRInstr,
+    IROp,
+    KernelIR,
+    ParamDecl,
+    VReg,
+)
+from repro.kernelir.builder import KernelBuilder
+from repro.kernelir.verify import IRVerificationError, verify_kernel
+
+__all__ = [
+    "Type",
+    "Block",
+    "CmpOp",
+    "IRInstr",
+    "IROp",
+    "KernelIR",
+    "ParamDecl",
+    "VReg",
+    "KernelBuilder",
+    "IRVerificationError",
+    "verify_kernel",
+]

@@ -1,0 +1,627 @@
+"""Structured kernel-authoring front-end (the "CUDA" of this repo).
+
+:class:`KernelBuilder` exposes arithmetic, memory, and special-register
+helpers plus structured control flow (``if_``/``while_``/``for_range`` with
+``break_``/``continue_``), and produces a verified :class:`KernelIR`.
+
+Example (vector add)::
+
+    b = KernelBuilder("vecadd", [("n", Type.U32), ("a", PTR),
+                                 ("b", PTR), ("out", PTR)])
+    i = b.global_index_x()
+    with b.if_(b.lt(i, b.param("n"))):
+        x = b.load_f32(b.gep(b.param("a"), i, 4))
+        y = b.load_f32(b.gep(b.param("b"), i, 4))
+        b.store(b.gep(b.param("out"), i, 4), b.fadd(x, y))
+    kernel_ir = b.finish()
+
+All parameters are preloaded in the entry block so that parameter values
+dominate every use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.kernelir.ir import (
+    AtomOp,
+    Block,
+    CmpOp,
+    Const,
+    IRInstr,
+    IROp,
+    KernelIR,
+    ParamDecl,
+    Space,
+    Value,
+    VReg,
+)
+from repro.kernelir.types import PTR, Type
+
+Number = Union[int, float]
+ValueLike = Union[Value, Number]
+
+
+class BuildError(Exception):
+    """Raised on misuse of the builder (type errors, stray control flow)."""
+
+
+class _IfCtx:
+    """Context manager for ``if_`` (with optional ``else_``)."""
+
+    def __init__(self, builder: "KernelBuilder", cbr: IRInstr, merge: str):
+        self._builder = builder
+        self._cbr = cbr
+        self._merge = merge
+        self._then_done = False
+        self._else_used = False
+
+    def __enter__(self) -> "_IfCtx":
+        then_label = self._cbr.targets[0]
+        self._builder._start_block(then_label)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._builder._terminate(IRInstr(IROp.BR, targets=(self._merge,)))
+            self._builder._start_block(self._merge)
+            self._then_done = True
+
+    def else_(self) -> "_ElseCtx":
+        if not self._then_done:
+            raise BuildError("else_() before the then-branch closed")
+        if self._else_used:
+            raise BuildError("else_() used twice")
+        self._else_used = True
+        return _ElseCtx(self._builder, self._cbr, self._merge)
+
+
+class _ElseCtx:
+    def __init__(self, builder: "KernelBuilder", cbr: IRInstr, merge: str):
+        self._builder = builder
+        self._cbr = cbr
+        self._merge = merge
+
+    def __enter__(self) -> "_ElseCtx":
+        builder = self._builder
+        merge_block = builder._kernel.block(self._merge)
+        if merge_block.instrs:
+            raise BuildError("else_() must immediately follow the if-block")
+        builder._kernel.blocks.remove(merge_block)
+        else_label = builder._fresh_label("else")
+        self._cbr.targets = (self._cbr.targets[0], else_label)
+        builder._current = None
+        builder._start_block(else_label)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._builder._terminate(IRInstr(IROp.BR, targets=(self._merge,)))
+            self._builder._start_block(self._merge)
+
+
+class _LoopCtx:
+    """Context manager for ``while_`` / ``for_range`` loops.
+
+    The loop is pushed onto the builder's loop stack by ``while_``/
+    ``for_range`` themselves (so that the header and body blocks are
+    recorded as loop members); ``__enter__`` only hands back the induction
+    variable.
+    """
+
+    def __init__(self, builder: "KernelBuilder", header: str, exit_label: str,
+                 induction: Optional[VReg] = None,
+                 step: Optional[Callable[[], None]] = None):
+        self._builder = builder
+        self.header = header
+        self.exit_label = exit_label
+        self.induction = induction
+        self.step = step
+
+    def __enter__(self):
+        if not self._builder._loops or self._builder._loops[-1] is not self:
+            raise BuildError("loop context entered out of order")
+        return self.induction if self.induction is not None else self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            return
+        builder = self._builder
+        if builder._loops[-1] is not self:
+            raise BuildError("mismatched loop nesting")
+        if self.step is not None:
+            self.step()
+        builder._terminate(IRInstr(IROp.BR, targets=(self.header,)))
+        builder._loops.pop()
+        builder._start_block(self.exit_label)
+
+
+class KernelBuilder:
+    """Builds a :class:`KernelIR` with structured control flow."""
+
+    def __init__(self, name: str, params: Sequence[Tuple[str, Type]],
+                 shared_bytes: int = 0):
+        self._kernel = KernelIR(
+            name=name,
+            params=tuple(ParamDecl(n, t) for n, t in params),
+            shared_bytes=shared_bytes,
+        )
+        self._counter = 0
+        self._label_counter = 0
+        self._loops: List[_LoopCtx] = []
+        self._current: Optional[Block] = None
+        self._param_values: Dict[str, VReg] = {}
+        self._finished = False
+        self._start_block("entry")
+        for param in self._kernel.params:
+            reg = self._new_vreg(param.type)
+            offset = self._kernel.param_offset(param.name)
+            self._emit(IRInstr(IROp.LD, dst=reg, space=Space.CONST,
+                               srcs=(Const(offset, Type.U32),),
+                               type=param.type))
+            self._param_values[param.name] = reg
+
+    # ------------------------------------------------------------ plumbing
+
+    def _new_vreg(self, type_: Type) -> VReg:
+        reg = VReg(self._counter, type_)
+        self._counter += 1
+        self._kernel.num_vregs = self._counter
+        return reg
+
+    def _fresh_label(self, stem: str) -> str:
+        self._label_counter += 1
+        return f"{stem}_{self._label_counter}"
+
+    def _start_block(self, label: str) -> Block:
+        block = Block(label, loops=tuple(ctx.header for ctx in self._loops))
+        self._kernel.blocks.append(block)
+        self._current = block
+        return block
+
+    def _emit(self, instr: IRInstr) -> Optional[VReg]:
+        if self._finished:
+            raise BuildError("builder already finished")
+        if self._current is None or self._current.terminator is not None:
+            # Code after break_/continue_/ret in the same suite is
+            # unreachable; keep it in a dead block so builds never fail.
+            self._start_block(self._fresh_label("dead"))
+        self._current.instrs.append(instr)
+        return instr.dst
+
+    def _terminate(self, instr: IRInstr) -> None:
+        if self._current is not None and self._current.terminator is None:
+            self._current.instrs.append(instr)
+        self._current = None
+
+    def _as_value(self, value: ValueLike, type_hint: Optional[Type] = None) -> Value:
+        if isinstance(value, (VReg, Const)):
+            return value
+        if isinstance(value, bool):
+            raise BuildError("use predicates, not Python bools")
+        if isinstance(value, int):
+            return Const(value, type_hint or Type.S32)
+        if isinstance(value, float):
+            if type_hint is not None and not type_hint.is_float:
+                raise BuildError(f"float literal {value} for {type_hint}")
+            return Const(value, Type.F32)
+        raise BuildError(f"not a value: {value!r}")
+
+    def _common_type(self, a: Value, b: Value) -> Type:
+        if isinstance(a, VReg):
+            return a.type
+        if isinstance(b, VReg):
+            return b.type
+        return a.type
+
+    def _binary(self, op: IROp, a: ValueLike, b: ValueLike,
+                type_: Optional[Type] = None) -> VReg:
+        lhs = self._as_value(a)
+        rhs = self._as_value(b, type_hint=lhs.type if isinstance(lhs, VReg) else None)
+        if isinstance(lhs, Const) and isinstance(rhs, VReg):
+            lhs = self._as_value(a, type_hint=rhs.type)
+        result_type = type_ or self._common_type(lhs, rhs)
+        dst = self._new_vreg(result_type)
+        self._emit(IRInstr(op, dst=dst, srcs=(lhs, rhs), type=result_type))
+        return dst
+
+    # ------------------------------------------------------- leaf values
+
+    def param(self, name: str) -> VReg:
+        """The preloaded value of a kernel parameter."""
+        try:
+            return self._param_values[name]
+        except KeyError:
+            raise BuildError(f"no such param: {name!r}") from None
+
+    def const(self, value: Number, type_: Type = Type.S32) -> Const:
+        return Const(value, type_)
+
+    def _sreg(self, name: str) -> VReg:
+        dst = self._new_vreg(Type.U32)
+        self._emit(IRInstr(IROp.SREG, dst=dst, sreg=name, type=Type.U32))
+        return dst
+
+    def tid_x(self) -> VReg:
+        return self._sreg("tid.x")
+
+    def tid_y(self) -> VReg:
+        return self._sreg("tid.y")
+
+    def ctaid_x(self) -> VReg:
+        return self._sreg("ctaid.x")
+
+    def ctaid_y(self) -> VReg:
+        return self._sreg("ctaid.y")
+
+    def ntid_x(self) -> VReg:
+        return self._sreg("ntid.x")
+
+    def ntid_y(self) -> VReg:
+        return self._sreg("ntid.y")
+
+    def nctaid_x(self) -> VReg:
+        return self._sreg("nctaid.x")
+
+    def laneid(self) -> VReg:
+        return self._sreg("laneid")
+
+    def global_index_x(self) -> VReg:
+        """``ctaid.x * ntid.x + tid.x`` — the canonical 1-D thread index."""
+        return self.mad(self.ctaid_x(), self.ntid_x(), self.tid_x())
+
+    # ------------------------------------------------------- arithmetic
+
+    def add(self, a: ValueLike, b: ValueLike) -> VReg:
+        return self._binary(IROp.ADD, a, b)
+
+    def sub(self, a: ValueLike, b: ValueLike) -> VReg:
+        return self._binary(IROp.SUB, a, b)
+
+    def mul(self, a: ValueLike, b: ValueLike) -> VReg:
+        return self._binary(IROp.MUL, a, b)
+
+    def mul_wide(self, a: ValueLike, b: ValueLike) -> VReg:
+        """u32 × u32 → u64 (for address arithmetic)."""
+        lhs = self._as_value(a, Type.U32)
+        rhs = self._as_value(b, Type.U32)
+        dst = self._new_vreg(Type.U64)
+        self._emit(IRInstr(IROp.MULWIDE, dst=dst, srcs=(lhs, rhs), type=Type.U64))
+        return dst
+
+    def mad(self, a: ValueLike, b: ValueLike, c: ValueLike) -> VReg:
+        lhs = self._as_value(a)
+        mid = self._as_value(b)
+        addend = self._as_value(c)
+        result_type = self._common_type(lhs, mid)
+        dst = self._new_vreg(result_type)
+        self._emit(IRInstr(IROp.MAD, dst=dst, srcs=(lhs, mid, addend),
+                           type=result_type))
+        return dst
+
+    def fma(self, a: ValueLike, b: ValueLike, c: ValueLike) -> VReg:
+        return self.mad(self._as_value(a, Type.F32), self._as_value(b, Type.F32),
+                        self._as_value(c, Type.F32))
+
+    def min_(self, a: ValueLike, b: ValueLike) -> VReg:
+        return self._binary(IROp.MIN, a, b)
+
+    def max_(self, a: ValueLike, b: ValueLike) -> VReg:
+        return self._binary(IROp.MAX, a, b)
+
+    def and_(self, a: ValueLike, b: ValueLike) -> VReg:
+        return self._binary(IROp.AND, a, b)
+
+    def or_(self, a: ValueLike, b: ValueLike) -> VReg:
+        return self._binary(IROp.OR, a, b)
+
+    def xor(self, a: ValueLike, b: ValueLike) -> VReg:
+        return self._binary(IROp.XOR, a, b)
+
+    def not_(self, a: ValueLike) -> VReg:
+        value = self._as_value(a)
+        dst = self._new_vreg(value.type)
+        self._emit(IRInstr(IROp.NOT, dst=dst, srcs=(value,), type=value.type))
+        return dst
+
+    def shl(self, a: ValueLike, b: ValueLike) -> VReg:
+        return self._binary(IROp.SHL, a, b)
+
+    def shr(self, a: ValueLike, b: ValueLike) -> VReg:
+        return self._binary(IROp.SHR, a, b)
+
+    def abs_(self, a: ValueLike) -> VReg:
+        value = self._as_value(a)
+        dst = self._new_vreg(value.type)
+        self._emit(IRInstr(IROp.ABS, dst=dst, srcs=(value,), type=value.type))
+        return dst
+
+    # float conveniences (same ops, float types)
+    def fadd(self, a: ValueLike, b: ValueLike) -> VReg:
+        return self._binary(IROp.ADD, self._as_value(a, Type.F32),
+                            self._as_value(b, Type.F32))
+
+    def fsub(self, a: ValueLike, b: ValueLike) -> VReg:
+        return self._binary(IROp.SUB, self._as_value(a, Type.F32),
+                            self._as_value(b, Type.F32))
+
+    def fmul(self, a: ValueLike, b: ValueLike) -> VReg:
+        return self._binary(IROp.MUL, self._as_value(a, Type.F32),
+                            self._as_value(b, Type.F32))
+
+    def fdiv(self, a: ValueLike, b: ValueLike) -> VReg:
+        return self._binary(IROp.FDIV, self._as_value(a, Type.F32),
+                            self._as_value(b, Type.F32))
+
+    def _unary_f(self, op: IROp, a: ValueLike) -> VReg:
+        value = self._as_value(a, Type.F32)
+        dst = self._new_vreg(Type.F32)
+        self._emit(IRInstr(op, dst=dst, srcs=(value,), type=Type.F32))
+        return dst
+
+    def sqrt(self, a: ValueLike) -> VReg:
+        return self._unary_f(IROp.SQRT, a)
+
+    def rcp(self, a: ValueLike) -> VReg:
+        return self._unary_f(IROp.RCP, a)
+
+    def exp2(self, a: ValueLike) -> VReg:
+        return self._unary_f(IROp.EX2, a)
+
+    def log2(self, a: ValueLike) -> VReg:
+        return self._unary_f(IROp.LG2, a)
+
+    def sin(self, a: ValueLike) -> VReg:
+        return self._unary_f(IROp.SIN, a)
+
+    def cos(self, a: ValueLike) -> VReg:
+        return self._unary_f(IROp.COS, a)
+
+    def fneg(self, a: ValueLike) -> VReg:
+        return self._unary_f(IROp.NEG, a)
+
+    # --------------------------------------------------- preds / select
+
+    def _cmp(self, cmp: CmpOp, a: ValueLike, b: ValueLike) -> VReg:
+        lhs = self._as_value(a)
+        rhs = self._as_value(b, type_hint=lhs.type if isinstance(lhs, VReg) else None)
+        if isinstance(lhs, Const) and isinstance(rhs, VReg):
+            lhs = self._as_value(a, type_hint=rhs.type)
+        dst = self._new_vreg(Type.PRED)
+        self._emit(IRInstr(IROp.SETP, dst=dst, srcs=(lhs, rhs), cmp=cmp,
+                           type=self._common_type(lhs, rhs)))
+        return dst
+
+    def lt(self, a: ValueLike, b: ValueLike) -> VReg:
+        return self._cmp(CmpOp.LT, a, b)
+
+    def le(self, a: ValueLike, b: ValueLike) -> VReg:
+        return self._cmp(CmpOp.LE, a, b)
+
+    def gt(self, a: ValueLike, b: ValueLike) -> VReg:
+        return self._cmp(CmpOp.GT, a, b)
+
+    def ge(self, a: ValueLike, b: ValueLike) -> VReg:
+        return self._cmp(CmpOp.GE, a, b)
+
+    def eq(self, a: ValueLike, b: ValueLike) -> VReg:
+        return self._cmp(CmpOp.EQ, a, b)
+
+    def ne(self, a: ValueLike, b: ValueLike) -> VReg:
+        return self._cmp(CmpOp.NE, a, b)
+
+    def select(self, pred: VReg, a: ValueLike, b: ValueLike) -> VReg:
+        lhs = self._as_value(a)
+        rhs = self._as_value(b, type_hint=lhs.type if isinstance(lhs, VReg) else None)
+        dst = self._new_vreg(self._common_type(lhs, rhs))
+        self._emit(IRInstr(IROp.SELP, dst=dst, srcs=(pred, lhs, rhs),
+                           type=dst.type))
+        return dst
+
+    def pand(self, a: VReg, b: VReg) -> VReg:
+        dst = self._new_vreg(Type.PRED)
+        self._emit(IRInstr(IROp.PAND, dst=dst, srcs=(a, b), type=Type.PRED))
+        return dst
+
+    def por(self, a: VReg, b: VReg) -> VReg:
+        dst = self._new_vreg(Type.PRED)
+        self._emit(IRInstr(IROp.POR, dst=dst, srcs=(a, b), type=Type.PRED))
+        return dst
+
+    def pnot(self, a: VReg) -> VReg:
+        dst = self._new_vreg(Type.PRED)
+        self._emit(IRInstr(IROp.PNOT, dst=dst, srcs=(a,), type=Type.PRED))
+        return dst
+
+    def cvt(self, value: ValueLike, to_type: Type) -> VReg:
+        src = self._as_value(value)
+        dst = self._new_vreg(to_type)
+        self._emit(IRInstr(IROp.CVT, dst=dst, srcs=(src,), type=to_type))
+        return dst
+
+    # ----------------------------------------------------------- memory
+
+    def gep(self, base: ValueLike, index: ValueLike, scale: int) -> VReg:
+        """``base + index * scale`` with a widening multiply (byte math)."""
+        offset = self.mul_wide(index, Const(scale, Type.U32))
+        return self._binary(IROp.ADD, self._as_value(base, PTR), offset,
+                            type_=PTR)
+
+    def load(self, ptr: ValueLike, type_: Type, space: Space = Space.GLOBAL,
+             offset: int = 0, width: Optional[int] = None) -> VReg:
+        """Load *type_* from memory; *width* of 1 or 2 requests a
+        narrow (zero-extended) byte/halfword access."""
+        dst = self._new_vreg(type_)
+        self._emit(IRInstr(IROp.LD, dst=dst,
+                           srcs=(self._as_value(ptr), Const(offset, Type.S32)),
+                           space=space, type=type_, width=width))
+        return dst
+
+    def load_u8(self, ptr: ValueLike, space: Space = Space.GLOBAL,
+                offset: int = 0) -> VReg:
+        return self.load(ptr, Type.U32, space, offset, width=1)
+
+    def load_f32(self, ptr: ValueLike, space: Space = Space.GLOBAL,
+                 offset: int = 0) -> VReg:
+        return self.load(ptr, Type.F32, space, offset)
+
+    def load_s32(self, ptr: ValueLike, space: Space = Space.GLOBAL,
+                 offset: int = 0) -> VReg:
+        return self.load(ptr, Type.S32, space, offset)
+
+    def load_u32(self, ptr: ValueLike, space: Space = Space.GLOBAL,
+                 offset: int = 0) -> VReg:
+        return self.load(ptr, Type.U32, space, offset)
+
+    def store(self, ptr: ValueLike, value: ValueLike,
+              space: Space = Space.GLOBAL, offset: int = 0,
+              width: Optional[int] = None) -> None:
+        stored = self._as_value(value)
+        self._emit(IRInstr(IROp.ST,
+                           srcs=(self._as_value(ptr), stored,
+                                 Const(offset, Type.S32)),
+                           space=space, width=width, type=stored.type
+                           if isinstance(stored, VReg) else stored.type))
+
+    def atom(self, op: AtomOp, ptr: ValueLike, value: ValueLike,
+             space: Space = Space.GLOBAL, type_: Type = Type.U32) -> VReg:
+        dst = self._new_vreg(type_)
+        self._emit(IRInstr(IROp.ATOM, dst=dst, atom=op,
+                           srcs=(self._as_value(ptr),
+                                 self._as_value(value, type_)),
+                           space=space, type=type_))
+        return dst
+
+    def atomic_add(self, ptr: ValueLike, value: ValueLike,
+                   space: Space = Space.GLOBAL, type_: Type = Type.U32) -> VReg:
+        return self.atom(AtomOp.ADD, ptr, value, space, type_)
+
+    def shared_array(self, size_bytes: int, align: int = 8) -> Const:
+        """Reserve *size_bytes* of CTA-shared memory; returns the base
+        offset as a u32 constant usable as a shared-space pointer."""
+        base = (self._kernel.shared_bytes + align - 1) & ~(align - 1)
+        self._kernel.shared_bytes = base + size_bytes
+        return Const(base, Type.U32)
+
+    def shared_ptr(self, base: Const, index: ValueLike, scale: int) -> VReg:
+        """``base + index*scale`` in the 32-bit shared address space."""
+        return self.mad(self._as_value(index, Type.U32),
+                        Const(scale, Type.U32), base)
+
+    def barrier(self) -> None:
+        self._emit(IRInstr(IROp.BAR))
+
+    # ------------------------------------------------------- variables
+
+    def var(self, init: ValueLike, type_: Optional[Type] = None) -> VReg:
+        """A mutable variable initialized to *init* (use with assign)."""
+        value = self._as_value(init, type_)
+        var_type = type_ or value.type
+        dst = self._new_vreg(var_type)
+        self._emit(IRInstr(IROp.MOV, dst=dst, srcs=(value,), type=var_type))
+        return dst
+
+    def assign(self, var: VReg, value: ValueLike) -> None:
+        src = self._as_value(value, var.type)
+        src_type = src.type if isinstance(src, VReg) else var.type
+        if src_type != var.type:
+            raise BuildError(f"assign type mismatch: {var.type} <- {src_type}")
+        self._emit(IRInstr(IROp.MOV, dst=var, srcs=(src,), type=var.type))
+
+    # ---------------------------------------------------- control flow
+
+    def if_(self, cond: VReg) -> _IfCtx:
+        if cond.type is not Type.PRED:
+            raise BuildError("if_ needs a predicate")
+        then_label = self._fresh_label("then")
+        merge_label = self._fresh_label("merge")
+        cbr = IRInstr(IROp.CBR, srcs=(cond,), targets=(then_label, merge_label))
+        self._terminate(cbr)
+        return _IfCtx(self, cbr, merge_label)
+
+    def _open_loop(self, header: str, body: str, exit_label: str,
+                   cond_fn: Callable[[], VReg],
+                   induction: Optional[VReg] = None,
+                   step: Optional[Callable[[], None]] = None) -> _LoopCtx:
+        from repro.kernelir.ir import LoopInfo
+
+        if self._current is None or self._current.terminator is not None:
+            self._start_block(self._fresh_label("preheader"))
+        preheader = self._current.label
+        self._kernel.loops.append(LoopInfo(header, exit_label, preheader))
+        ctx = _LoopCtx(self, header, exit_label, induction=induction,
+                       step=step)
+        self._loops.append(ctx)
+        self._terminate(IRInstr(IROp.BR, targets=(header,)))
+        self._start_block(header)
+        cond = cond_fn()
+        if cond.type is not Type.PRED:
+            raise BuildError("loop condition must be a predicate")
+        self._terminate(IRInstr(IROp.CBR, srcs=(cond,),
+                                targets=(body, exit_label)))
+        self._start_block(body)
+        return ctx
+
+    def while_(self, cond_fn: Callable[[], VReg]) -> _LoopCtx:
+        header = self._fresh_label("loop")
+        body = self._fresh_label("body")
+        exit_label = self._fresh_label("endloop")
+        return self._open_loop(header, body, exit_label, cond_fn)
+
+    def for_range(self, start: ValueLike, stop: ValueLike,
+                  step: int = 1, type_: Type = Type.S32) -> _LoopCtx:
+        """``for i in range(start, stop, step)`` — yields the induction
+        variable when entered with ``with``."""
+        induction = self.var(self._as_value(start, type_), type_)
+        stop_value = self._as_value(stop, type_)
+        header = self._fresh_label("for")
+        body = self._fresh_label("forbody")
+        exit_label = self._fresh_label("endfor")
+
+        def cond_fn() -> VReg:
+            return self.lt(induction, stop_value) if step > 0 \
+                else self.gt(induction, stop_value)
+
+        def step_fn() -> None:
+            self.assign(induction, self.add(induction, step))
+
+        return self._open_loop(header, body, exit_label, cond_fn,
+                               induction=induction, step=step_fn)
+
+    def break_(self) -> None:
+        if not self._loops:
+            raise BuildError("break_ outside a loop")
+        self._terminate(IRInstr(IROp.BR, targets=(self._loops[-1].exit_label,)))
+
+    def continue_(self) -> None:
+        if not self._loops:
+            raise BuildError("continue_ outside a loop")
+        loop = self._loops[-1]
+        if loop.step is not None:
+            loop.step()
+        self._terminate(IRInstr(IROp.BR, targets=(loop.header,)))
+
+    def ret(self) -> None:
+        self._terminate(IRInstr(IROp.RET))
+
+    # ------------------------------------------------------------ seal
+
+    def finish(self) -> KernelIR:
+        """Seal and verify the kernel."""
+        from repro.kernelir.verify import verify_kernel
+
+        if self._current is not None and self._current.terminator is None:
+            self._terminate(IRInstr(IROp.RET))
+        self._finished = True
+        # Drop empty blocks nothing branches to (unreachable residue of
+        # break_/continue_); keep referenced-but-empty merge blocks.
+        referenced = {t for b in self._kernel.blocks for t in b.successors()}
+        self._kernel.blocks = [
+            b for b in self._kernel.blocks
+            if b.instrs or b.label in referenced or b is self._kernel.blocks[0]
+        ]
+        for block in self._kernel.blocks:
+            if block.terminator is None:
+                block.instrs.append(IRInstr(IROp.RET))
+        verify_kernel(self._kernel)
+        return self._kernel

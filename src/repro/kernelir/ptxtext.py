@@ -1,0 +1,257 @@
+"""PTX-style textual form of the IR.
+
+The toolchain mirrors NVIDIA's: the front-end (KernelBuilder) produces IR,
+which can be serialized to a PTX-like text form, shipped around, parsed
+back, and fed to the backend compiler.  ``emit_ptx``/``parse_ptx``
+round-trip exactly (tested property-style over generated kernels).
+
+Syntax example::
+
+    .visible .entry vecadd (.param .u32 n, .param .u64 a)
+    {
+    entry:
+        ld.const.u32   %r0, [0x140];
+        mov.u32        %r1, %tid.x;
+        setp.lt.u32    %p2, %r1, %r0;
+        cbra           %p2, then_1, merge_2;
+    then_1:
+        ...
+        bra            merge_2;
+    merge_2:
+        ret;
+    }
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.kernelir.ir import (
+    AtomOp,
+    Block,
+    CmpOp,
+    Const,
+    IRInstr,
+    IROp,
+    KernelIR,
+    LoopInfo,
+    ParamDecl,
+    Space,
+    Value,
+    VReg,
+)
+from repro.kernelir.types import Type
+
+
+def _format_value(value: Value) -> str:
+    if isinstance(value, VReg):
+        return repr(value)
+    if isinstance(value, Const):
+        if value.type.is_float:
+            return f"0F{_float_bits(float(value.value)):08x}"
+        return str(value.value)
+    raise TypeError(f"not a value: {value!r}")
+
+
+def _float_bits(value: float) -> int:
+    import struct
+
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def _bits_float(bits: int) -> float:
+    import struct
+
+    return struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))[0]
+
+
+def _mnemonic(instr: IRInstr) -> str:
+    parts = [instr.op.value]
+    if instr.space is not None:
+        parts.append(instr.space.value)
+    if instr.atom is not None:
+        parts.append(instr.atom.value)
+    if instr.cmp is not None:
+        parts.append(instr.cmp.value)
+    if instr.type is not None:
+        parts.append(instr.type.value)
+    return ".".join(parts)
+
+
+def emit_instr(instr: IRInstr) -> str:
+    operands: List[str] = []
+    if instr.dst is not None:
+        operands.append(repr(instr.dst))
+    if instr.op is IROp.SREG:
+        operands.append(f"%{instr.sreg}")
+    for src in instr.srcs:
+        operands.append(_format_value(src))
+    operands.extend(instr.targets)
+    text = _mnemonic(instr)
+    if operands:
+        text += " " + ", ".join(operands)
+    return text + ";"
+
+
+def emit_ptx(kernel: KernelIR) -> str:
+    """Serialize *kernel* to PTX-like text."""
+    params = ", ".join(f".param .{p.type.value} {p.name}" for p in kernel.params)
+    lines = [f".visible .entry {kernel.name} ({params})"]
+    if kernel.shared_bytes:
+        lines.append(f".shared .align 8 .b8 __smem[{kernel.shared_bytes}];")
+    for loop in kernel.loops:
+        lines.append(f".loop {loop.header} {loop.exit} {loop.preheader}")
+    lines.append("{")
+    for block in kernel.blocks:
+        annotation = f"  .in {' '.join(block.loops)}" if block.loops else ""
+        lines.append(f"{block.label}:{annotation}")
+        for instr in block.instrs:
+            lines.append(f"    {emit_instr(instr)}")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+_VREG_RE = re.compile(r"^%[rpf](\d+)$")
+_SREG_RE = re.compile(r"^%(tid|ctaid|ntid|nctaid)\.([xyz])$|^%(laneid|warpid|clock|activemask)$")
+_ENTRY_RE = re.compile(r"^\.visible \.entry (\w+) \((.*)\)$")
+_SHARED_RE = re.compile(r"^\.shared .* \.b8 __smem\[(\d+)\];$")
+
+_SPACES = {s.value: s for s in Space}
+_ATOMS = {a.value: a for a in AtomOp}
+_CMPS = {c.value: c for c in CmpOp}
+_TYPES = {t.value: t for t in Type}
+
+#: mnemonic stems sorted longest-first so 'mul.wide' wins over 'mul'.
+_OP_STEMS = sorted(((op.value, op) for op in IROp),
+                   key=lambda pair: -len(pair[0]))
+
+
+def _parse_mnemonic(text: str) -> Tuple[IROp, Dict[str, object]]:
+    for stem, op in _OP_STEMS:
+        if text == stem or text.startswith(stem + "."):
+            attrs: Dict[str, object] = {}
+            rest = text[len(stem):].lstrip(".")
+            for token in (rest.split(".") if rest else []):
+                if token in _SPACES:
+                    attrs["space"] = _SPACES[token]
+                elif token in _ATOMS and op is IROp.ATOM:
+                    attrs["atom"] = _ATOMS[token]
+                elif token in _CMPS:
+                    attrs["cmp"] = _CMPS[token]
+                elif token in _TYPES:
+                    attrs["type"] = _TYPES[token]
+                else:
+                    raise ValueError(f"bad mnemonic token {token!r} in {text!r}")
+            return op, attrs
+    raise ValueError(f"unknown mnemonic: {text!r}")
+
+
+def _parse_value(token: str, vregs: Dict[int, VReg],
+                 type_hint: Optional[Type]) -> Value:
+    match = _VREG_RE.match(token)
+    if match:
+        reg_id = int(match.group(1))
+        if reg_id not in vregs:
+            raise ValueError(f"use of unknown vreg {token}")
+        return vregs[reg_id]
+    if token.startswith("0F"):
+        return Const(_bits_float(int(token[2:], 16)), Type.F32)
+    value = int(token, 0)
+    return Const(value, type_hint or Type.S32)
+
+
+def parse_ptx(text: str) -> KernelIR:
+    """Parse PTX-like text back into a :class:`KernelIR`."""
+    name: Optional[str] = None
+    params: List[ParamDecl] = []
+    shared_bytes = 0
+    blocks: List[Block] = []
+    loops: List[LoopInfo] = []
+    current: Optional[Block] = None
+    vregs: Dict[int, VReg] = {}
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("//")[0].strip()
+        if not line or line in "{}":
+            continue
+        entry = _ENTRY_RE.match(line)
+        if entry:
+            name = entry.group(1)
+            for decl in filter(None, (d.strip() for d in entry.group(2).split(","))):
+                parts = decl.split()
+                params.append(ParamDecl(parts[2], Type.from_name(parts[1][1:])))
+            continue
+        shared = _SHARED_RE.match(line)
+        if shared:
+            shared_bytes = int(shared.group(1))
+            continue
+        if line.startswith(".loop "):
+            parts = line.split()
+            loops.append(LoopInfo(parts[1], parts[2], parts[3]))
+            continue
+        label_match = re.match(r"^(\w+):(?:\s+\.in\s+(.*))?$", line)
+        if label_match:
+            members = tuple(label_match.group(2).split()) \
+                if label_match.group(2) else ()
+            current = Block(label_match.group(1), loops=members)
+            blocks.append(current)
+            continue
+        if current is None:
+            raise ValueError(f"instruction outside block: {line!r}")
+        current.instrs.append(_parse_instr(line.rstrip(";"), vregs))
+
+    if name is None:
+        raise ValueError("missing .entry")
+    kernel = KernelIR(name=name, params=tuple(params), blocks=blocks,
+                      shared_bytes=shared_bytes,
+                      num_vregs=max(vregs) + 1 if vregs else 0,
+                      loops=loops)
+    return kernel
+
+
+def _parse_instr(line: str, vregs: Dict[int, VReg]) -> IRInstr:
+    mnemonic, _, operand_text = line.partition(" ")
+    op, attrs = _parse_mnemonic(mnemonic)
+    tokens = [t.strip() for t in operand_text.split(",") if t.strip()]
+    type_ = attrs.get("type")
+
+    dst: Optional[VReg] = None
+    sreg: Optional[str] = None
+    srcs: List[Value] = []
+    targets: List[str] = []
+
+    produces = op not in (IROp.ST, IROp.BAR, IROp.MEMBAR, IROp.BR,
+                          IROp.CBR, IROp.RET)
+    position = 0
+    if produces and tokens:
+        match = _VREG_RE.match(tokens[0])
+        if not match:
+            raise ValueError(f"expected destination vreg in {line!r}")
+        reg_id = int(match.group(1))
+        dst_type = Type.PRED if op in (IROp.SETP, IROp.PAND, IROp.POR,
+                                       IROp.PNOT) else (type_ or Type.S32)
+        dst = vregs.setdefault(reg_id, VReg(reg_id, dst_type))
+        position = 1
+    value_tokens = []
+    for token in tokens[position:]:
+        if _SREG_RE.match(token):
+            sreg = token[1:]
+        elif re.match(r"^%[rpf]\d+$", token) or re.match(r"^-?\d", token) \
+                or token.startswith("0F") or token.startswith(("0x", "-0x")):
+            value_tokens.append(token)
+        else:
+            targets.append(token)
+    for index, token in enumerate(value_tokens):
+        hint = type_
+        if op is IROp.CBR and index == 0:
+            hint = Type.PRED
+        # The trailing operand of LD/ST is a byte offset, not data; a
+        # lone LD operand is a constant-bank offset (parameter load).
+        if op in (IROp.LD, IROp.ST) and index == len(value_tokens) - 1:
+            hint = Type.S32
+        srcs.append(_parse_value(token, vregs, hint))
+    return IRInstr(op, dst=dst, srcs=tuple(srcs), type=type_,
+                   cmp=attrs.get("cmp"), space=attrs.get("space"),
+                   atom=attrs.get("atom"), sreg=sreg,
+                   targets=tuple(targets))

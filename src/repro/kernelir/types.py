@@ -1,0 +1,61 @@
+"""Scalar type system of the PTX-like IR.
+
+Types mirror PTX's fundamental types.  Pointers are 64-bit unsigned
+integers (``Type.U64``); 64-bit values occupy aligned register pairs after
+lowering, as on the target ISA.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Type(enum.Enum):
+    """A PTX-style scalar type."""
+
+    S32 = "s32"
+    U32 = "u32"
+    F32 = "f32"
+    S64 = "s64"
+    U64 = "u64"
+    PRED = "pred"
+
+    @property
+    def bits(self) -> int:
+        if self is Type.PRED:
+            return 1
+        return 64 if self in (Type.S64, Type.U64) else 32
+
+    @property
+    def bytes(self) -> int:
+        return max(1, self.bits // 8)
+
+    @property
+    def is_signed(self) -> bool:
+        return self in (Type.S32, Type.S64)
+
+    @property
+    def is_float(self) -> bool:
+        return self is Type.F32
+
+    @property
+    def is_integer(self) -> bool:
+        return self in (Type.S32, Type.U32, Type.S64, Type.U64)
+
+    @property
+    def is_wide(self) -> bool:
+        return self.bits == 64
+
+    @classmethod
+    def from_name(cls, name: str) -> "Type":
+        for member in cls:
+            if member.value == name:
+                return member
+        raise ValueError(f"unknown type: {name!r}")
+
+    def __repr__(self) -> str:
+        return f".{self.value}"
+
+
+#: Alias used for pointer-typed values throughout the workloads.
+PTR = Type.U64

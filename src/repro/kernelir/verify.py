@@ -1,0 +1,182 @@
+"""IR verifier: structural and type invariants checked after building
+and again before lowering.
+
+Checks (each raising :class:`IRVerificationError`):
+
+* unique block labels; every branch target exists;
+* every block ends in exactly one terminator, with none mid-block;
+* instruction arity and operand typing (SETP sources agree, CBR takes a
+  predicate, MAD/SELP arity, LD/ST pointer types, shared pointers are u32);
+* definitions dominate uses along every CFG path (a use-before-def scan
+  over the CFG, treating parameters as defined at entry).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.kernelir.ir import (
+    Block,
+    Const,
+    IRInstr,
+    IROp,
+    KernelIR,
+    Space,
+    VReg,
+)
+from repro.kernelir.types import Type
+
+
+class IRVerificationError(Exception):
+    """The kernel IR violates a structural or typing invariant."""
+
+
+_ARITY = {
+    IROp.MOV: 1, IROp.ADD: 2, IROp.SUB: 2, IROp.MUL: 2, IROp.MULWIDE: 2,
+    IROp.MAD: 3, IROp.MIN: 2, IROp.MAX: 2, IROp.AND: 2, IROp.OR: 2,
+    IROp.XOR: 2, IROp.NOT: 1, IROp.SHL: 2, IROp.SHR: 2, IROp.ABS: 1,
+    IROp.FDIV: 2, IROp.SQRT: 1, IROp.RCP: 1, IROp.EX2: 1, IROp.LG2: 1,
+    IROp.SIN: 1, IROp.COS: 1, IROp.NEG: 1,
+    IROp.SETP: 2, IROp.SELP: 3, IROp.PAND: 2, IROp.POR: 2, IROp.PNOT: 1,
+    IROp.CVT: 1, IROp.LD: 2, IROp.ST: 3, IROp.ATOM: 2,
+    IROp.SREG: 0, IROp.BAR: 0, IROp.MEMBAR: 0,
+    IROp.BR: 0, IROp.CBR: 1, IROp.RET: 0,
+}
+
+
+def _fail(kernel: KernelIR, block: Block, instr: IRInstr, message: str) -> None:
+    raise IRVerificationError(
+        f"{kernel.name}/{block.label}: {instr!r}: {message}"
+    )
+
+
+def verify_kernel(kernel: KernelIR) -> None:
+    """Verify *kernel*; raises :class:`IRVerificationError` on violation."""
+    if not kernel.blocks:
+        raise IRVerificationError(f"{kernel.name}: no blocks")
+    labels = [b.label for b in kernel.blocks]
+    if len(set(labels)) != len(labels):
+        raise IRVerificationError(f"{kernel.name}: duplicate block labels")
+    label_set = set(labels)
+
+    for block in kernel.blocks:
+        if block.terminator is None:
+            raise IRVerificationError(
+                f"{kernel.name}/{block.label}: missing terminator")
+        for position, instr in enumerate(block.instrs):
+            if instr.is_terminator and position != len(block.instrs) - 1:
+                _fail(kernel, block, instr, "terminator mid-block")
+            expected = _ARITY.get(instr.op)
+            if instr.op is IROp.LD:
+                # const-space parameter loads carry only an offset operand.
+                if len(instr.srcs) not in (1, 2):
+                    _fail(kernel, block, instr,
+                          f"arity {len(instr.srcs)}, expected 1 or 2")
+            elif expected is not None and len(instr.srcs) != expected:
+                _fail(kernel, block, instr,
+                      f"arity {len(instr.srcs)}, expected {expected}")
+            for target in instr.targets:
+                if target not in label_set:
+                    _fail(kernel, block, instr, f"unknown target {target!r}")
+            _check_types(kernel, block, instr)
+
+    _check_defs_dominate_uses(kernel)
+
+
+def _check_types(kernel: KernelIR, block: Block, instr: IRInstr) -> None:
+    def type_of(value) -> Type:
+        return value.type
+
+    if instr.op is IROp.CBR and type_of(instr.srcs[0]) is not Type.PRED:
+        _fail(kernel, block, instr, "CBR needs a predicate")
+    if instr.op is IROp.SETP:
+        lhs, rhs = instr.srcs
+        if isinstance(lhs, VReg) and isinstance(rhs, VReg) and lhs.type != rhs.type:
+            _fail(kernel, block, instr,
+                  f"SETP operand types differ: {lhs.type} vs {rhs.type}")
+        if instr.dst is None or instr.dst.type is not Type.PRED:
+            _fail(kernel, block, instr, "SETP must define a predicate")
+    if instr.op is IROp.SELP and type_of(instr.srcs[0]) is not Type.PRED:
+        _fail(kernel, block, instr, "SELP selector must be a predicate")
+    if instr.op in (IROp.PAND, IROp.POR, IROp.PNOT):
+        for src in instr.srcs:
+            if type_of(src) is not Type.PRED:
+                _fail(kernel, block, instr, "predicate op on non-predicate")
+    if instr.op in (IROp.LD, IROp.ST):
+        pointer = instr.srcs[0]
+        if instr.space in (Space.GLOBAL, Space.TEXTURE):
+            if type_of(pointer) not in (Type.U64, Type.S64):
+                _fail(kernel, block, instr, "global pointer must be 64-bit")
+        elif instr.space in (Space.SHARED, Space.LOCAL):
+            if type_of(pointer) not in (Type.U32, Type.S32):
+                _fail(kernel, block, instr,
+                      f"{instr.space.value} pointer must be 32-bit")
+    if instr.op is IROp.ATOM:
+        pointer = instr.srcs[0]
+        if instr.space is Space.GLOBAL and type_of(pointer) not in (
+                Type.U64, Type.S64):
+            _fail(kernel, block, instr, "global atomic pointer must be 64-bit")
+        if instr.space is Space.SHARED and type_of(pointer) not in (
+                Type.U32, Type.S32):
+            _fail(kernel, block, instr, "shared atomic pointer must be 32-bit")
+    if instr.op is IROp.MULWIDE:
+        if instr.dst is None or not instr.dst.type.is_wide:
+            _fail(kernel, block, instr, "mul.wide must produce a 64-bit value")
+
+
+def _check_defs_dominate_uses(kernel: KernelIR) -> None:
+    """Forward may-reach analysis: at every use, the register must be
+    defined on *all* incoming paths."""
+    blocks: Dict[str, Block] = {b.label: b for b in kernel.blocks}
+    preds: Dict[str, List[str]] = {b.label: [] for b in kernel.blocks}
+    for block in kernel.blocks:
+        for succ in block.successors():
+            preds[succ].append(block.label)
+
+    all_regs: Set[VReg] = set()
+    for instr in kernel.all_instrs():
+        if instr.dst is not None:
+            all_regs.add(instr.dst)
+
+    # defined-at-entry sets, initialized to "everything" (top) except entry.
+    entry = kernel.blocks[0].label
+    defined_in: Dict[str, Set[VReg]] = {
+        b.label: set(all_regs) for b in kernel.blocks
+    }
+    defined_in[entry] = set()
+
+    changed = True
+    while changed:
+        changed = False
+        for block in kernel.blocks:
+            if block.label == entry:
+                incoming: Set[VReg] = set()
+            elif preds[block.label]:
+                incoming = set(all_regs)
+                for pred in preds[block.label]:
+                    incoming &= _defined_out(blocks[pred], defined_in[pred])
+            else:
+                incoming = set()  # unreachable block: be strict
+            if incoming != defined_in[block.label]:
+                defined_in[block.label] = incoming
+                changed = True
+
+    for block in kernel.blocks:
+        defined = set(defined_in[block.label])
+        reachable = block.label == entry or bool(preds[block.label])
+        for instr in block.instrs:
+            if reachable:
+                for src in instr.srcs:
+                    if isinstance(src, VReg) and src not in defined:
+                        _fail(kernel, block, instr,
+                              f"{src!r} may be used before definition")
+            if instr.dst is not None:
+                defined.add(instr.dst)
+
+
+def _defined_out(block: Block, defined_in: Set[VReg]) -> Set[VReg]:
+    result = set(defined_in)
+    for instr in block.instrs:
+        if instr.dst is not None:
+            result.add(instr.dst)
+    return result

@@ -1,0 +1,40 @@
+"""SASSI — the paper's contribution: selective SASS-level instrumentation.
+
+The pieces mirror the paper's Section 3:
+
+* :mod:`repro.sassi.spec` — *where* to instrument (before/after × opcode
+  class) and *what* to marshal to the handler (memory info, conditional-
+  branch info, register info).
+* :mod:`repro.sassi.flags` — the ``ptxas`` command-line flag syntax for
+  the above (``-sassi-inst-before=memory,branches ...``).
+* :mod:`repro.sassi.params` — the parameter objects (byte layouts in
+  thread-local memory + accessor views): ``SASSIBeforeParams``,
+  ``SASSIMemoryParams``, ``SASSICondBranchParams``, ``SASSIRegisterParams``.
+* :mod:`repro.sassi.abi` — generation of the ABI-compliant call sequence
+  (stack allocation, live-register/predicate/carry spills, parameter
+  marshaling, the ``JCAL``, restores) — the paper's Figure 2.
+* :mod:`repro.sassi.inject` — the instrumentation pass, run as the final
+  backend pass.
+* :mod:`repro.sassi.handlers` — the handler runtime: a registry binding
+  handler names to Python callables executed at the ``JCAL`` (warp-level
+  or lock-step thread-level), with the intrinsics the paper's handlers
+  use (``__ballot``, ``__popc``, ``__ffs``, ``__shfl``, ``atomicAdd``...).
+* :mod:`repro.sassi.cupti` — launch/exit callbacks and device↔host
+  counter marshaling (paper Section 3.3).
+"""
+
+from repro.sassi.spec import InstClass, InstrumentationSpec, What, Where
+from repro.sassi.flags import spec_from_flags
+from repro.sassi.handlers import SassiRuntime, ThreadHandlerError
+from repro.sassi.inject import instrument_kernel
+
+__all__ = [
+    "InstClass",
+    "InstrumentationSpec",
+    "What",
+    "Where",
+    "spec_from_flags",
+    "SassiRuntime",
+    "ThreadHandlerError",
+    "instrument_kernel",
+]

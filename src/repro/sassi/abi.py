@@ -1,0 +1,335 @@
+"""ABI-compliant call-sequence generation (the paper's Figure 2).
+
+For each instrumentation site the injector emits, in order:
+
+1. stack allocation (``IADD R1, R1, -frame``);
+2. spills of live caller-saved GPRs into ``bp.GPRSpill`` (slot = register
+   number), the predicate file via ``P2R``/``STL``, and the carry flag
+   (read with ``IADD.X R2, RZ, RZ``);
+3. initialization of the ``SASSIBeforeParams`` fields (site id, fnAddr,
+   insOffset, insEncoding, per-thread ``instrWillExecute`` computed with
+   the guarded ``@P IADD R4, RZ, 0x1 / @!P IADD R4, RZ, 0x0`` pair exactly
+   as in Figure 2);
+4. marshaling of the requested extra parameter objects (memory address
+   pair + properties/width/domain; branch direction; destination-register
+   numbers and values);
+5. the generic-pointer arguments: ``LOP.OR R4, R1, c[0x0][0x24]`` /
+   ``IADD R5, RZ, 0x0`` for ``bp`` and the same plus ``+0x60`` in
+   ``R6/R7`` for the extra object, per the compute ABI;
+6. ``JCAL <handler>``;
+7. restores (predicates, carry, spilled GPRs, optional register
+   write-back) and stack release.
+
+Every emitted instruction carries ``tag="sassi"`` so it is never itself
+instrumented and so the simulator can attribute overhead precisely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.isa.instruction import (
+    ConstRef,
+    Imm,
+    Instruction,
+    MemRef,
+    MemSpace,
+    PredGuard,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.program import STACK_BASE_OFFSET
+from repro.isa.registers import GPR, PT, RZ, Pred
+from repro.sassi import params as P
+from repro.sassi.spec import InstrumentationSpec, What, Where
+from repro.sim.memory import SHARED_BASE
+
+#: Caller-saved registers a ≤16-register handler may clobber (R1 is the
+#: stack pointer and is callee-preserved by construction).
+CALLER_SAVED = frozenset(r for r in range(16) if r != 1)
+
+#: Branch-target offsets are patched after the whole kernel is rebuilt;
+#: until then they are encoded as PATCH_TARGET_BASE + original index.
+PATCH_TARGET_BASE = 0x7E000000
+
+
+@dataclass(frozen=True)
+class SiteRequest:
+    """Everything the sequence generator needs for one site."""
+
+    instr: Instruction
+    site_id: int
+    where: Where
+    fn_addr: int
+    encoding_low: int
+    live_gprs: Tuple[int, ...]        # live register numbers at the site
+    handler_addr: int
+    spec: InstrumentationSpec
+    original_target_index: Optional[int] = None  # for branch sites
+    already_spilled: frozenset = frozenset()
+
+
+def _sassi(opcode, dsts=(), srcs=(), mods=(), guard=PredGuard()):
+    return Instruction(opcode=opcode, dsts=tuple(dsts), srcs=tuple(srcs),
+                       mods=tuple(mods), guard=guard, tag="sassi")
+
+
+def _stl(offset: int, reg: GPR, wide: bool = False) -> Instruction:
+    mods = ("64",) if wide else ()
+    return _sassi(Opcode.STL, (),
+                  (MemRef(MemSpace.LOCAL, GPR(1), offset), reg), mods)
+
+
+def _ldl(reg: GPR, offset: int) -> Instruction:
+    return _sassi(Opcode.LDL, (reg,),
+                  (MemRef(MemSpace.LOCAL, GPR(1), offset),))
+
+
+def _mov_imm(reg: GPR, value: int) -> Instruction:
+    value &= 0xFFFFFFFF
+    if value >= 1 << 31:
+        value -= 1 << 32
+    if -(1 << 19) < value < (1 << 19):
+        return _sassi(Opcode.IADD, (reg,), (RZ, Imm(value)))
+    return _sassi(Opcode.MOV32I, (reg,), (Imm(value),))
+
+
+def memory_properties(instr: Instruction) -> int:
+    bits = 0
+    if instr.is_mem_read:
+        bits |= P.PROP_IS_LOAD
+    if instr.is_mem_write:
+        bits |= P.PROP_IS_STORE
+    if instr.is_atomic:
+        bits |= P.PROP_IS_ATOMIC
+    return bits
+
+
+def frame_parts(spec: InstrumentationSpec, instr: Instruction, where: Where):
+    """Which extra parameter objects this site marshals, and the frame."""
+    with_memory = What.MEMORY in spec.what and instr.is_memory \
+        and instr.mem_ref is not None
+    with_branch = What.COND_BRANCH in spec.what and instr.is_cond_control_xfer
+    with_regs = What.REGISTERS in spec.what and (
+        bool(instr.gpr_defs()) or where is Where.AFTER)
+    return P.frame_layout(with_memory, with_branch, with_regs), \
+        with_memory, with_branch, with_regs
+
+
+def _site_registers(instr: Instruction, with_memory: bool,
+                    with_regs: bool) -> frozenset:
+    """Registers whose *original* values the marshaling code must read."""
+    regs = set()
+    if with_regs:
+        regs.update(_dst_regs(instr))
+    if with_memory and instr.mem_ref is not None \
+            and not instr.mem_ref.base.is_zero:
+        base = instr.mem_ref.base.index
+        regs.add(base)
+        if instr.mem_ref.space in (MemSpace.GLOBAL, MemSpace.TEXTURE,
+                                   MemSpace.GENERIC):
+            regs.add(base + 1)
+    return frozenset(regs)
+
+
+def _pick_scratch(forbidden: frozenset, preferred: Sequence[int]) -> int:
+    for reg in preferred:
+        if reg not in forbidden:
+            return reg
+    raise AssertionError("no scratch register available")
+
+
+def build_call_sequence(request: SiteRequest) -> List[Instruction]:
+    """The full injected sequence for one site.
+
+    Ordering constraint: everything that reads *original* architectural
+    state (register-value captures, the memory-address pair, predicate
+    and carry spills, the guard-dependent fields) is emitted before the
+    scratch registers it would clobber are reused, and the carry flag is
+    saved before the address computation's ``IADD.CC`` destroys it.
+    """
+    spec = request.spec
+    instr = request.instr
+    (memory_at, branch_at, regs_at, frame), with_memory, with_branch, \
+        with_regs = frame_parts(spec, instr, request.where)
+
+    site_regs = _site_registers(instr, with_memory, with_regs)
+    pred_scratch = GPR(_pick_scratch(site_regs, (3, 0, 2, 9, 11, 13, 15)))
+    cc_scratch = GPR(_pick_scratch(site_regs | {pred_scratch.index},
+                                   (2, 0, 3, 9, 11, 13, 15)))
+
+    seq: List[Instruction] = []
+    emit = seq.append
+
+    # (1) stack allocation
+    emit(_sassi(Opcode.IADD, (GPR(1),), (GPR(1), Imm(-frame))))
+
+    # (2) spills of live caller-saved registers
+    spill_set = sorted(r for r in request.live_gprs if r in CALLER_SAVED)
+    stored = [r for r in spill_set if r not in request.already_spilled]
+    for reg in stored:
+        emit(_stl(P.BP_GPR_SPILL + 4 * reg, GPR(reg)))
+
+    # (2b) capture destination-register values while still intact
+    if with_regs:
+        for index, reg in enumerate(_dst_regs(instr)):
+            emit(_stl(regs_at + P.RP_VALUES + 4 * index, GPR(reg)))
+
+    # (2c) predicate and carry spills (carry before any IADD.CC below)
+    emit(_sassi(Opcode.P2R, (pred_scratch,), (Imm(0x7F),)))
+    emit(_stl(P.BP_PR_SPILL, pred_scratch))
+    emit(_sassi(Opcode.IADD, (cc_scratch,), (RZ, RZ), mods=("X",)))
+    emit(_stl(P.BP_CC_SPILL, cc_scratch))
+
+    # (2d) the memory operand's effective address (may use IADD.CC)
+    if with_memory:
+        _emit_memory_address(seq, instr, memory_at)
+
+    # (3) SASSIBeforeParams fields
+    emit(_mov_imm(GPR(4), request.site_id))
+    emit(_stl(P.BP_ID, GPR(4)))
+    emit(_mov_imm(GPR(5), request.fn_addr))
+    emit(_stl(P.BP_FN_ADDR, GPR(5)))
+    emit(_mov_imm(GPR(4), 0))          # insOffset patched by the injector
+    seq[-1] = _offset_placeholder(seq[-1], request.where)
+    emit(_stl(P.BP_INS_OFFSET, GPR(4)))
+    emit(_mov_imm(GPR(5), request.encoding_low))
+    emit(_stl(P.BP_INS_ENCODING, GPR(5)))
+    _emit_guard_flag(seq, instr.guard, GPR(4))
+    emit(_stl(P.BP_WILL_EXECUTE, GPR(4)))
+
+    # (4) remaining extra-parameter fields (immediates only)
+    if with_memory:
+        _emit_memory_static_fields(seq, instr, memory_at)
+    if with_branch:
+        _emit_branch_params(seq, instr, branch_at, request)
+    if with_regs:
+        _emit_register_metadata(seq, instr, regs_at)
+
+    # (5) argument pointers per the ABI
+    emit(_sassi(Opcode.LOP, (GPR(4),),
+                (GPR(1), ConstRef(0, STACK_BASE_OFFSET)), mods=("OR",)))
+    emit(_sassi(Opcode.IADD, (GPR(5),), (RZ, Imm(0))))
+    if with_memory or with_branch or with_regs:
+        emit(_sassi(Opcode.LOP, (GPR(6),),
+                    (GPR(1), ConstRef(0, STACK_BASE_OFFSET)), mods=("OR",)))
+        emit(_sassi(Opcode.IADD, (GPR(6),), (GPR(6), Imm(P.BP_SIZE))))
+        emit(_sassi(Opcode.IADD, (GPR(7),), (RZ, Imm(0))))
+
+    # (6) the call
+    emit(_sassi(Opcode.JCAL, (), (Imm(request.handler_addr),)))
+
+    # (7) restores
+    emit(_ldl(GPR(3), P.BP_PR_SPILL))
+    emit(_sassi(Opcode.R2P, (), (GPR(3), Imm(0x7F))))
+    emit(_ldl(GPR(2), P.BP_CC_SPILL))
+    emit(_sassi(Opcode.IADD, (RZ,), (GPR(2), Imm(-1)), mods=("CC",)))
+    for reg in reversed(spill_set):
+        emit(_ldl(GPR(reg), P.BP_GPR_SPILL + 4 * reg))
+    if with_regs and spec.writeback_registers \
+            and request.where is Where.AFTER:
+        for index, reg in enumerate(_dst_regs(instr)):
+            emit(_ldl(GPR(reg), P.RP_VALUES + regs_at + 4 * index))
+    emit(_sassi(Opcode.IADD, (GPR(1),), (GPR(1), Imm(frame))))
+    return seq
+
+
+def _offset_placeholder(instruction: Instruction,
+                        where: Where) -> Instruction:
+    """Mark the insOffset immediate for post-assembly patching.
+
+    ``PATCH_TARGET_BASE - 1`` resolves to the next original instruction
+    (before-sites); ``- 2`` to the previous one (after-sites).
+    """
+    from dataclasses import replace
+
+    sentinel = PATCH_TARGET_BASE - (1 if where is Where.BEFORE else 2)
+    return replace(instruction, srcs=(RZ, Imm(sentinel)))
+
+
+def _emit_guard_flag(seq: List[Instruction], guard: PredGuard,
+                     reg: GPR) -> None:
+    """``reg = 1`` iff the original instruction's guard passes — the
+    Figure 2 ``@P0 IADD R4, RZ, 0x1 / @!P0 IADD R4, RZ, 0x0`` pair."""
+    if guard.is_unconditional:
+        seq.append(_sassi(Opcode.IADD, (reg,), (RZ, Imm(1))))
+        return
+    seq.append(_sassi(Opcode.IADD, (reg,), (RZ, Imm(1)),
+                      guard=PredGuard(guard.pred, guard.negated)))
+    seq.append(_sassi(Opcode.IADD, (reg,), (RZ, Imm(0)),
+                      guard=PredGuard(guard.pred, not guard.negated)))
+
+
+def _emit_memory_address(seq: List[Instruction], instr: Instruction,
+                         base: int) -> None:
+    """Compute the effective address into R6/R7 and store it (the
+    Figure 2 ``IADD R6.CC, R10, 0x0 / IADD.X R7, R11, RZ / STL.64``)."""
+    ref = instr.mem_ref
+    emit = seq.append
+    if ref.base.is_zero:
+        emit(_mov_imm(GPR(6), ref.offset))
+        emit(_sassi(Opcode.IADD, (GPR(7),), (RZ, Imm(0))))
+    elif ref.space in (MemSpace.GLOBAL, MemSpace.TEXTURE, MemSpace.GENERIC):
+        emit(_sassi(Opcode.IADD, (GPR(6),),
+                    (GPR(ref.base.index), Imm(ref.offset)), mods=("CC",)))
+        emit(_sassi(Opcode.IADD, (GPR(7),),
+                    (GPR(ref.base.index + 1), RZ), mods=("X",)))
+    elif ref.space is MemSpace.SHARED:
+        emit(_sassi(Opcode.IADD, (GPR(6),),
+                    (GPR(ref.base.index), Imm(ref.offset))))
+        emit(_sassi(Opcode.LOP32I, (GPR(6),),
+                    (GPR(6), Imm(SHARED_BASE)), mods=("OR",)))
+        emit(_sassi(Opcode.IADD, (GPR(7),), (RZ, Imm(0))))
+    else:  # LOCAL / CONST: form the generic local-window address
+        emit(_sassi(Opcode.IADD, (GPR(6),),
+                    (GPR(ref.base.index), Imm(ref.offset))))
+        emit(_sassi(Opcode.LOP, (GPR(6),),
+                    (GPR(6), ConstRef(0, STACK_BASE_OFFSET)), mods=("OR",)))
+        emit(_sassi(Opcode.IADD, (GPR(7),), (RZ, Imm(0))))
+    emit(_stl(base + P.MP_ADDRESS, GPR(6), wide=True))
+
+
+def _emit_memory_static_fields(seq: List[Instruction], instr: Instruction,
+                               base: int) -> None:
+    emit = seq.append
+    emit(_mov_imm(GPR(6), memory_properties(instr)))
+    emit(_stl(base + P.MP_PROPERTIES, GPR(6)))
+    emit(_mov_imm(GPR(6), instr.mem_width))
+    emit(_stl(base + P.MP_WIDTH, GPR(6)))
+    space = instr.mem_space or MemSpace.GENERIC
+    emit(_mov_imm(GPR(6), space.value))
+    emit(_stl(base + P.MP_DOMAIN, GPR(6)))
+
+
+def _emit_branch_params(seq: List[Instruction], instr: Instruction,
+                        base: int, request: SiteRequest) -> None:
+    emit = seq.append
+    _emit_guard_flag(seq, instr.guard, GPR(6))
+    emit(_stl(base + P.BRP_DIRECTION, GPR(6)))
+    if request.original_target_index is not None:
+        emit(_mov_imm(GPR(6),
+                      PATCH_TARGET_BASE + request.original_target_index))
+    else:
+        emit(_mov_imm(GPR(6), 0xFFFFFFFF))
+    emit(_stl(base + P.BRP_TAKEN_OFFSET, GPR(6)))
+    flags = P.BRP_FLAG_IS_BREAK if instr.opcode is Opcode.BRK else 0
+    emit(_mov_imm(GPR(6), flags))
+    emit(_stl(base + P.BRP_FLAGS, GPR(6)))
+
+
+def _dst_regs(instr: Instruction) -> List[int]:
+    regs = [r.index for r in instr.gpr_defs()]
+    return regs[:P.MAX_REG_DSTS]
+
+
+def _emit_register_metadata(seq: List[Instruction], instr: Instruction,
+                            base: int) -> None:
+    """Destination count and register numbers (the values themselves were
+    captured earlier, before any scratch register was clobbered)."""
+    emit = seq.append
+    dsts = _dst_regs(instr)
+    emit(_mov_imm(GPR(6), len(dsts)))
+    emit(_stl(base + P.RP_NUM_DSTS, GPR(6)))
+    for index, reg in enumerate(dsts):
+        emit(_mov_imm(GPR(6), reg))
+        emit(_stl(base + P.RP_REG_NUMS + 4 * index, GPR(6)))

@@ -1,0 +1,161 @@
+"""CUPTI analog: kernel launch/exit callbacks + counter marshaling.
+
+The paper (Section 3.3): "we use CUPTI to initialize counters on kernel
+launch and copy counters off the device on kernel exits ...
+``cudaMemcpy`` serializes kernel invocations, preventing race conditions
+on the counters."  This module provides the same protocol:
+
+* :class:`CuptiSubscription` — subscribe callables to launch/exit events;
+* :class:`CounterBuffer` — a device-resident counter array zeroed at
+  launch and snapshotted (and optionally host-aggregated) at exit;
+* :class:`DeviceHashTable` — an open-addressed device-memory hash table
+  keyed by instruction address, the structure behind the paper's
+  per-branch statistics (Figure 4's ``find()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.device import Device
+from repro.sim.executor import KernelStats
+
+
+class CuptiSubscription:
+    """Launch/exit callback registry bound to one device."""
+
+    def __init__(self, device: Device):
+        self.device = device
+        self._on_launch: List[Callable] = []
+        self._on_exit: List[Callable] = []
+        device.on_kernel_launch(self._launch)
+        device.on_kernel_exit(self._exit)
+
+    def on_kernel_launch(self, fn: Callable) -> None:
+        self._on_launch.append(fn)
+
+    def on_kernel_exit(self, fn: Callable) -> None:
+        self._on_exit.append(fn)
+
+    def _launch(self, device, kernel, grid, block) -> None:
+        for fn in self._on_launch:
+            fn(device, kernel, grid, block)
+
+    def _exit(self, device, kernel, stats: KernelStats) -> None:
+        for fn in self._on_exit:
+            fn(device, kernel, stats)
+
+
+@dataclass
+class KernelRecord:
+    """One kernel invocation's marshalled counters."""
+
+    kernel: str
+    invocation: int
+    counters: np.ndarray
+
+
+class CounterBuffer:
+    """A device-side counter array with CUPTI-style marshaling.
+
+    On every kernel launch the buffer is zeroed with ``cudaMemcpy``
+    semantics; on exit it is copied to the host, recorded per invocation,
+    and accumulated into ``totals``.
+    """
+
+    def __init__(self, subscription: CuptiSubscription, count: int,
+                 dtype=np.uint64, per_kernel: bool = True):
+        self.device = subscription.device
+        self.count = count
+        self.dtype = np.dtype(dtype)
+        self.device_ptr = self.device.alloc(count * self.dtype.itemsize)
+        self.totals = np.zeros(count, dtype=self.dtype)
+        self.records: List[KernelRecord] = []
+        self._per_kernel = per_kernel
+        self._invocations = 0
+        subscription.on_kernel_launch(self._zero)
+        subscription.on_kernel_exit(self._collect)
+
+    def _zero(self, device, kernel, grid, block) -> None:
+        if self._per_kernel:
+            device.memset(self.device_ptr, 0,
+                          self.count * self.dtype.itemsize)
+
+    def _collect(self, device, kernel, stats) -> None:
+        snapshot = device.read_array(self.device_ptr, self.count, self.dtype)
+        self.records.append(KernelRecord(kernel.name, self._invocations,
+                                         snapshot))
+        self._invocations += 1
+        if self._per_kernel:
+            self.totals += snapshot
+
+    def element_ptr(self, index: int) -> int:
+        return self.device_ptr + index * self.dtype.itemsize
+
+    def final_totals(self) -> np.ndarray:
+        """Whole-program totals (aggregated if per-kernel, else the
+        current device contents)."""
+        if self._per_kernel:
+            return self.totals.copy()
+        return self.device.read_array(self.device_ptr, self.count,
+                                      self.dtype)
+
+
+class DeviceHashTable:
+    """Open-addressed hash table in device global memory.
+
+    Entry layout: ``key (8 bytes) | counters[num_counters] (8 bytes
+    each)``.  Lookup inserts on miss (the Figure 4 handler's "create a
+    new entry if one does not exist").  Handlers update counters through
+    context atomics so all traffic goes through simulated device memory.
+    """
+
+    def __init__(self, device: Device, capacity: int = 1024,
+                 num_counters: int = 5):
+        self.device = device
+        self.capacity = capacity
+        self.num_counters = num_counters
+        self.entry_bytes = 8 * (1 + num_counters)
+        self.device_ptr = device.alloc(capacity * self.entry_bytes)
+        device.memset(self.device_ptr, 0, capacity * self.entry_bytes)
+
+    def clear(self) -> None:
+        self.device.memset(self.device_ptr, 0,
+                           self.capacity * self.entry_bytes)
+
+    def _entry_ptr(self, slot: int) -> int:
+        return self.device_ptr + slot * self.entry_bytes
+
+    def find(self, ctx, key: int) -> int:
+        """Device address of the counter block for *key* (insert on
+        miss).  *ctx* supplies device-memory access."""
+        key = int(key) | (1 << 63)  # tag so key 0 != empty
+        slot = (key * 0x9E3779B97F4A7C15 >> 32) % self.capacity
+        for probe in range(self.capacity):
+            entry = self._entry_ptr((slot + probe) % self.capacity)
+            stored = ctx.read_device(entry, 8)
+            if stored == key:
+                return entry + 8
+            if stored == 0:
+                ctx.write_device(entry, key, 8)
+                return entry + 8
+        raise RuntimeError("device hash table is full")
+
+    def counter_ptr(self, entry_counters: int, index: int) -> int:
+        return entry_counters + 8 * index
+
+    def items(self) -> List[Tuple[int, np.ndarray]]:
+        """Host-side drain: (key, counters) for every occupied entry."""
+        raw = self.device.read_array(self.device_ptr,
+                                     self.capacity * (1 + self.num_counters),
+                                     np.uint64).reshape(
+                                         self.capacity, 1 + self.num_counters)
+        result = []
+        for row in raw:
+            if row[0]:
+                key = int(row[0]) & ~(1 << 63)
+                result.append((key, row[1:].copy()))
+        return result

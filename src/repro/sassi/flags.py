@@ -1,0 +1,74 @@
+"""``ptxas``-style command-line flags for SASSI.
+
+The paper: "As a practical consideration, the where and the what to
+instrument are specified via ptxas command-line arguments."  This module
+parses the same flavour of flag strings::
+
+    spec = spec_from_flags(
+        "-sassi-inst-before=memory,branches "
+        "-sassi-before-args=mem-info,cond-branch-info")
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Iterable, Union
+
+from repro.sassi.spec import InstClass, InstrumentationSpec, What
+
+_CLASSES = {c.value: c for c in InstClass}
+_WHATS = {w.value: w for w in What}
+
+
+class FlagError(ValueError):
+    """An unrecognized SASSI flag or value."""
+
+
+def _parse_classes(value: str) -> frozenset:
+    classes = set()
+    for token in filter(None, value.split(",")):
+        if token not in _CLASSES:
+            raise FlagError(
+                f"unknown instruction class {token!r} "
+                f"(choose from {sorted(_CLASSES)})")
+        classes.add(_CLASSES[token])
+    return frozenset(classes)
+
+
+def _parse_whats(value: str) -> frozenset:
+    whats = set()
+    for token in filter(None, value.split(",")):
+        if token not in _WHATS:
+            raise FlagError(
+                f"unknown argument kind {token!r} "
+                f"(choose from {sorted(_WHATS)})")
+        whats.add(_WHATS[token])
+    return frozenset(whats)
+
+
+def spec_from_flags(flags: Union[str, Iterable[str]]) -> InstrumentationSpec:
+    """Build an :class:`InstrumentationSpec` from flag text."""
+    if isinstance(flags, str):
+        flags = shlex.split(flags)
+    kwargs = {}
+    for flag in flags:
+        flag = flag.lstrip("-")
+        key, _, value = flag.partition("=")
+        if key == "sassi-inst-before":
+            kwargs["before"] = _parse_classes(value)
+        elif key == "sassi-inst-after":
+            kwargs["after"] = _parse_classes(value)
+        elif key in ("sassi-before-args", "sassi-after-args", "sassi-args"):
+            kwargs["what"] = kwargs.get("what", frozenset()) \
+                | _parse_whats(value)
+        elif key == "sassi-before-handler":
+            kwargs["before_handler"] = value
+        elif key == "sassi-after-handler":
+            kwargs["after_handler"] = value
+        elif key == "sassi-writeback-regs":
+            kwargs["writeback_registers"] = True
+        elif key == "sassi-skip-redundant-spills":
+            kwargs["skip_redundant_spills"] = True
+        else:
+            raise FlagError(f"unknown SASSI flag {key!r}")
+    return InstrumentationSpec(**kwargs)

@@ -1,0 +1,223 @@
+"""The SASSI instrumentation pass.
+
+Runs as the backend's *final pass* (paper Section 3.1): the original
+instructions are not modified, reordered, or re-allocated — the pass only
+interleaves ABI call sequences at the selected sites.  Liveness analysis
+on the final SASS decides what each site must spill (Figure 2's "the
+compiler knows exactly which registers to spill").
+
+The pass also:
+
+* places a kernel label's instrumentation *before* the labelled
+  instruction, so branch targets execute their site's instrumentation;
+* patches ``insOffset`` fields and branch-target offsets to post-injection
+  byte offsets once the final layout is known;
+* implements the ``skip_redundant_spills`` ablation (Section 9.1): within
+  a basic block, a register already spilled at an earlier site and not
+  redefined since is not re-spilled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.isa.analysis import compute_liveness
+from repro.isa.encoding import EncodingError, encode_instruction
+from repro.isa.instruction import Imm, Instruction, LabelRef
+from repro.isa.opcodes import Opcode
+from repro.isa.program import INSTRUCTION_BYTES, SassKernel
+from repro.sassi.abi import (
+    CALLER_SAVED,
+    PATCH_TARGET_BASE,
+    SiteRequest,
+    build_call_sequence,
+    frame_parts,
+)
+from repro.sassi.spec import InstrumentationSpec, What, Where
+
+
+@dataclass
+class InjectionReport:
+    """What the pass did (useful for tests and the overhead study)."""
+
+    kernel: str = ""
+    before_sites: int = 0
+    after_sites: int = 0
+    injected_instructions: int = 0
+    max_frame_bytes: int = 0
+    spills_emitted: int = 0
+    spills_skipped: int = 0
+
+
+def instrument_kernel(
+    kernel: SassKernel,
+    spec: InstrumentationSpec,
+    resolve_handler,
+    fn_addr: Optional[int] = None,
+    report: Optional[InjectionReport] = None,
+) -> SassKernel:
+    """Instrument *kernel* per *spec*.
+
+    ``resolve_handler(name) -> int`` supplies trampoline addresses (the
+    linker's job).  ``fn_addr`` is the kernel's load address if already
+    known (stored into every site's ``fnAddr`` field).
+    """
+    if report is None:
+        report = InjectionReport()
+    report.kernel = kernel.name
+    liveness = compute_liveness(kernel)
+    label_ids = {name: index for index, name in
+                 enumerate(sorted(kernel.labels))}
+    fn_addr = fn_addr if fn_addr is not None else kernel.base_address
+
+    label_at: Dict[int, List[str]] = {}
+    for name, index in kernel.labels.items():
+        label_at.setdefault(index, []).append(name)
+    block_leaders = _block_leaders(kernel)
+
+    new_instructions: List[Instruction] = []
+    new_labels: Dict[str, int] = {}
+    #: original index -> index of the original instruction in the new list
+    position_of: Dict[int, int] = {}
+    site_id = 0
+    spilled_valid: Set[int] = set()
+
+    before_addr = resolve_handler(spec.before_handler) if spec.before else 0
+    after_addr = resolve_handler(spec.after_handler) if spec.after else 0
+
+    for index, instr in enumerate(kernel.instructions):
+        if index in block_leaders:
+            spilled_valid.clear()
+        for name in label_at.get(index, ()):
+            new_labels[name] = len(new_instructions)
+
+        if spec.instruments_before(instr):
+            seq = _site_sequence(kernel, spec, instr, index, Where.BEFORE,
+                                 liveness.gpr_in[index], before_addr,
+                                 fn_addr, label_ids, spilled_valid, report)
+            report.before_sites += 1
+            new_instructions.extend(seq)
+
+        position_of[index] = len(new_instructions)
+        new_instructions.append(instr)
+        for reg in instr.gpr_defs():
+            spilled_valid.discard(reg.index)
+        if instr.is_control_xfer or instr.opcode is Opcode.JCAL:
+            spilled_valid.clear()
+
+        if spec.instruments_after(instr):
+            seq = _site_sequence(kernel, spec, instr, index, Where.AFTER,
+                                 liveness.gpr_out[index], after_addr,
+                                 fn_addr, label_ids, spilled_valid, report)
+            report.after_sites += 1
+            new_instructions.extend(seq)
+
+    for name, index in kernel.labels.items():
+        if index >= len(kernel.instructions):
+            new_labels[name] = len(new_instructions)
+
+    patched = _patch_offsets(new_instructions, position_of)
+    report.injected_instructions = len(patched) - len(kernel.instructions)
+    return replace(
+        kernel,
+        instructions=tuple(patched),
+        labels=new_labels,
+        num_regs=max(kernel.num_regs, 8),
+        frame_bytes=max(kernel.frame_bytes, report.max_frame_bytes),
+    )
+
+
+def _block_leaders(kernel: SassKernel) -> Set[int]:
+    leaders: Set[int] = {0}
+    leaders.update(kernel.labels.values())
+    for index, instr in enumerate(kernel.instructions):
+        if instr.is_control_xfer:
+            leaders.add(index + 1)
+    return leaders
+
+
+def _site_sequence(kernel, spec, instr, index, where, live, handler_addr,
+                   fn_addr, label_ids, spilled_valid: Set[int],
+                   report: InjectionReport) -> List[Instruction]:
+    try:
+        encoding_low = encode_instruction(instr, label_ids)[0] & 0xFFFFFFFF
+    except EncodingError:
+        encoding_low = instr.opcode.value
+    target_index: Optional[int] = None
+    if instr.is_control_xfer:
+        for operand in instr.srcs:
+            if isinstance(operand, LabelRef):
+                target_index = kernel.label_target(operand.name)
+    already = frozenset(spilled_valid) if spec.skip_redundant_spills \
+        else frozenset()
+    request = SiteRequest(
+        instr=instr,
+        site_id=index,
+        where=where,
+        fn_addr=fn_addr,
+        encoding_low=encoding_low,
+        live_gprs=tuple(sorted(live)),
+        handler_addr=handler_addr,
+        spec=spec,
+        original_target_index=target_index,
+        already_spilled=already,
+    )
+    seq = build_call_sequence(request)
+    layout, _, _, _ = frame_parts(spec, instr, where)
+    report.max_frame_bytes = max(report.max_frame_bytes, layout[3])
+    spill_set = {r for r in live if r in CALLER_SAVED}
+    report.spills_emitted += len(spill_set - set(already))
+    report.spills_skipped += len(spill_set & set(already))
+    if spec.skip_redundant_spills:
+        spilled_valid |= spill_set
+    return seq
+
+
+def _patch_offsets(instructions: List[Instruction],
+                   position_of: Dict[int, int]) -> List[Instruction]:
+    """Rewrite PATCH_TARGET_BASE immediates to final byte offsets.
+
+    ``PATCH_TARGET_BASE - 1`` means "the offset of the next original
+    instruction after this point" (the site's own insOffset);
+    ``PATCH_TARGET_BASE + k`` means "the final offset of original
+    instruction k" (branch-target offsets).
+    """
+    new_index_of = position_of
+    result: List[Instruction] = []
+    for position, instr in enumerate(instructions):
+        patched = instr
+        new_srcs = None
+        for slot, operand in enumerate(instr.srcs):
+            if isinstance(operand, Imm) \
+                    and PATCH_TARGET_BASE - 2 <= operand.value \
+                    < PATCH_TARGET_BASE + 0x800000:
+                if operand.value == PATCH_TARGET_BASE - 1:
+                    target = _next_original(position, instructions)
+                elif operand.value == PATCH_TARGET_BASE - 2:
+                    target = _prev_original(position, instructions)
+                else:
+                    target = new_index_of.get(
+                        operand.value - PATCH_TARGET_BASE, 0)
+                new_value = target * INSTRUCTION_BYTES
+                srcs = list(patched.srcs if new_srcs is None else new_srcs)
+                srcs[slot] = Imm(new_value)
+                new_srcs = srcs
+        if new_srcs is not None:
+            patched = replace(patched, srcs=tuple(new_srcs))
+        result.append(patched)
+    return result
+
+
+def _next_original(position: int, instructions: List[Instruction]) -> int:
+    for candidate in range(position, len(instructions)):
+        if instructions[candidate].tag != "sassi":
+            return candidate
+    return position
+
+
+def _prev_original(position: int, instructions: List[Instruction]) -> int:
+    for candidate in range(position, -1, -1):
+        if instructions[candidate].tag != "sassi":
+            return candidate
+    return position

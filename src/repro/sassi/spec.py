@@ -1,0 +1,105 @@
+"""Instrumentation specification: *where* and *what*.
+
+The paper (Section 3.1/3.2): "Currently SASSI supports inserting
+instrumentation before any and all SASS instructions.  Certain classes of
+instructions can be targeted: control transfer instructions, memory
+operations, call instructions, instructions that read registers, and
+instructions that write registers.  SASSI also supports inserting
+instrumentation after all instructions other than branches and jumps."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+class Where(enum.Enum):
+    BEFORE = "before"
+    AFTER = "after"
+
+
+class InstClass(enum.Enum):
+    """Site-selection classes (the *where* menu)."""
+
+    ALL = "all"
+    MEMORY = "memory"
+    BRANCHES = "branches"          # conditional control transfers
+    CONTROL = "control"            # any control transfer
+    CALLS = "calls"
+    REG_READS = "reg-reads"
+    REG_WRITES = "reg-writes"
+
+    def matches(self, instr: Instruction) -> bool:
+        if self is InstClass.ALL:
+            return True
+        if self is InstClass.MEMORY:
+            return instr.is_memory
+        if self is InstClass.BRANCHES:
+            return instr.is_cond_control_xfer
+        if self is InstClass.CONTROL:
+            return instr.is_control_xfer
+        if self is InstClass.CALLS:
+            return instr.is_call
+        if self is InstClass.REG_READS:
+            return bool(instr.gpr_uses())
+        if self is InstClass.REG_WRITES:
+            return bool(instr.gpr_defs()) or bool(instr.pred_defs())
+        raise AssertionError(self)
+
+
+class What(enum.Enum):
+    """Extra parameter objects to marshal (the *what* menu)."""
+
+    MEMORY = "mem-info"
+    COND_BRANCH = "cond-branch-info"
+    REGISTERS = "reg-info"
+
+
+@dataclass(frozen=True)
+class InstrumentationSpec:
+    """A full instrumentation request.
+
+    * ``before``/``after`` — instruction classes to instrument at each
+      position (empty set = don't instrument there).
+    * ``what`` — which extra parameter objects to build and pass.
+    * ``before_handler``/``after_handler`` — handler symbol names the
+      injected ``JCAL`` targets (resolved by the device "linker").
+    * ``writeback_registers`` — after the after-handler returns, reload
+      destination-register values from the register parameter object
+      (lets handlers modify architectural state: the error-injection
+      study's requirement).
+    * ``skip_redundant_spills`` — the Section 9.1 optimization ablation:
+      skip re-spilling registers already spilled at an earlier site of
+      the same basic block and not redefined since.
+    """
+
+    before: FrozenSet[InstClass] = frozenset()
+    after: FrozenSet[InstClass] = frozenset()
+    what: FrozenSet[What] = frozenset()
+    before_handler: str = "sassi_before_handler"
+    after_handler: str = "sassi_after_handler"
+    writeback_registers: bool = False
+    skip_redundant_spills: bool = False
+    #: maximum registers the handler may use (the -maxrregcount cap the
+    #: paper imposes; the runtime enforces it on registered handlers).
+    handler_register_cap: int = 16
+
+    def instruments_before(self, instr: Instruction) -> bool:
+        if instr.tag == "sassi":
+            return False
+        return any(c.matches(instr) for c in self.before)
+
+    def instruments_after(self, instr: Instruction) -> bool:
+        if instr.tag == "sassi":
+            return False
+        # "after all instructions other than branches and jumps"
+        if instr.is_control_xfer:
+            return False
+        if instr.opcode in (Opcode.SSY, Opcode.PBK, Opcode.NOP, Opcode.BPT):
+            return False
+        return any(c.matches(instr) for c in self.after)

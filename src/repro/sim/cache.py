@@ -1,0 +1,79 @@
+"""Set-associative cache models (L1 per-SM, shared L2).
+
+Purely for statistics (hit/miss counts feed the cycle cost model); data
+always comes from the backing store, so the caches cannot cause
+incoherence.  The memory-hierarchy extension point mentioned in the
+paper's Section 9.4 ("a memory trace collected by SASSI can be used to
+drive a memory hierarchy simulator") is exercised by
+``examples/memtrace_cachesim.py``, which replays a SASSI-collected trace
+through these same models.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = self.hits = self.misses = self.evictions = 0
+
+
+class Cache:
+    """An LRU set-associative cache of line addresses."""
+
+    def __init__(self, size_bytes: int, line_bytes: int = 32,
+                 ways: int = 4, name: str = "cache",
+                 next_level: Optional["Cache"] = None):
+        if size_bytes % (line_bytes * ways):
+            raise ValueError("cache size must be a multiple of line*ways")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (line_bytes * ways)
+        self.name = name
+        self.next_level = next_level
+        self.stats = CacheStats()
+        self._sets: Dict[int, OrderedDict] = {}
+
+    def access(self, line_addr: int) -> bool:
+        """Access one line address; returns True on hit.  Misses are
+        forwarded to the next level (if any)."""
+        self.stats.accesses += 1
+        index = (line_addr // self.line_bytes) % self.num_sets
+        tag = line_addr // self.line_bytes // self.num_sets
+        ways = self._sets.setdefault(index, OrderedDict())
+        if tag in ways:
+            ways.move_to_end(tag)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if self.next_level is not None:
+            self.next_level.access(line_addr)
+        ways[tag] = True
+        if len(ways) > self.ways:
+            ways.popitem(last=False)
+            self.stats.evictions += 1
+        return False
+
+    def reset(self) -> None:
+        self.stats.reset()
+        self._sets.clear()
+
+
+def kepler_hierarchy() -> Cache:
+    """A K10-flavoured hierarchy: 16 KiB 4-way L1 over 512 KiB 16-way L2
+    (sized down with the scaled workloads)."""
+    l2 = Cache(512 << 10, ways=16, name="L2")
+    return Cache(16 << 10, ways=4, name="L1", next_level=l2)

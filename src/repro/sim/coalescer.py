@@ -1,0 +1,57 @@
+"""Per-warp memory-access coalescing.
+
+Warp-wide accesses to global memory are combined into 32-byte cache-line
+transactions, exactly the granularity the paper's memory-divergence study
+uses ("we use a 32B line size", Section 6.1).  The coalescer reports, per
+warp memory instruction, the number of active lanes and the number of
+unique lines touched — the two axes of the paper's Figure 8 matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+#: Cache-line size in bytes (power of two).
+LINE_BYTES = 32
+#: log2(LINE_BYTES) — the paper handler's OFFSET_BITS.
+OFFSET_BITS = 5
+
+
+@dataclass(frozen=True)
+class CoalesceResult:
+    """Outcome of coalescing one warp memory instruction."""
+
+    active_lanes: int
+    unique_lines: int
+    line_addresses: Tuple[int, ...]
+
+    @property
+    def is_diverged(self) -> bool:
+        """More than one transaction needed (address divergence)."""
+        return self.unique_lines > 1
+
+    @property
+    def is_fully_diverged(self) -> bool:
+        return self.unique_lines == 32
+
+
+def coalesce(addresses: Sequence[int], width: int) -> CoalesceResult:
+    """Coalesce the *addresses* (one per active lane) of a warp access.
+
+    *width* is the per-lane access width in bytes; an access straddling a
+    line boundary touches both lines (width > 1 accesses are naturally
+    aligned in compiled code, but handlers may construct unaligned ones).
+    """
+    lines = []
+    seen = set()
+    for addr in addresses:
+        first = int(addr) >> OFFSET_BITS
+        last = (int(addr) + width - 1) >> OFFSET_BITS
+        for line in range(first, last + 1):
+            if line not in seen:
+                seen.add(line)
+                lines.append(line << OFFSET_BITS)
+    return CoalesceResult(active_lanes=len(addresses),
+                          unique_lines=len(lines),
+                          line_addresses=tuple(lines))

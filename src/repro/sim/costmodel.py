@@ -1,0 +1,53 @@
+"""Cycle cost model.
+
+A deliberately simple issue-cost model: every warp instruction costs its
+opcode's issue latency; memory instructions additionally pay one issue
+slot per extra coalesced transaction (address-diverged accesses serialize,
+the effect the paper's Case Study II quantifies); cache misses add a
+miss penalty when the cache models are enabled.
+
+The model's purpose is Table 3: *relative* kernel-time overheads of
+instrumented vs. uninstrumented runs.  The injected instrumentation
+executes real extra instructions (spills, parameter-object stores, the
+call), so instrumented kernels accumulate proportionally more cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import Opcode
+
+#: Extra issue cost (beyond 1) for slow opcodes.
+_EXTRA_ISSUE = {
+    Opcode.MUFU: 3,
+    Opcode.IMUL: 1,
+    Opcode.IMAD: 1,
+    Opcode.BAR: 2,
+    Opcode.ATOM: 4,
+    Opcode.ATOMS: 2,
+    Opcode.RED: 4,
+}
+
+#: Issue slots charged per coalesced memory transaction beyond the first.
+TRANSACTION_COST = 2
+#: Extra cycles per L1 miss / L2 miss when cache simulation is on.
+L1_MISS_COST = 4
+L2_MISS_COST = 16
+
+
+@dataclass
+class CycleCounter:
+    """Accumulates the simulated cycle count for one kernel launch."""
+
+    cycles: int = 0
+
+    def issue(self, opcode: Opcode) -> None:
+        self.cycles += 1 + _EXTRA_ISSUE.get(opcode, 0)
+
+    def memory_transactions(self, count: int) -> None:
+        if count > 1:
+            self.cycles += TRANSACTION_COST * (count - 1)
+
+    def cache_misses(self, l1_misses: int, l2_misses: int) -> None:
+        self.cycles += L1_MISS_COST * l1_misses + L2_MISS_COST * l2_misses

@@ -1,0 +1,22 @@
+"""Simulation error types.
+
+:class:`DeviceFault` models what a real GPU surfaces as an Xid error /
+"unspecified launch failure": out-of-bounds or misaligned accesses, local
+stack overflow, or executing off the end of a kernel.  The error-injection
+case study (paper Section 8) categorizes injections that raise this as
+*crashes*; :class:`HangDetected` (watchdog expiry) maps to *hangs*.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for simulator-detected failures."""
+
+
+class DeviceFault(SimulationError):
+    """An access violation or illegal-instruction condition on the device."""
+
+
+class HangDetected(SimulationError):
+    """The watchdog instruction budget was exhausted (runaway kernel)."""

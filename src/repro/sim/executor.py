@@ -1,0 +1,1063 @@
+"""The functional SIMT executor.
+
+Executes one CTA at a time; within a CTA, warps run round-robin with a
+run-to-barrier policy.  Lanes are numpy-vectorized: the register file is a
+``(num_regs, 32)`` uint32 array per warp and ALU ops operate on whole
+rows under the instruction's guard mask.
+
+The executor is also where SASSI handler calls land: a ``JCAL`` whose
+target lies in the handler address range (``SassProgram.HANDLER_BASE``)
+invokes the binding registered with the device (see
+:mod:`repro.sassi.handlers`) instead of transferring control — the
+moral equivalent of the linker resolving ``sassi_before_handler`` in the
+paper's Figure 1 flow.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.isa.instruction import (
+    ConstRef,
+    Imm,
+    Instruction,
+    LabelRef,
+    MemRef,
+    MemSpace,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.program import SassKernel, SassProgram
+from repro.isa.registers import GPR, SpecialReg
+from repro.sim.cache import Cache
+from repro.sim.coalescer import coalesce
+from repro.sim.costmodel import CycleCounter
+from repro.sim.errors import DeviceFault, HangDetected
+from repro.sim.memory import (
+    GLOBAL_BASE,
+    LOCAL_BASE,
+    SHARED_BASE,
+    SHARED_BYTES,
+    Memory,
+)
+from repro.sim.warp import WARP_SIZE, Warp
+
+#: Physical bytes of local memory actually backed per thread (the
+#: addressing window is larger; see repro.sim.memory).
+LOCAL_PHYS_BYTES = 4 << 10
+
+
+@dataclass
+class KernelStats:
+    """Statistics for one kernel launch."""
+
+    kernel: str = ""
+    warp_instructions: int = 0
+    thread_instructions: int = 0
+    #: instructions injected by SASSI (tag == "sassi"), for overhead math
+    sassi_warp_instructions: int = 0
+    sassi_thread_instructions: int = 0
+    opcode_counts: Counter = field(default_factory=Counter)
+    global_mem_instructions: int = 0
+    global_transactions: int = 0
+    handler_calls: int = 0
+    barriers: int = 0
+    cycles: int = 0
+    max_stack_depth: int = 0
+
+    @property
+    def baseline_warp_instructions(self) -> int:
+        return self.warp_instructions - self.sassi_warp_instructions
+
+
+@dataclass
+class SimConfig:
+    """Executor knobs."""
+
+    enable_caches: bool = False
+    #: watchdog: abort the launch after this many warp instructions.
+    max_warp_instructions: int = 200_000_000
+
+
+class CTAContext:
+    """Per-CTA execution context shared by its warps.
+
+    Thread-local memories are rows of one CTA-wide byte block so that
+    warp-uniform local accesses (the common case: SASSI's spill/param
+    traffic always uses the same stack offset across the warp) can be
+    served with one vectorized gather/scatter.
+    """
+
+    def __init__(self, ctaid: Tuple[int, int, int], shared_bytes: int,
+                 num_threads: int = 1024):
+        self.ctaid = ctaid
+        self.shared = Memory(max(shared_bytes, SHARED_BYTES), name="shared")
+        self.num_threads = num_threads
+        self._local_block: Optional[np.ndarray] = None
+        self._local_views: Dict[int, Memory] = {}
+
+    def local_block(self) -> np.ndarray:
+        if self._local_block is None:
+            self._local_block = np.zeros(
+                (self.num_threads, LOCAL_PHYS_BYTES), dtype=np.uint8)
+        return self._local_block
+
+    def local_mem(self, tid: int) -> Memory:
+        mem = self._local_views.get(tid)
+        if mem is None:
+            mem = Memory.__new__(Memory)
+            mem.size = LOCAL_PHYS_BYTES
+            mem.name = f"local[t{tid}]"
+            mem.data = self.local_block()[tid]
+            self._local_views[tid] = mem
+        return mem
+
+
+class Executor:
+    """Runs kernels on a device."""
+
+    def __init__(self, device, config: Optional[SimConfig] = None):
+        self.device = device
+        self.config = config or SimConfig()
+        self.l1: Optional[Cache] = None
+        if self.config.enable_caches:
+            from repro.sim.cache import kepler_hierarchy
+
+            self.l1 = kepler_hierarchy()
+        self.stats = KernelStats()
+        self._watchdog = 0
+        self._kernel: Optional[SassKernel] = None
+        self._targets: List[Optional[int]] = []
+        self._cta: Optional[CTAContext] = None
+
+    # ------------------------------------------------------------ launch
+
+    def run(self, kernel: SassKernel, grid, block,
+            shared_bytes: int = 0) -> KernelStats:
+        self.stats = KernelStats(kernel=kernel.name)
+        self._watchdog = 0
+        self._kernel = kernel
+        self._targets = self._resolve_targets(kernel)
+        counter = CycleCounter()
+        num_threads = block.x * block.y * block.z
+        if num_threads == 0 or num_threads > 1024:
+            raise DeviceFault(f"bad block size: {num_threads}")
+        for cz in range(grid.z):
+            for cy in range(grid.y):
+                for cx in range(grid.x):
+                    self._run_cta((cx, cy, cz), grid, block, num_threads,
+                                  shared_bytes, counter)
+        self.stats.cycles = counter.cycles
+        return self.stats
+
+    def _resolve_targets(self, kernel: SassKernel) -> List[Optional[int]]:
+        targets: List[Optional[int]] = []
+        for instr in kernel.instructions:
+            target: Optional[int] = None
+            for operand in (*instr.srcs, *instr.dsts):
+                if isinstance(operand, LabelRef):
+                    target = kernel.label_target(operand.name)
+            targets.append(target)
+        return targets
+
+    def _run_cta(self, ctaid, grid, block, num_threads, shared_bytes,
+                 counter) -> None:
+        kernel = self._kernel
+        cta = CTAContext(ctaid, shared_bytes, num_threads=num_threads)
+        self._cta = cta
+        warps: List[Warp] = []
+        num_regs = max(kernel.num_regs, 8)
+        for warp_index in range((num_threads + WARP_SIZE - 1) // WARP_SIZE):
+            base = warp_index * WARP_SIZE
+            lanes = min(WARP_SIZE, num_threads - base)
+            tids = np.arange(base, base + WARP_SIZE, dtype=np.int64)
+            warp = Warp(warp_index, num_regs, lanes, tids)
+            self._init_warp(warp, ctaid, grid, block, num_threads)
+            warps.append(warp)
+        pending = [w for w in warps]
+        while pending:
+            progressed = False
+            for warp in pending:
+                if warp.done or warp.at_barrier:
+                    continue
+                self._run_warp(warp, cta, counter)
+                progressed = True
+            pending = [w for w in pending if not w.done]
+            if pending and all(w.at_barrier for w in pending):
+                for warp in pending:
+                    warp.at_barrier = False
+                self.stats.barriers += 1
+                progressed = True
+            if not progressed and pending:
+                raise DeviceFault(
+                    f"{kernel.name}: deadlock (barrier never satisfied)")
+        self._cta = None
+
+    def _init_warp(self, warp, ctaid, grid, block, num_threads) -> None:
+        tids = warp.lane_thread_ids
+        warp.tid_x = (tids % block.x).astype(np.uint32)
+        warp.tid_y = ((tids // block.x) % block.y).astype(np.uint32)
+        warp.tid_z = (tids // (block.x * block.y)).astype(np.uint32)
+        warp.ctaid = ctaid
+        warp.ntid = (block.x, block.y, block.z)
+        warp.nctaid = (grid.x, grid.y, grid.z)
+        # R1 = ABI stack pointer (top of the thread's local stack).
+        warp.regs[1, :] = LOCAL_PHYS_BYTES
+
+    # ------------------------------------------------------------ warps
+
+    def _run_warp(self, warp: Warp, cta: CTAContext, counter) -> None:
+        kernel = self._kernel
+        instructions = kernel.instructions
+        limit = len(instructions)
+        while not warp.done and not warp.at_barrier:
+            if not (0 <= warp.pc < limit):
+                raise DeviceFault(
+                    f"{kernel.name}: PC 0x{kernel.pc_of(warp.pc):x} outside "
+                    "kernel body")
+            self._watchdog += 1
+            if self._watchdog > self.config.max_warp_instructions:
+                raise HangDetected(
+                    f"{kernel.name}: watchdog after {self._watchdog} "
+                    "warp instructions")
+            instr = instructions[warp.pc]
+            self.step(warp, cta, instr, counter)
+
+    def step(self, warp: Warp, cta: CTAContext, instr: Instruction,
+             counter: CycleCounter) -> None:
+        """Execute one instruction for one warp."""
+        stats = self.stats
+        stats.warp_instructions += 1
+        guard = instr.guard
+        if guard.is_unconditional:
+            g = warp.active
+        else:
+            g = warp.guard_mask(warp.preds[guard.pred.index], guard.negated)
+        lanes = int(np.count_nonzero(g))
+        stats.thread_instructions += lanes
+        stats.opcode_counts[instr.opcode] += 1
+        if instr.tag == "sassi":
+            stats.sassi_warp_instructions += 1
+            stats.sassi_thread_instructions += lanes
+        counter.issue(instr.opcode)
+        if warp.stack_depth > stats.max_stack_depth:
+            stats.max_stack_depth = warp.stack_depth
+
+        handler = _DISPATCH.get(instr.opcode)
+        if handler is None:
+            raise DeviceFault(f"illegal instruction: {instr!r}")
+        handler(self, warp, cta, instr, g, counter)
+
+    # --------------------------------------------------------- operands
+
+    def _read(self, warp: Warp, operand) -> np.ndarray:
+        """A 32-bit source operand as a uint32 row (or scalar)."""
+        if isinstance(operand, GPR):
+            if operand.is_zero:
+                return np.uint32(0)
+            return warp.regs[operand.index]
+        if isinstance(operand, Imm):
+            return np.uint32(operand.value & 0xFFFFFFFF)
+        if isinstance(operand, ConstRef):
+            return np.uint32(self.device.const_read(operand.bank,
+                                                    operand.offset))
+        raise DeviceFault(f"unreadable operand: {operand!r}")
+
+    def _write(self, warp: Warp, operand, value, g: np.ndarray) -> None:
+        if not isinstance(operand, GPR):
+            raise DeviceFault(f"bad destination: {operand!r}")
+        if operand.is_zero:
+            return
+        if operand.index >= warp.num_regs:
+            raise DeviceFault(f"register R{operand.index} out of range")
+        row = warp.regs[operand.index]
+        if isinstance(value, np.ndarray):
+            row[g] = value.astype(np.uint32, copy=False)[g]
+        else:
+            row[g] = np.uint32(value)
+
+    # ------------------------------------------------------ memory core
+
+    def _resolve_space(self, warp: Warp, cta: CTAContext, instr: Instruction,
+                       addr: int, lane: int) -> Tuple[Memory, int, bool]:
+        """Resolve (memory, offset, counts_as_global) for one lane."""
+        opcode = instr.opcode
+        if opcode in (Opcode.LDG, Opcode.STG, Opcode.ATOM, Opcode.RED,
+                      Opcode.TLD):
+            return self.device.global_mem, addr - GLOBAL_BASE, True
+        if opcode in (Opcode.LDS, Opcode.STS, Opcode.ATOMS):
+            return cta.shared, addr, False
+        if opcode in (Opcode.LDL, Opcode.STL):
+            tid = int(warp.lane_thread_ids[lane])
+            return cta.local_mem(tid), addr, False
+        if opcode == Opcode.LDC:
+            return self.device.const_mem, addr, False
+        # generic LD/ST: dispatch by window (local window sits above the
+        # global heap, so test it first).
+        if addr >= LOCAL_BASE:
+            tid = int(warp.lane_thread_ids[lane])
+            return cta.local_mem(tid), addr - LOCAL_BASE, False
+        if addr >= GLOBAL_BASE:
+            return self.device.global_mem, addr - GLOBAL_BASE, True
+        if SHARED_BASE <= addr < SHARED_BASE + SHARED_BYTES:
+            return cta.shared, addr - SHARED_BASE, False
+        raise DeviceFault(f"unmapped generic address 0x{addr:x}")
+
+    def lane_addresses(self, warp: Warp, instr: Instruction) -> np.ndarray:
+        """Effective addresses (uint64 row) of a memory instruction."""
+        ref = instr.mem_ref
+        if ref is None:
+            raise DeviceFault(f"memory instruction without operand: {instr!r}")
+        base = ref.base
+        if base.is_zero:
+            lo = np.zeros(WARP_SIZE, dtype=np.uint64)
+            return lo + np.uint64(ref.offset & 0xFFFFFFFFFFFFFFFF)
+        offset = np.uint64(ref.offset & 0xFFFFFFFFFFFFFFFF)
+        if instr.opcode in (Opcode.LDS, Opcode.STS, Opcode.ATOMS,
+                            Opcode.LDL, Opcode.STL, Opcode.LDC):
+            return warp.regs[base.index].astype(np.uint64) + offset
+        lo = warp.regs[base.index].astype(np.uint64)
+        hi = warp.regs[base.index + 1].astype(np.uint64) \
+            if base.index + 1 < warp.num_regs else np.zeros(
+                WARP_SIZE, dtype=np.uint64)
+        return (lo | (hi << np.uint64(32))) + offset
+
+    def _account_global(self, addrs, g, width, counter) -> None:
+        active = [int(a) for a in addrs[g]]
+        if not active:
+            return
+        result = coalesce(active, width)
+        self.stats.global_mem_instructions += 1
+        self.stats.global_transactions += result.unique_lines
+        counter.memory_transactions(result.unique_lines)
+        if self.l1 is not None:
+            l2 = self.l1.next_level
+            l2_before = l2.stats.misses if l2 is not None else 0
+            l1_misses = sum(0 if self.l1.access(line) else 1
+                            for line in result.line_addresses)
+            l2_misses = (l2.stats.misses - l2_before) if l2 is not None else 0
+            counter.cache_misses(l1_misses, l2_misses)
+
+
+# ---------------------------------------------------------------------
+# opcode semantics
+# ---------------------------------------------------------------------
+
+
+def _s32(row):
+    if isinstance(row, np.ndarray):
+        return row.view(np.int32) if row.dtype == np.uint32 \
+            else row.astype(np.int32)
+    return np.int32(np.uint32(row))
+
+
+def _f32(row):
+    if isinstance(row, np.ndarray):
+        return row.view(np.float32)
+    return np.uint32(row).view(np.float32) if hasattr(row, "view") \
+        else np.frombuffer(np.uint32(row).tobytes(), dtype=np.float32)[0]
+
+
+def _as_u32(row):
+    if isinstance(row, np.ndarray):
+        return row
+    return np.uint32(row)
+
+
+def _from_f32(row):
+    return np.asarray(row, dtype=np.float32).view(np.uint32)
+
+
+def _op_mov(ex, warp, cta, instr, g, counter):
+    ex._write(warp, instr.dsts[0], _broadcast(ex._read(warp, instr.srcs[0])), g)
+
+
+def _broadcast(value):
+    if isinstance(value, np.ndarray):
+        return value
+    return np.full(WARP_SIZE, value, dtype=np.uint32)
+
+
+def _op_sel(ex, warp, cta, instr, g, counter):
+    a = _broadcast(ex._read(warp, instr.srcs[0]))
+    b = _broadcast(ex._read(warp, instr.srcs[1]))
+    pred = instr.srcs[2]
+    row = warp.preds[pred.index]
+    ex._write(warp, instr.dsts[0], np.where(row, a, b), g)
+
+
+def _op_s2r(ex, warp, cta, instr, g, counter):
+    name = instr.srcs[0].name
+    lanes = np.arange(WARP_SIZE, dtype=np.uint32)
+    table = {
+        "SR_TID.X": warp.tid_x, "SR_TID.Y": warp.tid_y, "SR_TID.Z": warp.tid_z,
+        "SR_CTAID.X": np.uint32(warp.ctaid[0]),
+        "SR_CTAID.Y": np.uint32(warp.ctaid[1]),
+        "SR_CTAID.Z": np.uint32(warp.ctaid[2]),
+        "SR_NTID.X": np.uint32(warp.ntid[0]),
+        "SR_NTID.Y": np.uint32(warp.ntid[1]),
+        "SR_NTID.Z": np.uint32(warp.ntid[2]),
+        "SR_NCTAID.X": np.uint32(warp.nctaid[0]),
+        "SR_NCTAID.Y": np.uint32(warp.nctaid[1]),
+        "SR_NCTAID.Z": np.uint32(warp.nctaid[2]),
+        "SR_LANEID": lanes,
+        "SR_WARPID": np.uint32(warp.warp_id),
+        "SR_ACTIVEMASK": np.uint32(_mask_to_int(warp.active)),
+        "SR_CLOCK": np.uint32(ex.stats.warp_instructions & 0xFFFFFFFF),
+    }
+    ex._write(warp, instr.dsts[0], _broadcast(table[name]), g)
+    warp.pc += 1
+
+
+def _mask_to_int(mask: np.ndarray) -> int:
+    value = 0
+    for lane in np.nonzero(mask)[0]:
+        value |= 1 << int(lane)
+    return value
+
+
+def _op_p2r(ex, warp, cta, instr, g, counter):
+    packed = np.zeros(WARP_SIZE, dtype=np.uint32)
+    for index in range(7):
+        packed |= warp.preds[index].astype(np.uint32) << np.uint32(index)
+    mask = instr.srcs[-1]
+    if isinstance(mask, Imm):
+        packed &= np.uint32(mask.value & 0xFFFFFFFF)
+    ex._write(warp, instr.dsts[0], packed, g)
+    warp.pc += 1
+
+
+def _op_r2p(ex, warp, cta, instr, g, counter):
+    value = _broadcast(ex._read(warp, instr.srcs[0]))
+    mask = instr.srcs[1].value if len(instr.srcs) > 1 \
+        and isinstance(instr.srcs[1], Imm) else 0x7F
+    for index in range(7):
+        if mask & (1 << index):
+            if isinstance(value, np.ndarray):
+                bit = ((value >> np.uint32(index)) & np.uint32(1)) \
+                    .astype(bool)
+                warp.preds[index][g] = bit[g]
+            else:
+                warp.preds[index][g] = bool((int(value) >> index) & 1)
+    warp.pc += 1
+
+
+def _op_psetp(ex, warp, cta, instr, g, counter):
+    a = warp.preds[instr.srcs[0].index]
+    b = warp.preds[instr.srcs[1].index] if len(instr.srcs) > 1 \
+        else warp.preds[7]
+    if "OR" in instr.mods:
+        result = a | b
+    elif "XOR" in instr.mods:
+        result = a ^ b
+    else:
+        result = a & b
+    dst = instr.dsts[0]
+    if not dst.is_true:
+        warp.preds[dst.index][g] = result[g]
+    warp.pc += 1
+
+
+def _u64(value):
+    """Promote a uint32 row or scalar to uint64 without overflow."""
+    if isinstance(value, np.ndarray):
+        return value.astype(np.uint64)
+    return np.uint64(int(value) & 0xFFFFFFFF)
+
+
+def _binary_int(ex, warp, instr):
+    a = ex._read(warp, instr.srcs[0])
+    b = ex._read(warp, instr.srcs[1])
+    return _broadcast(a), _as_u32(b)
+
+
+def _op_iadd(ex, warp, cta, instr, g, counter):
+    a, b = _binary_int(ex, warp, instr)
+    if "NEGB" in instr.mods:
+        b = (~_broadcast(b) + np.uint32(1))
+    if "X" in instr.mods:
+        total = a.astype(np.uint64) + _u64(b) \
+            + warp.carry.astype(np.uint64)
+    else:
+        total = a.astype(np.uint64) + _u64(b)
+    result = (total & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+    if "CC" in instr.mods:
+        warp.carry[g] = (total >> np.uint64(32)).astype(bool)[g]
+    ex._write(warp, instr.dsts[0], result, g)
+    warp.pc += 1
+
+
+def _op_imul(ex, warp, cta, instr, g, counter):
+    a, b = _binary_int(ex, warp, instr)
+    if "WIDE" in instr.mods:
+        wide = a.astype(np.uint64) * _u64(b)
+        lo = (wide & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        hi = (wide >> np.uint64(32)).astype(np.uint32)
+        dst = instr.dsts[0]
+        ex._write(warp, dst, lo, g)
+        ex._write(warp, GPR(dst.index + 1), hi, g)
+    else:
+        with np.errstate(over="ignore"):
+            result = (a.astype(np.uint64) * _u64(b)
+                      & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        ex._write(warp, instr.dsts[0], result, g)
+    warp.pc += 1
+
+
+def _op_imad(ex, warp, cta, instr, g, counter):
+    a = _broadcast(ex._read(warp, instr.srcs[0])).astype(np.uint64)
+    b = _u64(_as_u32(ex._read(warp, instr.srcs[1])))
+    c = _u64(_as_u32(ex._read(warp, instr.srcs[2])))
+    result = ((a * b + c) & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+    ex._write(warp, instr.dsts[0], result, g)
+    warp.pc += 1
+
+
+def _op_iscadd(ex, warp, cta, instr, g, counter):
+    a = _broadcast(ex._read(warp, instr.srcs[0]))
+    b = _as_u32(ex._read(warp, instr.srcs[1]))
+    shift = instr.srcs[2].value if len(instr.srcs) > 2 else 0
+    result = ((a.astype(np.uint64) << np.uint64(shift))
+              + _u64(b)) & np.uint64(0xFFFFFFFF)
+    ex._write(warp, instr.dsts[0], result.astype(np.uint32), g)
+    warp.pc += 1
+
+
+_CMP_FNS = {
+    "LT": np.less, "LE": np.less_equal, "GT": np.greater,
+    "GE": np.greater_equal, "EQ": np.equal, "NE": np.not_equal,
+}
+
+
+def _op_isetp(ex, warp, cta, instr, g, counter):
+    a = _broadcast(ex._read(warp, instr.srcs[0]))
+    b = _as_u32(ex._read(warp, instr.srcs[1]))
+    signed = "S32" in instr.mods
+    if signed:
+        lhs, rhs = _s32(a), _s32(_broadcast(b))
+    else:
+        lhs, rhs = a, _broadcast(b)
+    cmp = next((m for m in instr.mods if m in _CMP_FNS), "EQ")
+    result = _CMP_FNS[cmp](lhs, rhs)
+    combine = warp.preds[instr.srcs[2].index] if len(instr.srcs) > 2 \
+        and hasattr(instr.srcs[2], "index") else warp.preds[7]
+    result = result & combine
+    dst, inv = instr.dsts[0], instr.dsts[1] if len(instr.dsts) > 1 else None
+    if not dst.is_true:
+        warp.preds[dst.index][g] = result[g]
+    if inv is not None and not inv.is_true:
+        warp.preds[inv.index][g] = (~result & combine)[g]
+    warp.pc += 1
+
+
+def _op_imnmx(ex, warp, cta, instr, g, counter):
+    a = _broadcast(ex._read(warp, instr.srcs[0]))
+    b = _broadcast(_as_u32(ex._read(warp, instr.srcs[1])))
+    signed = "S32" in instr.mods
+    lhs, rhs = (_s32(a), _s32(b)) if signed else (a, b)
+    result = np.minimum(lhs, rhs) if "MIN" in instr.mods \
+        else np.maximum(lhs, rhs)
+    ex._write(warp, instr.dsts[0], result.view(np.uint32) if signed
+              else result, g)
+    warp.pc += 1
+
+
+def _op_lop(ex, warp, cta, instr, g, counter):
+    a = _broadcast(ex._read(warp, instr.srcs[0]))
+    b = _broadcast(_as_u32(ex._read(warp, instr.srcs[1])))
+    if "OR" in instr.mods:
+        result = a | b
+    elif "XOR" in instr.mods:
+        result = a ^ b
+    elif "NOT_B" in instr.mods:
+        result = ~b
+    elif "PASS_B" in instr.mods:
+        result = b
+    else:
+        result = a & b
+    ex._write(warp, instr.dsts[0], result, g)
+    warp.pc += 1
+
+
+def _op_shl(ex, warp, cta, instr, g, counter):
+    a = _broadcast(ex._read(warp, instr.srcs[0]))
+    b = _broadcast(_as_u32(ex._read(warp, instr.srcs[1]))) & np.uint32(0xFF)
+    amount = np.minimum(b, np.uint32(32)).astype(np.uint32)
+    wide = a.astype(np.uint64) << amount.astype(np.uint64)
+    ex._write(warp, instr.dsts[0],
+              (wide & np.uint64(0xFFFFFFFF)).astype(np.uint32), g)
+    warp.pc += 1
+
+
+def _op_shr(ex, warp, cta, instr, g, counter):
+    a = _broadcast(ex._read(warp, instr.srcs[0]))
+    b = _broadcast(_as_u32(ex._read(warp, instr.srcs[1]))) & np.uint32(0xFF)
+    amount = np.minimum(b, np.uint32(31 if "S32" in instr.mods else 32))
+    if "S32" in instr.mods:
+        result = (_s32(a) >> amount.astype(np.int32)).view(np.uint32)
+    else:
+        wide = a.astype(np.uint64) >> amount.astype(np.uint64)
+        result = wide.astype(np.uint32)
+    ex._write(warp, instr.dsts[0], result, g)
+    warp.pc += 1
+
+
+def _op_popc(ex, warp, cta, instr, g, counter):
+    a = _broadcast(ex._read(warp, instr.srcs[0]))
+    bits = np.unpackbits(a.view(np.uint8).reshape(WARP_SIZE, 4), axis=1)
+    ex._write(warp, instr.dsts[0], bits.sum(axis=1).astype(np.uint32), g)
+    warp.pc += 1
+
+
+def _op_flo(ex, warp, cta, instr, g, counter):
+    a = _broadcast(ex._read(warp, instr.srcs[0]))
+    result = np.zeros(WARP_SIZE, dtype=np.uint32)
+    for lane in range(WARP_SIZE):
+        value = int(a[lane])
+        result[lane] = value.bit_length() - 1 if value else 0xFFFFFFFF
+    ex._write(warp, instr.dsts[0], result, g)
+    warp.pc += 1
+
+
+def _op_bfe(ex, warp, cta, instr, g, counter):
+    a = _broadcast(ex._read(warp, instr.srcs[0]))
+    spec = _broadcast(_as_u32(ex._read(warp, instr.srcs[1])))
+    pos = spec & np.uint32(0xFF)
+    width = (spec >> np.uint32(8)) & np.uint32(0xFF)
+    wide = a.astype(np.uint64) >> pos.astype(np.uint64)
+    mask = (np.uint64(1) << width.astype(np.uint64)) - np.uint64(1)
+    ex._write(warp, instr.dsts[0], (wide & mask).astype(np.uint32), g)
+    warp.pc += 1
+
+
+def _op_bfi(ex, warp, cta, instr, g, counter):
+    base = _broadcast(ex._read(warp, instr.srcs[0]))
+    spec = _broadcast(_as_u32(ex._read(warp, instr.srcs[1])))
+    insert = _broadcast(_as_u32(ex._read(warp, instr.srcs[2])))
+    pos = (spec & np.uint32(0xFF)).astype(np.uint64)
+    width = ((spec >> np.uint32(8)) & np.uint32(0xFF)).astype(np.uint64)
+    mask = ((np.uint64(1) << width) - np.uint64(1)) << pos
+    result = (base.astype(np.uint64) & ~mask) \
+        | ((insert.astype(np.uint64) << pos) & mask)
+    ex._write(warp, instr.dsts[0], result.astype(np.uint32), g)
+    warp.pc += 1
+
+
+def _op_iabs(ex, warp, cta, instr, g, counter):
+    a = _s32(_broadcast(ex._read(warp, instr.srcs[0])))
+    ex._write(warp, instr.dsts[0], np.abs(a).view(np.uint32), g)
+    warp.pc += 1
+
+
+def _fbinary(ex, warp, instr):
+    a = _f32(_broadcast(ex._read(warp, instr.srcs[0])))
+    b_raw = _broadcast(_as_u32(ex._read(warp, instr.srcs[1])))
+    return a, _f32(b_raw)
+
+
+def _op_fadd(ex, warp, cta, instr, g, counter):
+    a, b = _fbinary(ex, warp, instr)
+    if "NEGB" in instr.mods:
+        b = -b
+    ex._write(warp, instr.dsts[0], _from_f32(a + b), g)
+    warp.pc += 1
+
+
+def _op_fmul(ex, warp, cta, instr, g, counter):
+    a, b = _fbinary(ex, warp, instr)
+    with np.errstate(all="ignore"):
+        ex._write(warp, instr.dsts[0], _from_f32(a * b), g)
+    warp.pc += 1
+
+
+def _op_ffma(ex, warp, cta, instr, g, counter):
+    a = _f32(_broadcast(ex._read(warp, instr.srcs[0])))
+    b = _f32(_broadcast(_as_u32(ex._read(warp, instr.srcs[1]))))
+    c = _f32(_broadcast(_as_u32(ex._read(warp, instr.srcs[2]))))
+    with np.errstate(all="ignore"):
+        ex._write(warp, instr.dsts[0], _from_f32(a * b + c), g)
+    warp.pc += 1
+
+
+def _op_fsetp(ex, warp, cta, instr, g, counter):
+    a = _f32(_broadcast(ex._read(warp, instr.srcs[0])))
+    b = _f32(_broadcast(_as_u32(ex._read(warp, instr.srcs[1]))))
+    cmp = next((m for m in instr.mods if m in _CMP_FNS), "EQ")
+    with np.errstate(invalid="ignore"):
+        result = _CMP_FNS[cmp](a, b)
+    dst = instr.dsts[0]
+    if not dst.is_true:
+        warp.preds[dst.index][g] = result[g]
+    if len(instr.dsts) > 1 and not instr.dsts[1].is_true:
+        warp.preds[instr.dsts[1].index][g] = (~result)[g]
+    warp.pc += 1
+
+
+def _op_fmnmx(ex, warp, cta, instr, g, counter):
+    a, b = _fbinary(ex, warp, instr)
+    with np.errstate(invalid="ignore"):
+        result = np.fmin(a, b) if "MIN" in instr.mods else np.fmax(a, b)
+    ex._write(warp, instr.dsts[0], _from_f32(result), g)
+    warp.pc += 1
+
+
+def _op_mufu(ex, warp, cta, instr, g, counter):
+    a = _f32(_broadcast(ex._read(warp, instr.srcs[0])))
+    with np.errstate(all="ignore"):
+        if "RCP" in instr.mods:
+            result = np.float32(1.0) / a
+        elif "SQRT" in instr.mods:
+            result = np.sqrt(a)
+        elif "RSQ" in instr.mods:
+            result = np.float32(1.0) / np.sqrt(a)
+        elif "LG2" in instr.mods:
+            result = np.log2(a)
+        elif "EX2" in instr.mods:
+            result = np.exp2(a)
+        elif "SIN" in instr.mods:
+            result = np.sin(a)
+        elif "COS" in instr.mods:
+            result = np.cos(a)
+        else:
+            raise DeviceFault(f"MUFU without function: {instr!r}")
+    ex._write(warp, instr.dsts[0], _from_f32(result), g)
+    warp.pc += 1
+
+
+def _op_f2i(ex, warp, cta, instr, g, counter):
+    a = _f32(_broadcast(ex._read(warp, instr.srcs[0])))
+    with np.errstate(invalid="ignore"):
+        clipped = np.nan_to_num(np.trunc(a), nan=0.0,
+                                posinf=2**31 - 1, neginf=-2**31)
+        if "U32" in instr.mods:
+            result = np.clip(clipped, 0, 2**32 - 1).astype(np.uint32)
+        else:
+            result = np.clip(clipped, -(2**31), 2**31 - 1) \
+                .astype(np.int32).view(np.uint32)
+    ex._write(warp, instr.dsts[0], result, g)
+    warp.pc += 1
+
+
+def _op_i2f(ex, warp, cta, instr, g, counter):
+    a = _broadcast(ex._read(warp, instr.srcs[0]))
+    if "S32" in instr.mods:
+        result = _s32(a).astype(np.float32)
+    else:
+        result = a.astype(np.float32)
+    ex._write(warp, instr.dsts[0], _from_f32(result), g)
+    warp.pc += 1
+
+
+def _op_sel_advance(ex, warp, cta, instr, g, counter):
+    _op_sel(ex, warp, cta, instr, g, counter)
+    warp.pc += 1
+
+
+def _op_mov_advance(ex, warp, cta, instr, g, counter):
+    _op_mov(ex, warp, cta, instr, g, counter)
+    warp.pc += 1
+
+
+_SIGNED_EXT = {"S8": (1, True), "U8": (1, False),
+               "S16": (2, True), "U16": (2, False)}
+
+
+def _local_fast_path(ex, warp, cta, instr, g, addrs, width):
+    """Vectorized LDL/STL when every active lane uses the same
+    (aligned) offset — the shape of all SASSI spill traffic."""
+    if instr.opcode not in (Opcode.LDL, Opcode.STL):
+        return None
+    if width not in (4, 8):
+        return None
+    active = addrs[g]
+    if len(active) == 0:
+        return None
+    offset = int(active[0])
+    if offset % 4 or offset + width > LOCAL_PHYS_BYTES or offset < 0:
+        return None
+    if not (active == active[0]).all():
+        return None
+    block = cta.local_block()
+    tids = warp.lane_thread_ids[g]
+    return block, tids, offset
+
+
+def _op_load(ex, warp, cta, instr, g, counter):
+    width = instr.mem_width
+    addrs = ex.lane_addresses(warp, instr)
+    if instr.opcode in (Opcode.LDG, Opcode.LD, Opcode.TLD):
+        ex._account_global(addrs, g, width, counter)
+    dst = instr.dsts[0]
+    narrow = next((m for m in instr.mods if m in _SIGNED_EXT), None)
+    if narrow is None:
+        fast = _local_fast_path(ex, warp, cta, instr, g, addrs, width)
+        if fast is not None:
+            block, tids, offset = fast
+            raw = block[tids, offset:offset + width]
+            words = np.ascontiguousarray(raw).view(np.uint32) \
+                .reshape(len(tids), width // 4)
+            for word in range(width // 4):
+                warp.regs[dst.index + word][g] = words[:, word]
+            warp.pc += 1
+            return
+    for lane in np.nonzero(g)[0]:
+        lane = int(lane)
+        mem, offset, _ = ex._resolve_space(warp, cta, instr,
+                                           int(addrs[lane]), lane)
+        if narrow:
+            nbytes, signed = _SIGNED_EXT[narrow]
+            raw = mem.read(offset, nbytes)
+            if signed and raw & (1 << (8 * nbytes - 1)):
+                raw -= 1 << (8 * nbytes)
+            warp.regs[dst.index, lane] = np.uint32(raw & 0xFFFFFFFF)
+        else:
+            raw = mem.read(offset, width)
+            for word in range(width // 4):
+                warp.regs[dst.index + word, lane] = np.uint32(
+                    (raw >> (32 * word)) & 0xFFFFFFFF)
+    warp.pc += 1
+
+
+def _op_store(ex, warp, cta, instr, g, counter):
+    width = instr.mem_width
+    addrs = ex.lane_addresses(warp, instr)
+    if instr.opcode in (Opcode.STG, Opcode.ST):
+        ex._account_global(addrs, g, width, counter)
+    data = instr.srcs[-1]
+    narrow = next((m for m in instr.mods if m in _SIGNED_EXT), None)
+    if narrow is None and isinstance(data, GPR) and not data.is_zero:
+        fast = _local_fast_path(ex, warp, cta, instr, g, addrs, width)
+        if fast is not None:
+            block, tids, offset = fast
+            words = np.empty((len(tids), width // 4), dtype=np.uint32)
+            for word in range(width // 4):
+                words[:, word] = warp.regs[data.index + word][g]
+            block[tids, offset:offset + width] = words.view(np.uint8)
+            warp.pc += 1
+            return
+    for lane in np.nonzero(g)[0]:
+        lane = int(lane)
+        mem, offset, _ = ex._resolve_space(warp, cta, instr,
+                                           int(addrs[lane]), lane)
+        if isinstance(data, GPR) and not data.is_zero:
+            if narrow:
+                nbytes, _ = _SIGNED_EXT[narrow]
+                mem.write(offset, nbytes,
+                          int(warp.regs[data.index, lane]))
+                continue
+            value = 0
+            for word in range(width // 4):
+                value |= int(warp.regs[data.index + word, lane]) << (32 * word)
+            mem.write(offset, width, value)
+        else:
+            value = 0 if not isinstance(data, Imm) else data.value
+            mem.write(offset, width, value)
+    warp.pc += 1
+
+
+_ATOM_FNS = {
+    "ADD": lambda old, val: old + val,
+    "AND": lambda old, val: old & val,
+    "OR": lambda old, val: old | val,
+    "XOR": lambda old, val: old ^ val,
+    "EXCH": lambda old, val: val,
+    "INC": lambda old, val: old + 1,
+    "DEC": lambda old, val: old - 1,
+}
+
+
+def _op_atom(ex, warp, cta, instr, g, counter):
+    addrs = ex.lane_addresses(warp, instr)
+    if instr.opcode in (Opcode.ATOM, Opcode.RED):
+        ex._account_global(addrs, g, 4, counter)
+    op = next((m for m in instr.mods if m in _ATOM_FNS or m in
+               ("MIN", "MAX")), "ADD")
+    signed = "S32" in instr.mods
+    value_src = instr.srcs[-1]
+    has_dst = bool(instr.dsts)
+    for lane in np.nonzero(g)[0]:
+        lane = int(lane)
+        mem, offset, _ = ex._resolve_space(warp, cta, instr,
+                                           int(addrs[lane]), lane)
+        old = mem.read(offset, 4)
+        val = int(warp.regs[value_src.index, lane]) \
+            if isinstance(value_src, GPR) else int(value_src.value)
+        if op in ("MIN", "MAX"):
+            def to_signed(x):
+                return x - (1 << 32) if signed and x & (1 << 31) else x
+            pair = (to_signed(old), to_signed(val))
+            new = (min if op == "MIN" else max)(pair)
+        else:
+            new = _ATOM_FNS[op](old, val)
+        mem.write(offset, 4, new & 0xFFFFFFFF)
+        if has_dst:
+            warp.regs[instr.dsts[0].index, lane] = np.uint32(old & 0xFFFFFFFF)
+    warp.pc += 1
+
+
+def _op_membar(ex, warp, cta, instr, g, counter):
+    warp.pc += 1
+
+
+def _op_bra(ex, warp, cta, instr, g, counter):
+    target = ex._targets[warp.pc]
+    warp.branch(g, target)
+
+
+def _op_jcal(ex, warp, cta, instr, g, counter):
+    target_op = instr.srcs[0]
+    if isinstance(target_op, Imm):
+        address = target_op.value & 0xFFFFFFFF
+        binding = ex.device.handler_bindings.get(address)
+        if binding is not None:
+            ex.stats.handler_calls += 1
+            binding(ex, warp, cta, g)
+            warp.pc += 1
+            return
+        raise DeviceFault(f"JCAL to unbound address 0x{address:x}")
+    raise DeviceFault(f"JCAL needs an absolute target: {instr!r}")
+
+
+def _op_cal(ex, warp, cta, instr, g, counter):
+    target = ex._targets[warp.pc]
+    warp.call_stack.append(warp.pc + 1)
+    warp.pc = target
+
+
+def _op_ret(ex, warp, cta, instr, g, counter):
+    if warp.call_stack:
+        warp.pc = warp.call_stack.pop()
+    else:
+        warp.exit_lanes(g)
+
+
+def _op_exit(ex, warp, cta, instr, g, counter):
+    warp.exit_lanes(g)
+
+
+def _op_ssy(ex, warp, cta, instr, g, counter):
+    warp.push_sync(ex._targets[warp.pc])
+    warp.pc += 1
+
+
+def _op_sync(ex, warp, cta, instr, g, counter):
+    warp.sync()
+
+
+def _op_pbk(ex, warp, cta, instr, g, counter):
+    warp.push_brk(ex._targets[warp.pc])
+    warp.pc += 1
+
+
+def _op_brk(ex, warp, cta, instr, g, counter):
+    warp.brk(g)
+
+
+def _op_bar(ex, warp, cta, instr, g, counter):
+    warp.at_barrier = True
+    warp.pc += 1
+
+
+def _op_nop(ex, warp, cta, instr, g, counter):
+    warp.pc += 1
+
+
+def _op_vote(ex, warp, cta, instr, g, counter):
+    pred_src = instr.srcs[0]
+    row = warp.preds[pred_src.index] & warp.active
+    if "BALLOT" in instr.mods:
+        value = np.uint32(_mask_to_int(row))
+    elif "ALL" in instr.mods:
+        value = np.uint32(1 if bool((row | ~warp.active).all()) else 0)
+    else:  # ANY
+        value = np.uint32(1 if bool(row.any()) else 0)
+    ex._write(warp, instr.dsts[0], _broadcast(value), g)
+    warp.pc += 1
+
+
+def _op_shfl(ex, warp, cta, instr, g, counter):
+    value = _broadcast(ex._read(warp, instr.srcs[0]))
+    lane_spec = _broadcast(_as_u32(ex._read(warp, instr.srcs[1])))
+    lanes = np.arange(WARP_SIZE, dtype=np.int64)
+    if "IDX" in instr.mods:
+        source = lane_spec.astype(np.int64)
+    elif "UP" in instr.mods:
+        source = lanes - lane_spec.astype(np.int64)
+    elif "DOWN" in instr.mods:
+        source = lanes + lane_spec.astype(np.int64)
+    else:  # BFLY
+        source = lanes ^ lane_spec.astype(np.int64)
+    source = np.clip(source, 0, WARP_SIZE - 1)
+    ex._write(warp, instr.dsts[0], value[source], g)
+    warp.pc += 1
+
+
+def _op_ldc(ex, warp, cta, instr, g, counter):
+    _op_load(ex, warp, cta, instr, g, counter)
+
+
+_DISPATCH: Dict[Opcode, Callable] = {
+    Opcode.MOV: _op_mov_advance,
+    Opcode.MOV32I: _op_mov_advance,
+    Opcode.SEL: _op_sel_advance,
+    Opcode.S2R: _op_s2r,
+    Opcode.P2R: _op_p2r,
+    Opcode.R2P: _op_r2p,
+    Opcode.PSETP: _op_psetp,
+    Opcode.IADD: _op_iadd,
+    Opcode.IADD32I: _op_iadd,
+    Opcode.IMUL: _op_imul,
+    Opcode.IMAD: _op_imad,
+    Opcode.ISCADD: _op_iscadd,
+    Opcode.ISETP: _op_isetp,
+    Opcode.IMNMX: _op_imnmx,
+    Opcode.LOP: _op_lop,
+    Opcode.LOP32I: _op_lop,
+    Opcode.SHL: _op_shl,
+    Opcode.SHR: _op_shr,
+    Opcode.POPC: _op_popc,
+    Opcode.FLO: _op_flo,
+    Opcode.BFE: _op_bfe,
+    Opcode.BFI: _op_bfi,
+    Opcode.IABS: _op_iabs,
+    Opcode.FADD: _op_fadd,
+    Opcode.FMUL: _op_fmul,
+    Opcode.FFMA: _op_ffma,
+    Opcode.FSETP: _op_fsetp,
+    Opcode.FMNMX: _op_fmnmx,
+    Opcode.MUFU: _op_mufu,
+    Opcode.F2I: _op_f2i,
+    Opcode.I2F: _op_i2f,
+    Opcode.F2F: _op_mov_advance,
+    Opcode.LD: _op_load,
+    Opcode.ST: _op_store,
+    Opcode.LDG: _op_load,
+    Opcode.STG: _op_store,
+    Opcode.LDS: _op_load,
+    Opcode.STS: _op_store,
+    Opcode.LDL: _op_load,
+    Opcode.STL: _op_store,
+    Opcode.LDC: _op_ldc,
+    Opcode.ATOM: _op_atom,
+    Opcode.ATOMS: _op_atom,
+    Opcode.RED: _op_atom,
+    Opcode.TLD: _op_load,
+    Opcode.MEMBAR: _op_membar,
+    Opcode.BRA: _op_bra,
+    Opcode.JCAL: _op_jcal,
+    Opcode.CAL: _op_cal,
+    Opcode.RET: _op_ret,
+    Opcode.EXIT: _op_exit,
+    Opcode.SSY: _op_ssy,
+    Opcode.SYNC: _op_sync,
+    Opcode.PBK: _op_pbk,
+    Opcode.BRK: _op_brk,
+    Opcode.BAR: _op_bar,
+    Opcode.NOP: _op_nop,
+    Opcode.BPT: _op_nop,
+    Opcode.VOTE: _op_vote,
+    Opcode.SHFL: _op_shfl,
+}

@@ -1,0 +1,32 @@
+"""Launch-dimension helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """A CUDA-style 3-component dimension."""
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    @property
+    def count(self) -> int:
+        return self.x * self.y * self.z
+
+    @classmethod
+    def of(cls, value: Union[int, Tuple[int, ...], "Dim3"]) -> "Dim3":
+        if isinstance(value, Dim3):
+            return value
+        if isinstance(value, int):
+            return cls(value)
+        return cls(*value)
+
+
+def grid_for(total_threads: int, block: int) -> Dim3:
+    """A 1-D grid covering *total_threads* with *block*-sized CTAs."""
+    return Dim3((total_threads + block - 1) // block)

@@ -1,0 +1,102 @@
+"""Byte-addressed memory spaces and the device address map.
+
+The simulated GPU exposes one 64-bit *generic* address space carved into
+windows, as on real hardware:
+
+===================  ==========================  =========================
+window               range                        resolves to
+===================  ==========================  =========================
+global heap          ``[0x1000_0000, +heap)``    the device-wide heap
+shared window        ``[0x0100_0000, +48 KiB)``  the executing CTA's SMEM
+local window         ``[0x4000_0000, +stack)``   the executing *thread's*
+                                                 local memory (thread-
+                                                 indexed, like the
+                                                 hardware local window)
+===================  ==========================  =========================
+
+``LDS/STS`` and ``LDL/STL`` use 32-bit offsets relative to the start of
+their space; generic ``LD/ST`` take full generic addresses and dispatch by
+window — which is how SASSI's injected code passes stack-allocated
+parameter objects to handlers by generic pointer (paper Figure 2, step 4:
+``LOP.OR R4, R1, c[0x0][0x24]`` forms a generic pointer from the local
+stack pointer).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.sim.errors import DeviceFault
+
+#: Generic-window bases (see module docstring).
+GLOBAL_BASE = 0x1000_0000
+SHARED_BASE = 0x0100_0000
+LOCAL_BASE = 0x4000_0000
+
+#: Default sizes.
+DEFAULT_HEAP_BYTES = 64 << 20
+SHARED_BYTES = 48 << 10
+LOCAL_BYTES_PER_THREAD = 16 << 10
+
+
+class Memory:
+    """A flat little-endian byte array with typed accessors."""
+
+    def __init__(self, size: int, name: str = "mem"):
+        self.size = size
+        self.name = name
+        self.data = np.zeros(size, dtype=np.uint8)
+
+    def _check(self, addr: int, width: int) -> None:
+        if addr < 0 or addr + width > self.size:
+            raise DeviceFault(
+                f"{self.name}: access of {width} bytes at 0x{addr:x} "
+                f"outside [0, 0x{self.size:x})")
+
+    def read(self, addr: int, width: int) -> int:
+        """Read *width* bytes as an unsigned little-endian integer."""
+        addr = int(addr)
+        self._check(addr, width)
+        if width == 4 and addr % 4 == 0:
+            return int(self.data[addr:addr + 4].view(np.uint32)[0])
+        if width == 8 and addr % 8 == 0:
+            return int(self.data[addr:addr + 8].view(np.uint64)[0])
+        return int.from_bytes(self.data[addr:addr + width].tobytes(),
+                              "little")
+
+    def write(self, addr: int, width: int, value: int) -> None:
+        addr = int(addr)
+        self._check(addr, width)
+        value = int(value) & ((1 << (8 * width)) - 1)
+        if width == 4 and addr % 4 == 0:
+            self.data[addr:addr + 4].view(np.uint32)[0] = value
+            return
+        if width == 8 and addr % 8 == 0:
+            self.data[addr:addr + 8].view(np.uint64)[0] = value
+            return
+        self.data[addr:addr + width] = np.frombuffer(
+            value.to_bytes(width, "little"), dtype=np.uint8)
+
+    def read_bytes(self, addr: int, count: int) -> bytes:
+        self._check(addr, count)
+        return self.data[addr:addr + count].tobytes()
+
+    def write_bytes(self, addr: int, payload: bytes) -> None:
+        self._check(addr, len(payload))
+        self.data[addr:addr + len(payload)] = np.frombuffer(
+            payload, dtype=np.uint8)
+
+
+def is_global(addr: int, heap_bytes: int = DEFAULT_HEAP_BYTES) -> bool:
+    """The ``__isGlobal`` intrinsic of the paper's Figure 6 handler."""
+    return GLOBAL_BASE <= addr < GLOBAL_BASE + heap_bytes
+
+
+def is_shared(addr: int) -> bool:
+    return SHARED_BASE <= addr < SHARED_BASE + SHARED_BYTES
+
+
+def is_local(addr: int) -> bool:
+    return LOCAL_BASE <= addr < LOCAL_BASE + LOCAL_BYTES_PER_THREAD

@@ -1,0 +1,92 @@
+"""SM occupancy calculator (Kepler-flavoured).
+
+The paper's instrumentation discussion repeatedly touches occupancy:
+handlers are capped at 16 registers so they do not change the kernel's
+register footprint, and Section 9.3 warns that handlers using shared
+memory "risk affecting occupancy".  This module provides the standard
+occupancy math (the CUDA Occupancy Calculator's core) over the same
+per-SM limits as a Tesla K10-class device, so studies and tests can
+quantify those effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.warp import WARP_SIZE
+
+
+@dataclass(frozen=True)
+class SMResources:
+    """Per-SM limits (defaults: Kepler GK104-class)."""
+
+    max_threads: int = 2048
+    max_warps: int = 64
+    max_ctas: int = 16
+    registers: int = 65536
+    shared_bytes: int = 48 << 10
+    register_allocation_unit: int = 256
+    shared_allocation_unit: int = 256
+
+    def _round_up(self, value: int, unit: int) -> int:
+        if value == 0:
+            return 0
+        return ((value + unit - 1) // unit) * unit
+
+
+KEPLER_SM = SMResources()
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of the occupancy calculation for one kernel config."""
+
+    ctas_per_sm: int
+    warps_per_sm: int
+    limiter: str
+
+    @property
+    def fraction(self) -> float:
+        return self.warps_per_sm / KEPLER_SM.max_warps
+
+
+def occupancy(threads_per_cta: int, regs_per_thread: int,
+              shared_per_cta: int = 0,
+              sm: SMResources = KEPLER_SM) -> Occupancy:
+    """CTAs/warps resident per SM and the limiting resource."""
+    if threads_per_cta <= 0 or threads_per_cta > 1024:
+        raise ValueError(f"bad CTA size {threads_per_cta}")
+    warps_per_cta = (threads_per_cta + WARP_SIZE - 1) // WARP_SIZE
+
+    limits = {"ctas": sm.max_ctas,
+              "threads": sm.max_threads // threads_per_cta,
+              "warps": sm.max_warps // warps_per_cta}
+    regs_per_cta = sm._round_up(
+        regs_per_thread * WARP_SIZE,
+        sm.register_allocation_unit) * warps_per_cta
+    limits["registers"] = sm.registers // regs_per_cta if regs_per_cta \
+        else sm.max_ctas
+    if shared_per_cta:
+        rounded = sm._round_up(shared_per_cta, sm.shared_allocation_unit)
+        limits["shared"] = sm.shared_bytes // rounded if rounded else 0
+
+    limiter = min(limits, key=lambda key: limits[key])
+    ctas = max(limits[limiter], 0)
+    return Occupancy(ctas_per_sm=ctas,
+                     warps_per_sm=ctas * warps_per_cta,
+                     limiter=limiter)
+
+
+def occupancy_impact_of_instrumentation(kernel_before, kernel_after,
+                                        threads_per_cta: int,
+                                        shared_per_cta: int = 0) -> float:
+    """Ratio of instrumented to baseline occupancy for a kernel pair —
+    1.0 when SASSI's 16-register handler cap does its job (the injected
+    code reuses the ABI registers, so the footprint barely moves)."""
+    before = occupancy(threads_per_cta, kernel_before.num_regs,
+                       shared_per_cta)
+    after = occupancy(threads_per_cta, kernel_after.num_regs,
+                      shared_per_cta)
+    if before.warps_per_sm == 0:
+        return 0.0
+    return after.warps_per_sm / before.warps_per_sm

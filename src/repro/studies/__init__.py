@@ -1,0 +1,13 @@
+"""Experiment drivers, one per paper table/figure.
+
+Each module exposes ``run(...)`` returning a structured result and a
+``render(result)`` that prints the same rows/series the paper reports:
+
+* :mod:`repro.studies.casestudy1` — Table 1 + Figure 5 (branch divergence)
+* :mod:`repro.studies.casestudy2` — Figure 7 + Figure 8 (memory divergence)
+* :mod:`repro.studies.casestudy3` — Table 2 (value profiling)
+* :mod:`repro.studies.casestudy4` — Figure 10 (error injection)
+* :mod:`repro.studies.overhead` — Table 3 (instrumentation overheads)
+
+``EXPERIMENTS.md`` records paper-vs-measured values for each.
+"""

@@ -1,0 +1,161 @@
+"""Design-choice ablations (DESIGN.md §5).
+
+1. **ABI call vs inlined counter** — the paper (Section 3.2) argues for
+   full ABI-compliant calls despite their cost, for portability and
+   CUDA-authored handlers.  The ablation injects the minimal inline
+   alternative (three instructions: materialize a counter address and
+   ``RED.ADD``) at the same sites and compares injected-instruction
+   counts and simulated cycles.
+2. **Redundant-spill elimination** — the Section 9.1 future-work
+   optimization, available as ``-sassi-skip-redundant-spills``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+import numpy as np
+
+from repro.backend import CompileOptions, ptxas
+from repro.isa.instruction import Imm, Instruction, MemRef, MemSpace
+from repro.isa.opcodes import Opcode
+from repro.isa.program import SassKernel
+from repro.sassi import SassiRuntime, spec_from_flags
+from repro.sassi.spec import InstrumentationSpec
+from repro.sim import Device
+
+
+@dataclass
+class AblationResult:
+    benchmark: str
+    baseline_cycles: int
+    abi_cycles: int
+    inline_cycles: int
+    abi_injected: int
+    inline_injected: int
+    spillopt_cycles: int
+
+    @property
+    def abi_ratio(self) -> float:
+        return self.abi_cycles / max(self.baseline_cycles, 1)
+
+    @property
+    def inline_ratio(self) -> float:
+        return self.inline_cycles / max(self.baseline_cycles, 1)
+
+    @property
+    def spillopt_ratio(self) -> float:
+        return self.spillopt_cycles / max(self.baseline_cycles, 1)
+
+
+def inline_counter_pass(counter_address: int, spec: InstrumentationSpec):
+    """A final pass injecting the minimal inline counter at each
+    before-site: two scratch registers beyond the kernel's allocation
+    hold the counter address (no spills needed) and a ``RED.ADD``
+    bumps it."""
+
+    def final_pass(kernel: SassKernel) -> SassKernel:
+        scratch = kernel.num_regs
+        if scratch + 2 > 254:
+            raise ValueError("no scratch registers left for inlining")
+        lo, hi = scratch, scratch + 1
+        from repro.isa.registers import GPR
+
+        new_instructions: List[Instruction] = []
+        label_at = {}
+        for name, index in kernel.labels.items():
+            label_at.setdefault(index, []).append(name)
+        new_labels = {}
+        for index, instr in enumerate(kernel.instructions):
+            for name in label_at.get(index, ()):
+                new_labels[name] = len(new_instructions)
+            if spec.instruments_before(instr):
+                new_instructions.extend([
+                    Instruction(Opcode.MOV32I, (GPR(lo),),
+                                (Imm(counter_address & 0xFFFFFFFF),),
+                                tag="sassi"),
+                    Instruction(Opcode.MOV32I, (GPR(hi),),
+                                (Imm(counter_address >> 32),),
+                                tag="sassi"),
+                    Instruction(Opcode.RED, (),
+                                (MemRef(MemSpace.GLOBAL, GPR(lo)), Imm(1)),
+                                mods=("ADD", "U32"), tag="sassi"),
+                ])
+            new_instructions.append(instr)
+        for name, index in kernel.labels.items():
+            if index >= len(kernel.instructions):
+                new_labels[name] = len(new_instructions)
+        return replace(kernel, instructions=tuple(new_instructions),
+                       labels=new_labels, num_regs=scratch + 2)
+
+    return final_pass
+
+
+def run_ablation(name: str,
+                 flags: str = "-sassi-inst-before=memory "
+                              "-sassi-before-args=mem-info"
+                 ) -> AblationResult:
+    from repro.workloads import make
+
+    spec = spec_from_flags(flags)
+
+    # baseline
+    workload = make(name)
+    device = Device()
+    workload.execute(device, ptxas(workload.build_ir()))
+    baseline = workload.last_trace
+
+    # full ABI instrumentation (no-op handler: cost is the sequence)
+    workload = make(name)
+    device = Device()
+    runtime = SassiRuntime(device, poison_caller_saved=False)
+    runtime.register_before_handler(lambda ctx: None)
+    abi_kernel = runtime.compile(workload.build_ir(), spec)
+    workload.execute(device, abi_kernel)
+    abi = workload.last_trace
+    abi_injected = runtime.reports[-1].injected_instructions
+
+    # inline counter at the same sites
+    workload = make(name)
+    device = Device()
+    counter = device.alloc(8)
+    baseline_kernel = ptxas(workload.build_ir())
+    inline_kernel = inline_counter_pass(counter, spec)(baseline_kernel)
+    inline_injected = len(inline_kernel.instructions) \
+        - len(baseline_kernel.instructions)
+    workload.execute(device, inline_kernel)
+    inline = workload.last_trace
+
+    # ABI + skip-redundant-spills
+    workload = make(name)
+    device = Device()
+    runtime = SassiRuntime(device, poison_caller_saved=False)
+    runtime.register_before_handler(lambda ctx: None)
+    opt_spec = replace(spec, skip_redundant_spills=True)
+    opt_kernel = runtime.compile(workload.build_ir(), opt_spec)
+    workload.execute(device, opt_kernel)
+    spillopt = workload.last_trace
+
+    return AblationResult(
+        benchmark=name,
+        baseline_cycles=baseline.cycles,
+        abi_cycles=abi.cycles,
+        inline_cycles=inline.cycles,
+        abi_injected=abi_injected,
+        inline_injected=inline_injected,
+        spillopt_cycles=spillopt.cycles,
+    )
+
+
+def render(results: List[AblationResult]) -> str:
+    from repro.studies.report import table
+
+    headers = ["Benchmark", "ABI K", "inline K", "ABI+spillopt K",
+               "ABI instrs", "inline instrs"]
+    rows = [[r.benchmark, f"{r.abi_ratio:.1f}x", f"{r.inline_ratio:.1f}x",
+             f"{r.spillopt_ratio:.1f}x", r.abi_injected,
+             r.inline_injected] for r in results]
+    return table(headers, rows,
+                 title="Ablation: ABI call sequences vs inline counters "
+                       "vs spill-skipping (before=memory sites)")

@@ -1,0 +1,83 @@
+"""Case Study I driver: Table 1 and Figure 5 (branch divergence)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.backend import ptxas
+from repro.handlers.branch_profiler import BranchProfiler, BranchStats, \
+    DivergenceSummary
+from repro.sim import Device
+from repro.workloads import TABLE1_BENCHMARKS, make
+from repro.studies.report import bar_chart, table
+
+
+@dataclass
+class Table1Row:
+    benchmark: str
+    summary: DivergenceSummary
+    branches: List[BranchStats]
+
+
+def profile_benchmark(name: str) -> Table1Row:
+    """Run one workload under the branch profiler."""
+    workload = make(name)
+    device = Device()
+    profiler = BranchProfiler(device)
+    kernel = profiler.compile(workload.build_ir())
+    output = workload.execute(device, kernel)
+    assert workload.verify(output), f"{name}: wrong result when profiled"
+    return Table1Row(benchmark=name, summary=profiler.summary(),
+                     branches=profiler.branches())
+
+
+def run(benchmarks: Optional[Sequence[str]] = None) -> List[Table1Row]:
+    return [profile_benchmark(name)
+            for name in (benchmarks or TABLE1_BENCHMARKS)]
+
+
+def render_table1(rows: List[Table1Row]) -> str:
+    headers = ["Benchmark (Dataset)", "Static Total", "Static Div",
+               "Static %", "Dyn Total", "Dyn Div", "Dyn %"]
+    body = []
+    for row in rows:
+        summary = row.summary
+        body.append([
+            row.benchmark, summary.static_branches,
+            summary.static_divergent, f"{summary.static_pct:.0f}",
+            summary.dynamic_branches, summary.dynamic_divergent,
+            f"{summary.dynamic_pct:.1f}",
+        ])
+    return table(headers, body,
+                 title="Table 1: average branch divergence statistics")
+
+
+def render_figure5(row: Table1Row, top: int = 12) -> str:
+    """Per-branch divergence distribution (one Figure 5 panel)."""
+    branches = sorted(row.branches, key=lambda b: -b.total)[:top]
+    labels = []
+    divergent = []
+    for branch in branches:
+        marker = "D" if branch.divergent else " "
+        labels.append(f"0x{branch.address:05x}{marker}")
+        divergent.append(float(branch.total))
+    chart = bar_chart(labels, divergent,
+                      title=f"Figure 5 ({row.benchmark}): runtime branch "
+                            "counts (D = divergent)")
+    total_div = sum(b.divergent for b in row.branches)
+    return chart + f"\n  divergent executions: {total_div:,}"
+
+
+def main(benchmarks: Optional[Sequence[str]] = None) -> str:
+    rows = run(benchmarks)
+    parts = [render_table1(rows)]
+    for name in ("parboil/bfs(1M)", "parboil/bfs(UT)"):
+        match = next((r for r in rows if r.benchmark == name), None)
+        if match is not None:
+            parts.append(render_figure5(match))
+    return "\n\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(main())

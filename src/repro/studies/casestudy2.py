@@ -1,0 +1,72 @@
+"""Case Study II driver: Figure 7 (unique-line PMFs) and Figure 8
+(occupancy × divergence matrices for miniFE CSR vs ELL)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.handlers.memory_divergence import MemoryDivergenceProfiler
+from repro.sim import Device
+from repro.studies.report import heatmap, pmf_sparkline, table
+from repro.workloads import FIGURE7_BENCHMARKS, make
+
+
+@dataclass
+class MemDivergenceResult:
+    benchmark: str
+    pmf: np.ndarray          # 32-entry thread-access-weighted PMF
+    matrix: np.ndarray       # 32x32 occupancy x unique-lines counters
+    fully_diverged: float    # mass at 32 unique lines
+
+
+def profile_benchmark(name: str) -> MemDivergenceResult:
+    workload = make(name)
+    device = Device()
+    profiler = MemoryDivergenceProfiler(device)
+    kernel = profiler.compile(workload.build_ir())
+    output = workload.execute(device, kernel)
+    assert workload.verify(output), f"{name}: wrong result when profiled"
+    return MemDivergenceResult(
+        benchmark=name,
+        pmf=profiler.pmf(),
+        matrix=profiler.matrix(),
+        fully_diverged=profiler.fully_diverged_fraction(),
+    )
+
+
+def run(benchmarks: Optional[Sequence[str]] = None
+        ) -> List[MemDivergenceResult]:
+    return [profile_benchmark(name)
+            for name in (benchmarks or FIGURE7_BENCHMARKS)]
+
+
+def render_figure7(results: List[MemDivergenceResult]) -> str:
+    headers = ["Benchmark", "PMF over unique lines", "fully diverged"]
+    rows = [[r.benchmark, pmf_sparkline(r.pmf),
+             f"{100 * r.fully_diverged:.0f}%"] for r in results]
+    return table(headers, rows,
+                 title="Figure 7: distribution (PMF) of unique 32B lines "
+                       "requested per warp memory instruction")
+
+
+def render_figure8(results: List[MemDivergenceResult]) -> str:
+    parts = []
+    for result in results:
+        if result.benchmark.startswith("miniFE"):
+            parts.append(heatmap(
+                result.matrix,
+                title=f"Figure 8 ({result.benchmark}): warp occupancy (x) "
+                      "vs unique lines (y), log scale"))
+    return "\n\n".join(parts)
+
+
+def main(benchmarks: Optional[Sequence[str]] = None) -> str:
+    results = run(benchmarks)
+    return render_figure7(results) + "\n\n" + render_figure8(results)
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,65 @@
+"""Case Study III driver: Table 2 (value profiling)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.handlers.value_profiler import ValueProfiler, \
+    ValueProfileSummary
+from repro.sim import Device
+from repro.studies.report import table
+from repro.workloads import TABLE2_BENCHMARKS, make
+
+
+@dataclass
+class Table2Row:
+    benchmark: str
+    summary: ValueProfileSummary
+    sample_dump: str = ""
+
+
+def profile_benchmark(name: str, with_dump: bool = False) -> Table2Row:
+    workload = make(name)
+    device = Device()
+    profiler = ValueProfiler(device)
+    kernel = profiler.compile(workload.build_ir())
+    output = workload.execute(device, kernel)
+    assert workload.verify(output), f"{name}: wrong result when profiled"
+    dump = ""
+    if with_dump:
+        profiles = [p for p in profiler.profiles() if p.dsts]
+        if profiles:
+            best = max(profiles, key=lambda p: p.weight)
+            dump = profiler.dump(best)
+    return Table2Row(benchmark=name, summary=profiler.summary(),
+                     sample_dump=dump)
+
+
+def run(benchmarks: Optional[Sequence[str]] = None) -> List[Table2Row]:
+    return [profile_benchmark(name)
+            for name in (benchmarks or TABLE2_BENCHMARKS)]
+
+
+def render_table2(rows: List[Table2Row]) -> str:
+    headers = ["Benchmark", "Dyn const bits %", "Dyn scalar %",
+               "Static const bits %", "Static scalar %"]
+    body = []
+    for row in rows:
+        summary = row.summary
+        body.append([
+            row.benchmark,
+            f"{summary.dynamic_const_bits_pct:.0f}",
+            f"{summary.dynamic_scalar_pct:.0f}",
+            f"{summary.static_const_bits_pct:.0f}",
+            f"{summary.static_scalar_pct:.0f}",
+        ])
+    return table(headers, body, title="Table 2: value profiling results")
+
+
+def main(benchmarks: Optional[Sequence[str]] = None) -> str:
+    return render_table2(run(benchmarks))
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,70 @@
+"""Case Study IV driver: Figure 10 (error-injection outcomes)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.handlers.error_injection import (
+    CampaignResult,
+    ErrorInjectionCampaign,
+    InjectionOutcome,
+)
+from repro.studies.report import stacked_rows
+from repro.workloads import FIGURE10_BENCHMARKS, make
+
+#: Figure 10 legend order
+OUTCOME_ORDER = [
+    InjectionOutcome.MASKED,
+    InjectionOutcome.CRASH,
+    InjectionOutcome.HANG,
+    InjectionOutcome.FAILURE_SYMPTOM,
+    InjectionOutcome.SDC_STDOUT,
+    InjectionOutcome.SDC_OUTPUT,
+]
+
+
+def inject_benchmark(name: str, num_injections: int = 100,
+                     seed: int = 2015) -> CampaignResult:
+    campaign = ErrorInjectionCampaign(make(name),
+                                      num_injections=num_injections,
+                                      seed=seed)
+    return campaign.run()
+
+
+def run(benchmarks: Optional[Sequence[str]] = None,
+        num_injections: int = 100) -> List[CampaignResult]:
+    return [inject_benchmark(name, num_injections)
+            for name in (benchmarks or FIGURE10_BENCHMARKS)]
+
+
+def render_figure10(results: List[CampaignResult]) -> str:
+    labels = [r.workload for r in results]
+    series = []
+    for result in results:
+        fractions = result.fractions()
+        series.append([fractions[outcome] for outcome in OUTCOME_ORDER])
+    categories = [outcome.value for outcome in OUTCOME_ORDER]
+    body = stacked_rows(labels, series, categories,
+                        title="Figure 10: error-injection outcomes")
+    if results:
+        total = sum(len(r.records) for r in results)
+        masked = sum(r.outcome_counts().get(InjectionOutcome.MASKED, 0)
+                     for r in results)
+        crash_hang = sum(
+            r.outcome_counts().get(InjectionOutcome.CRASH, 0)
+            + r.outcome_counts().get(InjectionOutcome.HANG, 0)
+            for r in results)
+        body += (f"\n  overall: {100 * masked / total:.0f}% masked, "
+                 f"{100 * crash_hang / total:.0f}% crash/hang "
+                 f"(paper: ~79% masked, ~10% crash/hang)")
+    return body
+
+
+def main(benchmarks: Optional[Sequence[str]] = None,
+         num_injections: int = 60) -> str:
+    return render_figure10(run(benchmarks, num_injections))
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,56 @@
+"""Regenerate every table and figure in one go.
+
+Usage::
+
+    python -m repro.studies.run_all [output.txt] [--injections N]
+
+Writes the rendered tables/figures (with timing) to the output file
+(default ``results/full_studies.txt``) and echoes progress to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("output", nargs="?",
+                        default="results/full_studies.txt")
+    parser.add_argument("--injections", type=int, default=60,
+                        help="error injections per application")
+    args = parser.parse_args()
+
+    from repro.studies import (ablation, casestudy1, casestudy2,
+                               casestudy3, casestudy4, overhead)
+
+    os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+    start = time.time()
+    with open(args.output, "w") as sink:
+        def emit(title: str, text: str) -> None:
+            sink.write(f"\n{'=' * 72}\n{title}  "
+                       f"[t={time.time() - start:.0f}s]\n{'=' * 72}\n")
+            sink.write(text + "\n")
+            sink.flush()
+            print(f"done: {title} at {time.time() - start:.0f}s",
+                  flush=True)
+
+        emit("CASE STUDY I (Table 1 + Figure 5)", casestudy1.main())
+        emit("CASE STUDY II (Figure 7 + Figure 8)", casestudy2.main())
+        emit("CASE STUDY III (Table 2)", casestudy3.main())
+        emit("TABLE 3 (overheads)", overhead.main())
+        ablations = [ablation.run_ablation(name) for name in
+                     ("parboil/sgemm(small)", "parboil/spmv(small)",
+                      "rodinia/hotspot")]
+        emit("ABLATION (ABI vs inline, spill skipping)",
+             ablation.render(ablations))
+        emit("CASE STUDY IV (Figure 10)",
+             casestudy4.main(num_injections=args.injections))
+    print(f"all studies written to {args.output} "
+          f"in {time.time() - start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

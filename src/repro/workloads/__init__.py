@@ -1,0 +1,41 @@
+"""Workload analogs of the paper's benchmarks (Parboil v2.5, Rodinia
+v2.3, NERSC miniFE), written in the KernelBuilder DSL with synthetic
+datasets.
+
+Use :func:`repro.workloads.registry.make` to instantiate by name::
+
+    from repro.workloads import make
+    workload = make("parboil/bfs(NY)")
+    kernel = ptxas(workload.build_ir())
+    output = workload.execute(device, kernel)
+    assert workload.verify(output)
+
+The per-table benchmark lists (``TABLE1_BENCHMARKS`` etc.) drive the
+studies and benchmarks.
+"""
+
+from repro.workloads.base import ExecutionTrace, Workload, launch_1d
+from repro.workloads.registry import (
+    FIGURE7_BENCHMARKS,
+    FIGURE10_BENCHMARKS,
+    TABLE1_BENCHMARKS,
+    TABLE2_BENCHMARKS,
+    TABLE3_BENCHMARKS,
+    WORKLOADS,
+    all_names,
+    make,
+)
+
+__all__ = [
+    "ExecutionTrace",
+    "Workload",
+    "launch_1d",
+    "FIGURE7_BENCHMARKS",
+    "FIGURE10_BENCHMARKS",
+    "TABLE1_BENCHMARKS",
+    "TABLE2_BENCHMARKS",
+    "TABLE3_BENCHMARKS",
+    "WORKLOADS",
+    "all_names",
+    "make",
+]

@@ -1,0 +1,73 @@
+"""Rodinia ``backprop`` analog: neural-net forward layer.
+
+One thread per hidden unit: weighted sum over the input layer followed
+by a sigmoid (``1 / (1 + e^-x)`` via ``MUFU.EX2``).  Convergent except
+for the bounds test; heavy on FFMA and transcendental units."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.workloads.base import Workload, launch_1d
+
+LOG2E = float(np.log2(np.e))
+
+
+def build_backprop_ir():
+    b = KernelBuilder("backprop", [
+        ("hidden", Type.U32), ("inputs", Type.S32),
+        ("x", PTR), ("weights", PTR), ("out", PTR),
+    ])
+    j = b.global_index_x()
+    with b.if_(b.lt(j, b.param("hidden"))):
+        j_s = b.cvt(j, Type.S32)
+        total = b.var(0.0, Type.F32)
+        inputs = b.param("inputs")
+        with b.for_range(0, inputs) as i:
+            xi = b.load_f32(b.gep(b.param("x"), i, 4))
+            w = b.load_f32(b.gep(b.param("weights"),
+                                 b.mad(j_s, inputs, i), 4))
+            b.assign(total, b.fma(xi, w, total))
+        # sigmoid(total) = 1 / (1 + 2^(-total * log2 e))
+        exp_term = b.exp2(b.fmul(total, -LOG2E))
+        b.store(b.gep(b.param("out"), j_s, 4),
+                b.rcp(b.fadd(exp_term, 1.0)))
+    return b.finish()
+
+
+class Backprop(Workload):
+    name = "rodinia/backprop"
+
+    def __init__(self, dataset: str = "default", inputs: int = 64,
+                 hidden: int = 256):
+        super().__init__()
+        self.dataset = dataset
+        rng = np.random.default_rng(191)
+        self.x = (rng.random(inputs, dtype=np.float32) - 0.5) \
+            .astype(np.float32)
+        self.weights = (rng.random((hidden, inputs), dtype=np.float32)
+                        - 0.5).astype(np.float32)
+
+    def build_ir(self):
+        return build_backprop_ir()
+
+    def _run(self, device, kernel) -> np.ndarray:
+        hidden, inputs = self.weights.shape
+        args = [
+            hidden, inputs,
+            device.alloc_array(self.x),
+            device.alloc_array(self.weights),
+            device.alloc(hidden * 4),
+        ]
+        launch_1d(device, kernel, hidden, 128, args)
+        return device.read_array(args[-1], hidden, np.float32)
+
+    def reference(self) -> np.ndarray:
+        totals = self.weights @ self.x
+        return (1.0 / (1.0 + np.exp(-totals))).astype(np.float32)
+
+    def verify(self, output) -> bool:
+        return bool(np.allclose(output, self.reference(),
+                                rtol=1e-3, atol=1e-4))

@@ -1,0 +1,99 @@
+"""Workload protocol shared by all Parboil/Rodinia/miniFE analogs.
+
+A workload packages: a kernel (built with :class:`KernelBuilder`), input
+generation (deterministic per seed), the launch recipe (possibly
+iterative, e.g. BFS levels), and a reference computation for
+verification.  ``execute`` is the whole "application run" the case
+studies instrument and the error-injection campaign replays.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.kernelir.ir import KernelIR
+from repro.sim import Device, Dim3
+from repro.sim.executor import KernelStats
+
+
+@dataclass
+class ExecutionTrace:
+    """Aggregate statistics over the launches of one application run."""
+
+    launches: List[KernelStats] = field(default_factory=list)
+
+    @property
+    def kernel_launches(self) -> int:
+        return len(self.launches)
+
+    def total(self, attr: str) -> int:
+        return sum(getattr(s, attr) for s in self.launches)
+
+    @property
+    def cycles(self) -> int:
+        return self.total("cycles")
+
+    @property
+    def warp_instructions(self) -> int:
+        return self.total("warp_instructions")
+
+
+class Workload(abc.ABC):
+    """One benchmark application."""
+
+    #: short name, e.g. ``"parboil/bfs"``
+    name: str = "workload"
+    #: dataset tag, e.g. ``"1M"`` / ``"NY"`` (paper datasets are scaled)
+    dataset: str = "default"
+
+    def __init__(self):
+        self.last_trace: Optional[ExecutionTrace] = None
+
+    @abc.abstractmethod
+    def build_ir(self) -> KernelIR:
+        """The kernel, built fresh (safe to compile per device)."""
+
+    @abc.abstractmethod
+    def _run(self, device: Device, kernel) -> np.ndarray:
+        """Allocate inputs, launch (possibly repeatedly), return the
+        primary output array."""
+
+    def execute(self, device: Device, kernel) -> np.ndarray:
+        """Run the full application; collects per-launch statistics
+        into ``self.last_trace``."""
+        trace = ExecutionTrace()
+        device.on_kernel_exit(lambda _d, _k, stats: trace.launches.append(stats))
+        try:
+            output = self._run(device, kernel)
+        finally:
+            self.last_trace = trace
+        return output
+
+    def reference(self) -> Optional[np.ndarray]:
+        """The host-side reference output (None if not practical)."""
+        return None
+
+    def verify(self, output: np.ndarray) -> bool:
+        expected = self.reference()
+        if expected is None:
+            return True
+        if output.dtype.kind == "f":
+            return bool(np.allclose(output, expected,
+                                    rtol=1e-4, atol=1e-4))
+        return bool((output == expected).all())
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.name}({self.dataset})"
+
+
+def launch_1d(device: Device, kernel, total_threads: int, block: int,
+              args, shared_bytes: int = 0) -> KernelStats:
+    """Convenience 1-D launch covering *total_threads*."""
+    grid = Dim3((total_threads + block - 1) // block)
+    return device.launch(kernel, grid, Dim3(block), args,
+                         shared_bytes=shared_bytes)

@@ -1,0 +1,115 @@
+"""Rodinia ``b+tree`` analog: batched B+-tree key lookups.
+
+One thread per query descends a device-resident B+ tree: at each level a
+linear scan over the node's keys picks the child.  Scan lengths and
+memory targets are data-dependent — b+tree is the most scalar-friendly
+yet pointer-chasing workload in the paper's Table 2 (76 % dynamic scalar
+operations, since tree levels are shared across a warp's queries)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.workloads.base import Workload, launch_1d
+
+FANOUT = 4
+LEAVES = 64
+
+
+@dataclass
+class _FlatTree:
+    """Array-of-nodes B+ tree: node = [keys[FANOUT], children[FANOUT]]."""
+
+    keys: np.ndarray       # (num_nodes, FANOUT) int32
+    children: np.ndarray   # (num_nodes, FANOUT) int32; leaf -> -value-1
+    root: int
+
+
+def _build_tree(sorted_values: np.ndarray) -> _FlatTree:
+    level = [(-int(v) - 1, int(v)) for v in sorted_values]  # (ref, minkey)
+    keys_rows: List[List[int]] = []
+    child_rows: List[List[int]] = []
+    node_id = 0
+    while len(level) > 1:
+        next_level = []
+        for start in range(0, len(level), FANOUT):
+            group = level[start:start + FANOUT]
+            keys = [entry[1] for entry in group]
+            children = [entry[0] for entry in group]
+            while len(keys) < FANOUT:
+                keys.append(2**31 - 1)
+                children.append(children[-1])
+            keys_rows.append(keys)
+            child_rows.append(children)
+            next_level.append((node_id, group[0][1]))
+            node_id += 1
+        level = next_level
+    return _FlatTree(
+        keys=np.array(keys_rows, dtype=np.int32),
+        children=np.array(child_rows, dtype=np.int32),
+        root=level[0][0],
+    )
+
+
+def build_btree_ir():
+    b = KernelBuilder("btree", [
+        ("nqueries", Type.U32), ("queries", PTR), ("keys", PTR),
+        ("children", PTR), ("root", Type.S32), ("out", PTR),
+    ])
+    i = b.global_index_x()
+    with b.if_(b.lt(i, b.param("nqueries"))):
+        i_s = b.cvt(i, Type.S32)
+        query = b.load_s32(b.gep(b.param("queries"), i_s, 4))
+        node = b.var(b.param("root"), Type.S32)
+        # descend until we hit a leaf reference (negative)
+        with b.while_(lambda: b.ge(node, 0)):
+            chosen = b.var(0, Type.S32)
+            with b.for_range(0, FANOUT) as slot:
+                key = b.load_s32(b.gep(b.param("keys"),
+                                       b.mad(node, FANOUT, slot), 4))
+                with b.if_(b.ge(query, key)):
+                    b.assign(chosen, slot)
+            b.assign(node, b.load_s32(
+                b.gep(b.param("children"),
+                      b.mad(node, FANOUT, chosen), 4)))
+        found = b.sub(b.sub(0, node), 1)   # decode -value-1
+        b.store(b.gep(b.param("out"), i_s, 4), found)
+    return b.finish()
+
+
+class BPlusTree(Workload):
+    name = "rodinia/b+tree"
+
+    def __init__(self, dataset: str = "default", nqueries: int = 256):
+        super().__init__()
+        self.dataset = dataset
+        rng = np.random.default_rng(251)
+        self.values = np.sort(rng.choice(10_000, LEAVES, replace=False)) \
+            .astype(np.int32)
+        self.tree = _build_tree(self.values)
+        self.queries = rng.choice(self.values, nqueries).astype(np.int32)
+
+    def build_ir(self):
+        return build_btree_ir()
+
+    def _run(self, device, kernel) -> np.ndarray:
+        n = len(self.queries)
+        args = [
+            n,
+            device.alloc_array(self.queries),
+            device.alloc_array(self.tree.keys),
+            device.alloc_array(self.tree.children),
+            self.tree.root,
+            device.alloc(n * 4),
+        ]
+        launch_1d(device, kernel, n, 128, args)
+        return device.read_array(args[-1], n, np.int32)
+
+    def reference(self) -> np.ndarray:
+        # exact-match queries on present values find themselves
+        return self.queries.copy()

@@ -1,0 +1,92 @@
+"""Parboil ``cutcp`` analog: cutoff-limited Coulombic potential.
+
+Each thread owns one lattice point and sums charge/distance over all
+atoms *within the cutoff radius* — the cutoff test inside the atom loop
+is the data-dependent branch that gives cutcp its moderate divergence
+and its sizable instrumentation overhead in Table 3."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.workloads.base import Workload, launch_1d
+
+GRID = 16
+CUTOFF2 = 1.5
+
+
+def build_cutcp_ir():
+    b = KernelBuilder("cutcp", [
+        ("npoints", Type.U32), ("natoms", Type.S32),
+        ("ax", PTR), ("ay", PTR), ("aq", PTR), ("potential", PTR),
+    ])
+    i = b.global_index_x()
+    with b.if_(b.lt(i, b.param("npoints"))):
+        scale = 4.0 / GRID
+        px = b.fmul(b.cvt(b.and_(i, GRID - 1), Type.F32), scale)
+        py = b.fmul(b.cvt(b.shr(i, 4), Type.F32), scale)
+        total = b.var(0.0, Type.F32)
+        with b.for_range(0, b.param("natoms")) as a:
+            ax = b.load_f32(b.gep(b.param("ax"), a, 4))
+            ay = b.load_f32(b.gep(b.param("ay"), a, 4))
+            dx = b.fsub(px, ax)
+            dy = b.fsub(py, ay)
+            dist2 = b.fma(dx, dx, b.fmul(dy, dy))
+            with b.if_(b.lt(dist2, CUTOFF2)):
+                charge = b.load_f32(b.gep(b.param("aq"), a, 4))
+                inv = b.rcp(b.sqrt(b.fadd(dist2, 0.01)))
+                b.assign(total, b.fma(charge, inv, total))
+        b.store(b.gep(b.param("potential"), i, 4), total)
+    return b.finish()
+
+
+class Cutcp(Workload):
+    name = "parboil/cutcp"
+
+    def __init__(self, dataset: str = "default", natoms: int = 48):
+        super().__init__()
+        self.dataset = dataset
+        rng = np.random.default_rng(101)
+        self.ax = (rng.random(natoms, dtype=np.float32) * 4.0) \
+            .astype(np.float32)
+        self.ay = (rng.random(natoms, dtype=np.float32) * 4.0) \
+            .astype(np.float32)
+        self.aq = rng.random(natoms, dtype=np.float32)
+
+    def build_ir(self):
+        return build_cutcp_ir()
+
+    def _run(self, device, kernel) -> np.ndarray:
+        npoints = GRID * GRID
+        args = [
+            npoints, len(self.ax),
+            device.alloc_array(self.ax),
+            device.alloc_array(self.ay),
+            device.alloc_array(self.aq),
+            device.alloc(npoints * 4),
+        ]
+        launch_1d(device, kernel, npoints, 64, args)
+        return device.read_array(args[-1], npoints, np.float32)
+
+    def reference(self) -> np.ndarray:
+        scale = np.float32(4.0 / GRID)
+        out = np.zeros(GRID * GRID, dtype=np.float32)
+        for i in range(GRID * GRID):
+            px = np.float32(i & (GRID - 1)) * scale
+            py = np.float32(i >> 4) * scale
+            total = np.float32(0.0)
+            for a in range(len(self.ax)):
+                dx = px - self.ax[a]
+                dy = py - self.ay[a]
+                dist2 = dx * dx + dy * dy
+                if dist2 < np.float32(CUTOFF2):
+                    total += self.aq[a] / np.sqrt(
+                        dist2 + np.float32(0.01))
+            out[i] = total
+        return out
+
+    def verify(self, output) -> bool:
+        return bool(np.allclose(output, self.reference(),
+                                rtol=1e-2, atol=1e-3))

@@ -1,0 +1,157 @@
+"""Synthetic dataset generators.
+
+The paper's inputs (Parboil/Rodinia data sets, the 9th DIMACS road
+graphs NY/SF, miniFE meshes) are not redistributable here, so each is
+replaced by a generator that reproduces the *behavioural property* the
+case studies depend on:
+
+* ``scale_free_graph`` — power-law degree distribution (the Parboil
+  ``1M``/``UT`` graphs): high degree variance ⇒ branch divergence in BFS.
+* ``road_graph`` — 2-D lattice with diagonal shortcuts (the ``NY``/``SF``
+  road networks): low degree, huge diameter ⇒ many BFS levels, higher
+  dynamic divergence on small frontiers.
+* ``sparse_matrix_csr`` / ``to_ell`` — banded-random sparse matrices with
+  variable row lengths (spmv, miniFE): CSR's row-pointer indirection
+  makes warp lanes fetch unrelated lines (address divergence), while the
+  ELL transform pads rows to a rectangle and restores coalescing —
+  exactly the CSR-vs-ELL contrast of the paper's Figure 8.
+
+All generators are deterministic in ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass
+class CSRGraph:
+    """A graph/matrix in compressed-sparse-row form."""
+
+    row_offsets: np.ndarray   # int32, length n+1
+    columns: np.ndarray       # int32, length nnz
+    values: np.ndarray        # float32, length nnz (1.0 for graphs)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.row_offsets) - 1
+
+    @property
+    def nnz(self) -> int:
+        return int(self.row_offsets[-1])
+
+    def max_row_length(self) -> int:
+        return int(np.diff(self.row_offsets).max())
+
+
+def scale_free_graph(num_nodes: int, avg_degree: int = 8,
+                     seed: int = 1) -> CSRGraph:
+    """Power-law out-degrees (Zipf-ish), random targets."""
+    rng = np.random.default_rng(seed)
+    raw = rng.zipf(1.8, num_nodes)
+    degrees = np.minimum(raw, num_nodes - 1).astype(np.int64)
+    scale = max(1.0, degrees.mean() / avg_degree)
+    degrees = np.maximum(1, (degrees / scale).astype(np.int64))
+    row_offsets = np.zeros(num_nodes + 1, dtype=np.int32)
+    row_offsets[1:] = np.cumsum(degrees)
+    columns = rng.integers(0, num_nodes, int(row_offsets[-1])) \
+        .astype(np.int32)
+    values = np.ones(len(columns), dtype=np.float32)
+    return CSRGraph(row_offsets, columns, values)
+
+
+def road_graph(side: int, seed: int = 1) -> CSRGraph:
+    """A ``side × side`` lattice with a sprinkle of shortcut edges —
+    degree ≈ 4, diameter ≈ 2·side (road-network-like)."""
+    rng = np.random.default_rng(seed)
+    num_nodes = side * side
+    rows = []
+    for node in range(num_nodes):
+        x, y = node % side, node // side
+        neighbors = []
+        if x > 0:
+            neighbors.append(node - 1)
+        if x < side - 1:
+            neighbors.append(node + 1)
+        if y > 0:
+            neighbors.append(node - side)
+        if y < side - 1:
+            neighbors.append(node + side)
+        if rng.random() < 0.05:
+            neighbors.append(int(rng.integers(0, num_nodes)))
+        rows.append(neighbors)
+    row_offsets = np.zeros(num_nodes + 1, dtype=np.int32)
+    row_offsets[1:] = np.cumsum([len(r) for r in rows])
+    columns = np.concatenate(rows).astype(np.int32)
+    values = np.ones(len(columns), dtype=np.float32)
+    return CSRGraph(row_offsets, columns, values)
+
+
+def sparse_matrix_csr(num_rows: int, min_row: int = 1, max_row: int = 48,
+                      seed: int = 1) -> CSRGraph:
+    """Random sparse matrix with highly variable row lengths."""
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(min_row, max_row + 1, num_rows)
+    row_offsets = np.zeros(num_rows + 1, dtype=np.int32)
+    row_offsets[1:] = np.cumsum(lengths)
+    columns = rng.integers(0, num_rows, int(row_offsets[-1])) \
+        .astype(np.int32)
+    values = rng.random(int(row_offsets[-1])).astype(np.float32)
+    return CSRGraph(row_offsets, columns, values)
+
+
+def to_ell(matrix: CSRGraph, pad_to: int = 0
+           ) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Convert CSR to ELLPACK (column-major padded storage).
+
+    Returns ``(columns, values, width)`` where both arrays have shape
+    ``width * num_rows`` laid out column-major (entry *k* of row *r* at
+    ``k * num_rows + r``) so that warp lanes reading entry *k* of
+    consecutive rows access consecutive memory — the coalescing-friendly
+    layout the paper's miniFE-ELL variant uses.  Padding columns point
+    at column 0 with value 0.
+    """
+    num_rows = matrix.num_rows
+    width = max(matrix.max_row_length(), pad_to)
+    columns = np.zeros(width * num_rows, dtype=np.int32)
+    values = np.zeros(width * num_rows, dtype=np.float32)
+    for row in range(num_rows):
+        start, end = matrix.row_offsets[row], matrix.row_offsets[row + 1]
+        for k in range(end - start):
+            columns[k * num_rows + row] = matrix.columns[start + k]
+            values[k * num_rows + row] = matrix.values[start + k]
+    return columns, values, width
+
+
+def spmv_reference(matrix: CSRGraph, x: np.ndarray) -> np.ndarray:
+    """Host CSR spmv in float32 accumulation order (row-major walk,
+    matching the kernel's sequential per-row loop)."""
+    y = np.zeros(matrix.num_rows, dtype=np.float32)
+    for row in range(matrix.num_rows):
+        start, end = matrix.row_offsets[row], matrix.row_offsets[row + 1]
+        acc = np.float32(0.0)
+        for k in range(start, end):
+            acc += matrix.values[k] * x[matrix.columns[k]]
+        y[row] = acc
+    return y
+
+
+def bfs_reference(graph: CSRGraph, source: int = 0) -> np.ndarray:
+    """Host BFS levels (int32, -1 for unreachable)."""
+    from collections import deque
+
+    levels = np.full(graph.num_rows, -1, dtype=np.int32)
+    levels[source] = 0
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        start, end = graph.row_offsets[node], graph.row_offsets[node + 1]
+        for edge in range(start, end):
+            neighbor = int(graph.columns[edge])
+            if levels[neighbor] < 0:
+                levels[neighbor] = levels[node] + 1
+                queue.append(neighbor)
+    return levels

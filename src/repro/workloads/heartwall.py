@@ -1,0 +1,118 @@
+"""Rodinia ``heartwall`` analog (simplified): template tracking with
+data-dependent search windows.
+
+Real heartwall tracks heart-wall sample points through ultrasound frames
+with per-point correlation searches; its 161 static branches and 42 %
+dynamic divergence (Table 1) come from per-point, data-dependent search
+extents and early exits.  This analog keeps that *behavioural* shape:
+each thread owns a tracking point with its own window size drawn from
+the input, scans the window with an early-exit threshold test, and walks
+an if/else classification chain per sample — producing the same heavy,
+data-dependent divergence (exact tracked positions are checked against
+a host reference)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.workloads.base import Workload, launch_1d
+
+FRAME = 64
+MAX_WINDOW = 24
+
+
+def build_heartwall_ir():
+    b = KernelBuilder("heartwall", [
+        ("npoints", Type.U32), ("positions", PTR), ("windows", PTR),
+        ("frame", PTR), ("template", PTR), ("out", PTR),
+    ])
+    i = b.global_index_x()
+    with b.if_(b.lt(i, b.param("npoints"))):
+        i_s = b.cvt(i, Type.S32)
+        position = b.load_s32(b.gep(b.param("positions"), i_s, 4))
+        window = b.load_s32(b.gep(b.param("windows"), i_s, 4))
+        target = b.load_s32(b.gep(b.param("template"), i_s, 4))
+        best_score = b.var(0x7FFFFFFF, Type.S32)
+        best_offset = b.var(0, Type.S32)
+        offset = b.var(0, Type.S32)
+        with b.while_(lambda: b.lt(offset, window)):
+            sample = b.load_s32(b.gep(b.param("frame"),
+                                      b.add(position, offset), 4))
+            score = b.abs_(b.sub(sample, target))
+            # classification chain (the heartwall if-ladder flavour)
+            branch = b.if_(b.lt(score, 4))
+            with branch:
+                b.assign(best_score, score)
+                b.assign(best_offset, offset)
+                b.break_()          # early exit: good enough
+            with branch.else_():
+                with b.if_(b.lt(score, best_score)):
+                    with b.if_(b.eq(b.and_(sample, 1), 0)):
+                        b.assign(best_score, score)
+                        b.assign(best_offset, offset)
+                    branch2 = b.if_(b.gt(sample, target))
+                    with branch2:
+                        b.assign(offset, b.add(offset, 1))
+                    with branch2.else_():
+                        b.assign(offset, b.add(offset, 2))
+                with b.if_(b.ge(score, best_score)):
+                    b.assign(offset, b.add(offset, 1))
+        b.store(b.gep(b.param("out"), i_s, 4),
+                b.add(position, best_offset))
+    return b.finish()
+
+
+class Heartwall(Workload):
+    name = "rodinia/heartwall"
+
+    def __init__(self, dataset: str = "default", npoints: int = 256):
+        super().__init__()
+        self.dataset = dataset
+        rng = np.random.default_rng(211)
+        self.frame = rng.integers(0, 64, FRAME * FRAME).astype(np.int32)
+        self.positions = rng.integers(
+            0, FRAME * FRAME - MAX_WINDOW, npoints).astype(np.int32)
+        self.windows = rng.integers(4, MAX_WINDOW, npoints) \
+            .astype(np.int32)
+        self.template = rng.integers(0, 64, npoints).astype(np.int32)
+
+    def build_ir(self):
+        return build_heartwall_ir()
+
+    def _run(self, device, kernel) -> np.ndarray:
+        n = len(self.positions)
+        args = [
+            n,
+            device.alloc_array(self.positions),
+            device.alloc_array(self.windows),
+            device.alloc_array(self.frame),
+            device.alloc_array(self.template),
+            device.alloc(n * 4),
+        ]
+        launch_1d(device, kernel, n, 128, args)
+        return device.read_array(args[-1], n, np.int32)
+
+    def reference(self) -> np.ndarray:
+        out = np.zeros(len(self.positions), dtype=np.int32)
+        for i in range(len(self.positions)):
+            position = int(self.positions[i])
+            window = int(self.windows[i])
+            target = int(self.template[i])
+            best_score, best_offset = 0x7FFFFFFF, 0
+            offset = 0
+            while offset < window:
+                sample = int(self.frame[position + offset])
+                score = abs(sample - target)
+                if score < 4:
+                    best_score, best_offset = score, offset
+                    break
+                if score < best_score:
+                    if sample & 1 == 0:
+                        best_score, best_offset = score, offset
+                    offset += 1 if sample > target else 2
+                if score >= best_score:
+                    offset += 1
+            out[i] = position + best_offset
+        return out

@@ -1,0 +1,71 @@
+"""Parboil ``histo`` analog: saturating histogram with global atomics.
+
+Each thread bins one input element.  The saturation test (Parboil's
+histogram saturates at 255) adds a data-dependent branch; skewed input
+concentrates atomics on hot bins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.workloads.base import Workload, launch_1d
+
+NUM_BINS = 64
+SATURATE = 255
+
+
+def build_histo_ir():
+    b = KernelBuilder("histo", [
+        ("n", Type.U32), ("data", PTR), ("hist", PTR),
+    ])
+    i = b.global_index_x()
+    with b.if_(b.lt(i, b.param("n"))):
+        value = b.load_u32(b.gep(b.param("data"), i, 4))
+        bin_index = b.and_(value, NUM_BINS - 1)
+        bin_ptr = b.gep(b.param("hist"), bin_index, 4)
+        current = b.load_u32(bin_ptr)
+        with b.if_(b.lt(current, SATURATE)):
+            b.atomic_add(bin_ptr, 1)
+    return b.finish()
+
+
+class Histo(Workload):
+    name = "parboil/histo"
+
+    def __init__(self, dataset: str = "default", n: int = 4096):
+        super().__init__()
+        self.dataset = dataset
+        rng = np.random.default_rng(61)
+        # skewed distribution: a few hot bins saturate, as in Parboil
+        raw = rng.zipf(1.5, n) % NUM_BINS
+        self.data = raw.astype(np.uint32)
+
+    def build_ir(self):
+        return build_histo_ir()
+
+    def _run(self, device, kernel) -> np.ndarray:
+        n = len(self.data)
+        data_ptr = device.alloc_array(self.data)
+        hist_ptr = device.alloc(NUM_BINS * 4)
+        launch_1d(device, kernel, n, 128, [n, data_ptr, hist_ptr])
+        return device.read_array(hist_ptr, NUM_BINS, np.uint32)
+
+    def reference(self) -> np.ndarray:
+        # The saturation test in the kernel races benignly (several
+        # threads can pass the test before the count reaches 255), so
+        # with our serialized warps the result equals min(count, ...)
+        # only approximately; we verify bins below saturation exactly.
+        hist = np.bincount(self.data & (NUM_BINS - 1),
+                           minlength=NUM_BINS).astype(np.uint32)
+        return hist
+
+    def verify(self, output) -> bool:
+        expected = self.reference()
+        below = expected < SATURATE
+        if not (output[below] == expected[below]).all():
+            return False
+        return bool((output[~below] >= SATURATE).all()) \
+            if (~below).any() else True

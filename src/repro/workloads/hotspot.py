@@ -1,0 +1,108 @@
+"""Rodinia ``hotspot`` analog: thermal simulation stencil.
+
+Temperature update from the power grid and four neighbours with
+edge-replication boundary conditions expressed as data-dependent
+selects/branches — a lightly divergent stencil (Table 1-adjacent
+behaviour; hotspot appears in Tables 2 and 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.workloads.base import Workload, launch_1d
+
+SIDE = 32
+CAP = 0.5
+RX = 0.1
+RY = 0.1
+RZ = 0.0625
+
+
+def build_hotspot_ir():
+    b = KernelBuilder("hotspot", [
+        ("n", Type.U32), ("temp", PTR), ("power", PTR), ("out", PTR),
+        ("amb", Type.F32),
+    ])
+    i = b.global_index_x()
+    with b.if_(b.lt(i, b.param("n"))):
+        i_s = b.cvt(i, Type.S32)
+        x = b.and_(i_s, SIDE - 1)
+        y = b.shr(i_s, 5)
+        center = b.load_f32(b.gep(b.param("temp"), i_s, 4))
+
+        def clamped_load(index, edge):
+            value = b.var(0.0, Type.F32)
+            branch = b.if_(edge)
+            with branch:
+                b.assign(value, center)
+            with branch.else_():
+                b.assign(value, b.load_f32(b.gep(b.param("temp"),
+                                                 index, 4)))
+            return value
+
+        north = clamped_load(b.mad(b.sub(y, 1), SIDE, x), b.eq(y, 0))
+        south = clamped_load(b.mad(b.add(y, 1), SIDE, x),
+                             b.eq(y, SIDE - 1))
+        west = clamped_load(b.mad(y, SIDE, b.sub(x, 1)), b.eq(x, 0))
+        east = clamped_load(b.mad(y, SIDE, b.add(x, 1)),
+                            b.eq(x, SIDE - 1))
+        power = b.load_f32(b.gep(b.param("power"), i_s, 4))
+        dv = b.fadd(power,
+                    b.fadd(
+                        b.fmul(b.fsub(b.fadd(north, south),
+                                      b.fmul(center, 2.0)), RY),
+                        b.fadd(
+                            b.fmul(b.fsub(b.fadd(west, east),
+                                          b.fmul(center, 2.0)), RX),
+                            b.fmul(b.fsub(b.param("amb"), center), RZ))))
+        b.store(b.gep(b.param("out"), i_s, 4),
+                b.fma(dv, CAP, center))
+    return b.finish()
+
+
+class Hotspot(Workload):
+    name = "rodinia/hotspot"
+
+    def __init__(self, dataset: str = "default", iterations: int = 2):
+        super().__init__()
+        self.dataset = dataset
+        self.iterations = iterations
+        rng = np.random.default_rng(171)
+        self.temp = (rng.random((SIDE, SIDE), dtype=np.float32)
+                     * 40 + 320).astype(np.float32)
+        self.power = rng.random((SIDE, SIDE), dtype=np.float32)
+        self.ambient = np.float32(300.0)
+
+    def build_ir(self):
+        return build_hotspot_ir()
+
+    def _run(self, device, kernel) -> np.ndarray:
+        n = SIDE * SIDE
+        temp = device.alloc_array(self.temp)
+        power = device.alloc_array(self.power)
+        out = device.alloc(n * 4)
+        for _ in range(self.iterations):
+            launch_1d(device, kernel, n, 128,
+                      [n, temp, power, out, float(self.ambient)])
+            temp, out = out, temp
+        return device.read_array(temp, n, np.float32).reshape(SIDE, SIDE)
+
+    def reference(self) -> np.ndarray:
+        temp = self.temp.copy()
+        for _ in range(self.iterations):
+            north = np.vstack([temp[:1], temp[:-1]])
+            south = np.vstack([temp[1:], temp[-1:]])
+            west = np.hstack([temp[:, :1], temp[:, :-1]])
+            east = np.hstack([temp[:, 1:], temp[:, -1:]])
+            dv = (self.power
+                  + np.float32(RY) * (north + south - 2 * temp)
+                  + np.float32(RX) * (west + east - 2 * temp)
+                  + np.float32(RZ) * (self.ambient - temp))
+            temp = dv * np.float32(CAP) + temp
+        return temp
+
+    def verify(self, output) -> bool:
+        return bool(np.allclose(output, self.reference(),
+                                rtol=1e-4, atol=1e-3))

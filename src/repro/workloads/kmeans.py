@@ -1,0 +1,72 @@
+"""Rodinia ``kmeans`` analog: the cluster-assignment kernel.
+
+One thread per point: loop over clusters × features, track the argmin
+distance.  The running-minimum update is a data-dependent branch; most
+everything else is convergent."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.workloads.base import Workload, launch_1d
+
+FEATURES = 4
+CLUSTERS = 5
+
+
+def build_kmeans_ir():
+    b = KernelBuilder("kmeans", [
+        ("n", Type.U32), ("points", PTR), ("centers", PTR),
+        ("membership", PTR),
+    ])
+    i = b.global_index_x()
+    with b.if_(b.lt(i, b.param("n"))):
+        i_s = b.cvt(i, Type.S32)
+        best_dist = b.var(3.4e38, Type.F32)
+        best_index = b.var(-1, Type.S32)
+        with b.for_range(0, CLUSTERS) as c:
+            dist = b.var(0.0, Type.F32)
+            with b.for_range(0, FEATURES) as f:
+                p = b.load_f32(b.gep(b.param("points"),
+                                     b.mad(i_s, FEATURES, f), 4))
+                q = b.load_f32(b.gep(b.param("centers"),
+                                     b.mad(c, FEATURES, f), 4))
+                diff = b.fsub(p, q)
+                b.assign(dist, b.fma(diff, diff, dist))
+            with b.if_(b.lt(dist, best_dist)):
+                b.assign(best_dist, dist)
+                b.assign(best_index, c)
+        b.store(b.gep(b.param("membership"), i_s, 4), best_index)
+    return b.finish()
+
+
+class Kmeans(Workload):
+    name = "rodinia/kmeans"
+
+    def __init__(self, dataset: str = "default", n: int = 512):
+        super().__init__()
+        self.dataset = dataset
+        rng = np.random.default_rng(181)
+        self.points = rng.random((n, FEATURES), dtype=np.float32)
+        self.centers = rng.random((CLUSTERS, FEATURES), dtype=np.float32)
+
+    def build_ir(self):
+        return build_kmeans_ir()
+
+    def _run(self, device, kernel) -> np.ndarray:
+        n = len(self.points)
+        args = [
+            n,
+            device.alloc_array(self.points),
+            device.alloc_array(self.centers),
+            device.alloc(n * 4),
+        ]
+        launch_1d(device, kernel, n, 128, args)
+        return device.read_array(args[-1], n, np.int32)
+
+    def reference(self) -> np.ndarray:
+        diff = self.points[:, None, :] - self.centers[None, :, :]
+        distances = (diff * diff).sum(axis=2)
+        return distances.argmin(axis=1).astype(np.int32)

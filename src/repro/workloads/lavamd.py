@@ -1,0 +1,100 @@
+"""Rodinia ``lavaMD`` analog: particle interactions within boxes.
+
+Each thread owns a particle and accumulates a cutoff-limited pairwise
+interaction with every particle in its own and the next box — fixed
+loop trips with a data-dependent cutoff branch inside, the lavaMD
+divergence signature."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.workloads.base import Workload, launch_1d
+
+BOX = 16          # particles per box
+NUM_BOXES = 16
+CUTOFF2 = 0.25
+
+
+def build_lavamd_ir():
+    b = KernelBuilder("lavamd", [
+        ("n", Type.U32), ("px", PTR), ("py", PTR), ("charge", PTR),
+        ("force", PTR),
+    ])
+    i = b.global_index_x()
+    with b.if_(b.lt(i, b.param("n"))):
+        i_s = b.cvt(i, Type.S32)
+        box = b.shr(i_s, 4)
+        xi = b.load_f32(b.gep(b.param("px"), i_s, 4))
+        yi = b.load_f32(b.gep(b.param("py"), i_s, 4))
+        total = b.var(0.0, Type.F32)
+        # own box + neighbour box (wrapping): 2*BOX candidates
+        first = b.mul(box, BOX)
+        with b.for_range(0, 2 * BOX) as j:
+            other = b.add(first, j)
+            wrapped = b.select(
+                b.lt(other, b.cvt(b.param("n"), Type.S32)),
+                other, b.sub(other, b.cvt(b.param("n"), Type.S32)))
+            xj = b.load_f32(b.gep(b.param("px"), wrapped, 4))
+            yj = b.load_f32(b.gep(b.param("py"), wrapped, 4))
+            dx = b.fsub(xi, xj)
+            dy = b.fsub(yi, yj)
+            r2 = b.fma(dx, dx, b.fmul(dy, dy))
+            with b.if_(b.lt(r2, CUTOFF2)):
+                qj = b.load_f32(b.gep(b.param("charge"), wrapped, 4))
+                b.assign(total, b.fma(qj, b.fsub(CUTOFF2, r2), total))
+        b.store(b.gep(b.param("force"), i_s, 4), total)
+    return b.finish()
+
+
+class LavaMD(Workload):
+    name = "rodinia/lavaMD"
+
+    def __init__(self, dataset: str = "default"):
+        super().__init__()
+        self.dataset = dataset
+        n = BOX * NUM_BOXES
+        rng = np.random.default_rng(241)
+        self.px = rng.random(n, dtype=np.float32)
+        self.py = rng.random(n, dtype=np.float32)
+        self.charge = rng.random(n, dtype=np.float32)
+
+    def build_ir(self):
+        return build_lavamd_ir()
+
+    def _run(self, device, kernel) -> np.ndarray:
+        n = len(self.px)
+        args = [
+            n,
+            device.alloc_array(self.px),
+            device.alloc_array(self.py),
+            device.alloc_array(self.charge),
+            device.alloc(n * 4),
+        ]
+        launch_1d(device, kernel, n, 128, args)
+        return device.read_array(args[-1], n, np.float32)
+
+    def reference(self) -> np.ndarray:
+        n = len(self.px)
+        out = np.zeros(n, dtype=np.float32)
+        for i in range(n):
+            box = i >> 4
+            total = np.float32(0.0)
+            for j in range(2 * BOX):
+                other = box * BOX + j
+                if other >= n:
+                    other -= n
+                dx = self.px[i] - self.px[other]
+                dy = self.py[i] - self.py[other]
+                r2 = dx * dx + dy * dy
+                if r2 < np.float32(CUTOFF2):
+                    total += self.charge[other] \
+                        * (np.float32(CUTOFF2) - r2)
+            out[i] = total
+        return out
+
+    def verify(self, output) -> bool:
+        return bool(np.allclose(output, self.reference(),
+                                rtol=1e-3, atol=1e-4))

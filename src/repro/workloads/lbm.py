@@ -1,0 +1,120 @@
+"""Parboil ``lbm`` analog: lattice-Boltzmann stream-and-collide.
+
+A simplified D2Q5 update: each cell gathers five distributions from its
+neighbours, relaxes toward equilibrium, and writes five distributions
+back.  Obstacle cells bounce back (a data-dependent branch, but rare) —
+lbm is memory-bound with a huge straight-line body, which is why the
+paper's Table 3 shows it suffering the largest kernel-level value-
+profiling slowdowns."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.ir import Space
+from repro.kernelir.types import PTR
+from repro.workloads.base import Workload, launch_1d
+
+SIDE = 24
+OMEGA = 0.6
+NDIR = 5
+# direction offsets: rest, +x, -x, +y, -y
+OFFSETS = (0, 1, -1, SIDE, -SIDE)
+WEIGHTS = (1.0 / 3.0, 1.0 / 6.0, 1.0 / 6.0, 1.0 / 6.0, 1.0 / 6.0)
+
+
+def build_lbm_ir():
+    b = KernelBuilder("lbm", [
+        ("ncells", Type.U32), ("src", PTR), ("dst", PTR),
+        ("obstacles", PTR),
+    ])
+    cell = b.global_index_x()
+    with b.if_(b.lt(cell, b.param("ncells"))):
+        ncells = b.cvt(b.param("ncells"), Type.S32)
+        cell_s = b.cvt(cell, Type.S32)
+        # gather the five incoming distributions (wrapping at the ends)
+        values = []
+        density = b.var(0.0, Type.F32)
+        for direction in range(NDIR):
+            neighbor = b.add(cell_s, -OFFSETS[direction])
+            clamped = b.max_(b.min_(neighbor, b.sub(ncells, 1)), 0)
+            f = b.load_f32(b.gep(b.param("src"),
+                                 b.mad(clamped, NDIR, direction), 4))
+            values.append(f)
+            b.assign(density, b.fadd(density, f))
+        obstacle = b.load_s32(b.gep(b.param("obstacles"), cell_s, 4))
+        is_fluid = b.eq(obstacle, 0)
+        branch = b.if_(is_fluid)
+        with branch:
+            for direction in range(NDIR):
+                equilibrium = b.fmul(density, WEIGHTS[direction])
+                relaxed = b.fma(b.fsub(equilibrium, values[direction]),
+                                OMEGA, values[direction])
+                b.store(b.gep(b.param("dst"),
+                              b.mad(cell_s, NDIR, direction), 4), relaxed)
+        with branch.else_():
+            # bounce-back: swap opposing directions
+            for direction, mirror in ((0, 0), (1, 2), (2, 1), (3, 4),
+                                      (4, 3)):
+                b.store(b.gep(b.param("dst"),
+                              b.mad(cell_s, NDIR, direction), 4),
+                        values[mirror])
+    return b.finish()
+
+
+class Lbm(Workload):
+    name = "parboil/lbm"
+
+    def __init__(self, dataset: str = "default", iterations: int = 2):
+        super().__init__()
+        self.dataset = dataset
+        self.iterations = iterations
+        self.ncells = SIDE * SIDE
+        rng = np.random.default_rng(91)
+        self.f0 = rng.random((self.ncells, NDIR)).astype(np.float32)
+        self.obstacles = (rng.random(self.ncells) < 0.05).astype(np.int32)
+
+    def build_ir(self):
+        return build_lbm_ir()
+
+    def _run(self, device, kernel) -> np.ndarray:
+        src = device.alloc_array(self.f0)
+        dst = device.alloc_array(self.f0)
+        obstacles = device.alloc_array(self.obstacles)
+        for _ in range(self.iterations):
+            launch_1d(device, kernel, self.ncells, 128,
+                      [self.ncells, src, dst, obstacles])
+            src, dst = dst, src
+        return device.read_array(src, self.ncells * NDIR,
+                                 np.float32).reshape(self.ncells, NDIR)
+
+    def reference(self) -> np.ndarray:
+        f = self.f0.astype(np.float32).copy()
+        for _ in range(self.iterations):
+            new = np.empty_like(f)
+            for cell in range(self.ncells):
+                incoming = np.empty(NDIR, dtype=np.float32)
+                for direction in range(NDIR):
+                    neighbor = cell - OFFSETS[direction]
+                    neighbor = min(max(neighbor, 0), self.ncells - 1)
+                    incoming[direction] = f[neighbor, direction]
+                density = np.float32(0.0)
+                for direction in range(NDIR):
+                    density += incoming[direction]
+                if self.obstacles[cell] == 0:
+                    for direction in range(NDIR):
+                        eq = density * np.float32(WEIGHTS[direction])
+                        new[cell, direction] = (
+                            (eq - incoming[direction])
+                            * np.float32(OMEGA) + incoming[direction])
+                else:
+                    mirror = (0, 2, 1, 4, 3)
+                    for direction in range(NDIR):
+                        new[cell, direction] = incoming[mirror[direction]]
+            f = new
+        return f
+
+    def verify(self, output) -> bool:
+        return bool(np.allclose(output, self.reference(),
+                                rtol=1e-3, atol=1e-4))

@@ -1,0 +1,73 @@
+"""Rodinia ``lud`` analog: LU decomposition (right-looking updates).
+
+The host iterates pivots; each launch scales the pivot column and
+updates the trailing submatrix — shrinking bounds tests give mild
+divergence, and the many tiny launches mirror Rodinia's profile."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.workloads.base import Workload, launch_1d
+
+N = 16
+
+
+def build_lud_ir():
+    b = KernelBuilder("lud_update", [
+        ("n", Type.S32), ("k", Type.S32), ("a", PTR),
+    ])
+    t = b.cvt(b.global_index_x(), Type.S32)
+    n, k = b.param("n"), b.param("k")
+    remaining = b.sub(b.sub(n, k), 1)
+    row = b.add(b.add(t, k), 1)
+    with b.if_(b.lt(t, remaining)):
+        pivot = b.load_f32(b.gep(b.param("a"), b.mad(k, n, k), 4))
+        below = b.load_f32(b.gep(b.param("a"), b.mad(row, n, k), 4))
+        factor = b.fdiv(below, pivot)
+        b.store(b.gep(b.param("a"), b.mad(row, n, k), 4), factor)
+        with b.for_range(b.add(k, 1), n) as col:
+            upper = b.load_f32(b.gep(b.param("a"), b.mad(k, n, col), 4))
+            current = b.load_f32(b.gep(b.param("a"),
+                                       b.mad(row, n, col), 4))
+            b.store(b.gep(b.param("a"), b.mad(row, n, col), 4),
+                    b.fsub(current, b.fmul(factor, upper)))
+    return b.finish()
+
+
+class Lud(Workload):
+    name = "rodinia/lud"
+
+    def __init__(self, dataset: str = "default"):
+        super().__init__()
+        self.dataset = dataset
+        rng = np.random.default_rng(231)
+        matrix = rng.random((N, N), dtype=np.float32)
+        matrix += N * np.eye(N, dtype=np.float32)
+        self.matrix = matrix
+
+    def build_ir(self):
+        return build_lud_ir()
+
+    def _run(self, device, kernel) -> np.ndarray:
+        a = device.alloc_array(self.matrix)
+        for k in range(N - 1):
+            launch_1d(device, kernel, N, 64, [N, k, a])
+        return device.read_array(a, N * N, np.float32).reshape(N, N)
+
+    def reference(self) -> np.ndarray:
+        a = self.matrix.astype(np.float32).copy()
+        for k in range(N - 1):
+            for row in range(k + 1, N):
+                factor = np.float32(a[row, k] / a[k, k])
+                a[row, k] = factor
+                for col in range(k + 1, N):
+                    a[row, col] = np.float32(
+                        a[row, col] - factor * a[k, col])
+        return a
+
+    def verify(self, output) -> bool:
+        return bool(np.allclose(output, self.reference(),
+                                rtol=1e-2, atol=1e-3))

@@ -1,0 +1,82 @@
+"""Parboil ``mri-gridding`` analog: scattered k-space sample gridding.
+
+Each thread takes one irregularly-placed sample and deposits a weighted
+contribution onto the 3×3 neighbourhood of grid cells around it with
+atomics.  Sample positions are random, so neighbouring lanes update
+unrelated cells — one of the memory-address-diverged applications of the
+paper's Figure 7."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.workloads.base import Workload, launch_1d
+
+GRID = 32
+SCALE = 1024  # fixed-point weight scale for integer atomics
+
+
+def build_mrig_ir():
+    b = KernelBuilder("mrig", [
+        ("nsamples", Type.U32), ("sx", PTR), ("sy", PTR), ("sval", PTR),
+        ("grid_out", PTR),
+    ])
+    i = b.global_index_x()
+    with b.if_(b.lt(i, b.param("nsamples"))):
+        x = b.load_s32(b.gep(b.param("sx"), i, 4))
+        y = b.load_s32(b.gep(b.param("sy"), i, 4))
+        value = b.load_s32(b.gep(b.param("sval"), i, 4))
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                cx = b.add(x, dx)
+                cy = b.add(y, dy)
+                in_bounds = b.pand(
+                    b.pand(b.ge(cx, 0), b.lt(cx, GRID)),
+                    b.pand(b.ge(cy, 0), b.lt(cy, GRID)))
+                with b.if_(in_bounds):
+                    weight = 3 - abs(dx) - abs(dy)  # 1..3 kernel weight
+                    cell = b.mad(cy, GRID, cx)
+                    b.atomic_add(b.gep(b.param("grid_out"), cell, 4),
+                                 b.mul(value, weight), type_=Type.S32)
+    return b.finish()
+
+
+class MriGridding(Workload):
+    name = "parboil/mri-gridding"
+
+    def __init__(self, dataset: str = "default", nsamples: int = 512):
+        super().__init__()
+        self.dataset = dataset
+        rng = np.random.default_rng(111)
+        self.sx = rng.integers(0, GRID, nsamples).astype(np.int32)
+        self.sy = rng.integers(0, GRID, nsamples).astype(np.int32)
+        self.sval = rng.integers(1, SCALE, nsamples).astype(np.int32)
+
+    def build_ir(self):
+        return build_mrig_ir()
+
+    def _run(self, device, kernel) -> np.ndarray:
+        n = len(self.sx)
+        args = [
+            n,
+            device.alloc_array(self.sx),
+            device.alloc_array(self.sy),
+            device.alloc_array(self.sval),
+            device.alloc(GRID * GRID * 4),
+        ]
+        launch_1d(device, kernel, n, 128, args)
+        return device.read_array(args[-1], GRID * GRID, np.int32)
+
+    def reference(self) -> np.ndarray:
+        out = np.zeros(GRID * GRID, dtype=np.int64)
+        for x, y, value in zip(self.sx, self.sy, self.sval):
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    cx, cy = int(x) + dx, int(y) + dy
+                    if 0 <= cx < GRID and 0 <= cy < GRID:
+                        out[cy * GRID + cx] += int(value) \
+                            * (3 - abs(dx) - abs(dy))
+        return (out & 0xFFFFFFFF).astype(np.uint32).view(np.int32) \
+            .astype(np.int32)

@@ -1,0 +1,78 @@
+"""Parboil ``mri-q`` analog: MRI Q-matrix computation.
+
+Each thread owns one voxel and accumulates ``cos``/``sin`` phase terms
+over all k-space samples — a fully convergent, MUFU-heavy inner loop
+(the paper reports high value-profiling overhead for mri-q because
+every instruction writes registers)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.workloads.base import Workload, launch_1d
+
+PI2 = float(2.0 * np.pi)
+
+
+def build_mriq_ir():
+    b = KernelBuilder("mriq", [
+        ("nvoxels", Type.U32), ("nsamples", Type.S32),
+        ("x", PTR), ("kx", PTR), ("phi", PTR), ("qr", PTR), ("qi", PTR),
+    ])
+    i = b.global_index_x()
+    with b.if_(b.lt(i, b.param("nvoxels"))):
+        xi = b.load_f32(b.gep(b.param("x"), i, 4))
+        real = b.var(0.0, Type.F32)
+        imag = b.var(0.0, Type.F32)
+        with b.for_range(0, b.param("nsamples")) as k:
+            kx = b.load_f32(b.gep(b.param("kx"), k, 4))
+            magnitude = b.load_f32(b.gep(b.param("phi"), k, 4))
+            angle = b.fmul(b.fmul(kx, xi), PI2)
+            b.assign(real, b.fma(magnitude, b.cos(angle), real))
+            b.assign(imag, b.fma(magnitude, b.sin(angle), imag))
+        b.store(b.gep(b.param("qr"), i, 4), real)
+        b.store(b.gep(b.param("qi"), i, 4), imag)
+    return b.finish()
+
+
+class MriQ(Workload):
+    name = "parboil/mri-q"
+
+    def __init__(self, dataset: str = "default", nvoxels: int = 256,
+                 nsamples: int = 32):
+        super().__init__()
+        self.dataset = dataset
+        rng = np.random.default_rng(81)
+        self.x = rng.random(nvoxels, dtype=np.float32)
+        self.kx = rng.random(nsamples, dtype=np.float32)
+        self.phi = rng.random(nsamples, dtype=np.float32)
+
+    def build_ir(self):
+        return build_mriq_ir()
+
+    def _run(self, device, kernel) -> np.ndarray:
+        nvoxels, nsamples = len(self.x), len(self.kx)
+        args = [
+            nvoxels, nsamples,
+            device.alloc_array(self.x),
+            device.alloc_array(self.kx),
+            device.alloc_array(self.phi),
+            device.alloc(nvoxels * 4),
+            device.alloc(nvoxels * 4),
+        ]
+        launch_1d(device, kernel, nvoxels, 64, args)
+        real = device.read_array(args[-2], nvoxels, np.float32)
+        imag = device.read_array(args[-1], nvoxels, np.float32)
+        return np.stack([real, imag])
+
+    def reference(self) -> np.ndarray:
+        angles = PI2 * np.outer(self.x, self.kx)
+        real = (self.phi * np.cos(angles)).sum(axis=1)
+        imag = (self.phi * np.sin(angles)).sum(axis=1)
+        return np.stack([real, imag]).astype(np.float32)
+
+    def verify(self, output) -> bool:
+        return bool(np.allclose(output, self.reference(),
+                                rtol=1e-2, atol=1e-3))

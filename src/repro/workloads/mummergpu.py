@@ -1,0 +1,90 @@
+"""Rodinia ``mummergpu`` analog: exact substring matching.
+
+Each thread matches one query against the reference string starting at
+its assigned position and records the match length — per-thread variable
+match lengths (data-dependent while loop) and byte loads, the signature
+of mummergpu's divergence and narrow memory behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.workloads.base import Workload, launch_1d
+
+REF_LEN = 2048
+QUERY_LEN = 16
+
+
+def build_mummer_ir():
+    b = KernelBuilder("mummergpu", [
+        ("nqueries", Type.U32), ("reference", PTR), ("queries", PTR),
+        ("positions", PTR), ("lengths", PTR),
+    ])
+    i = b.global_index_x()
+    with b.if_(b.lt(i, b.param("nqueries"))):
+        i_s = b.cvt(i, Type.S32)
+        position = b.load_s32(b.gep(b.param("positions"), i_s, 4))
+        matched = b.var(0, Type.S32)
+        with b.while_(lambda: b.lt(matched, QUERY_LEN)):
+            q = b.load(b.gep(b.param("queries"),
+                             b.mad(i_s, QUERY_LEN, matched), 1),
+                       Type.U32)
+            r = b.load(b.gep(b.param("reference"),
+                             b.add(position, matched), 1), Type.U32)
+            with b.if_(b.ne(b.and_(q, 0xFF), b.and_(r, 0xFF))):
+                b.break_()
+            b.assign(matched, b.add(matched, 1))
+        b.store(b.gep(b.param("lengths"), i_s, 4), matched)
+    return b.finish()
+
+
+class MummerGPU(Workload):
+    name = "rodinia/mummergpu"
+
+    def __init__(self, dataset: str = "default", nqueries: int = 256):
+        super().__init__()
+        self.dataset = dataset
+        rng = np.random.default_rng(261)
+        self.reference_str = rng.integers(0, 4, REF_LEN).astype(np.uint8)
+        self.positions = rng.integers(
+            0, REF_LEN - QUERY_LEN, nqueries).astype(np.int32)
+        # queries copied from the reference with random corruption, so
+        # match lengths vary per thread
+        queries = np.empty((nqueries, QUERY_LEN), dtype=np.uint8)
+        for q in range(nqueries):
+            start = self.positions[q]
+            queries[q] = self.reference_str[start:start + QUERY_LEN]
+            if rng.random() < 0.8:
+                corrupt_at = rng.integers(0, QUERY_LEN)
+                queries[q, corrupt_at] = (queries[q, corrupt_at] + 1) % 4 + 4
+        self.queries = queries
+
+    def build_ir(self):
+        return build_mummer_ir()
+
+    def _run(self, device, kernel) -> np.ndarray:
+        n = len(self.positions)
+        args = [
+            n,
+            device.alloc_array(self.reference_str),
+            device.alloc_array(self.queries),
+            device.alloc_array(self.positions),
+            device.alloc(n * 4),
+        ]
+        launch_1d(device, kernel, n, 128, args)
+        return device.read_array(args[-1], n, np.int32)
+
+    def reference(self) -> np.ndarray:
+        out = np.zeros(len(self.positions), dtype=np.int32)
+        for q in range(len(self.positions)):
+            start = int(self.positions[q])
+            matched = 0
+            while matched < QUERY_LEN:
+                if self.queries[q, matched] \
+                        != self.reference_str[start + matched]:
+                    break
+                matched += 1
+            out[q] = matched
+        return out

@@ -1,0 +1,66 @@
+"""Rodinia ``nn`` analog: nearest-neighbour distance computation.
+
+Each thread computes the Euclidean distance of one record to the query
+point — a tiny, almost instruction-free kernel (the paper's Table 3
+shows nn dominated by host time, with ~1.0× whole-program overheads
+under every instrumentation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.workloads.base import Workload, launch_1d
+
+
+def build_nn_ir():
+    b = KernelBuilder("nn", [
+        ("n", Type.U32), ("lat", PTR), ("lng", PTR),
+        ("qlat", Type.F32), ("qlng", Type.F32), ("distances", PTR),
+    ])
+    i = b.global_index_x()
+    with b.if_(b.lt(i, b.param("n"))):
+        dlat = b.fsub(b.load_f32(b.gep(b.param("lat"), i, 4)),
+                      b.param("qlat"))
+        dlng = b.fsub(b.load_f32(b.gep(b.param("lng"), i, 4)),
+                      b.param("qlng"))
+        dist = b.sqrt(b.fma(dlat, dlat, b.fmul(dlng, dlng)))
+        b.store(b.gep(b.param("distances"), i, 4), dist)
+    return b.finish()
+
+
+class NearestNeighbor(Workload):
+    name = "rodinia/nn"
+
+    def __init__(self, dataset: str = "default", n: int = 1024):
+        super().__init__()
+        self.dataset = dataset
+        rng = np.random.default_rng(161)
+        self.lat = (rng.random(n, dtype=np.float32) * 90).astype(np.float32)
+        self.lng = (rng.random(n, dtype=np.float32) * 180).astype(np.float32)
+        self.query = (np.float32(45.0), np.float32(90.0))
+
+    def build_ir(self):
+        return build_nn_ir()
+
+    def _run(self, device, kernel) -> np.ndarray:
+        n = len(self.lat)
+        args = [
+            n,
+            device.alloc_array(self.lat),
+            device.alloc_array(self.lng),
+            float(self.query[0]), float(self.query[1]),
+            device.alloc(n * 4),
+        ]
+        launch_1d(device, kernel, n, 128, args)
+        return device.read_array(args[-1], n, np.float32)
+
+    def reference(self) -> np.ndarray:
+        dlat = self.lat - self.query[0]
+        dlng = self.lng - self.query[1]
+        return np.sqrt(dlat * dlat + dlng * dlng).astype(np.float32)
+
+    def verify(self, output) -> bool:
+        return bool(np.allclose(output, self.reference(),
+                                rtol=1e-3, atol=1e-4))

@@ -1,0 +1,85 @@
+"""Rodinia ``nw`` analog: Needleman-Wunsch sequence alignment.
+
+The score matrix is filled anti-diagonal by anti-diagonal (one launch
+per diagonal, as Rodinia does); each thread computes one cell from its
+three predecessors with a max-of-three — short launches, mild
+divergence from the diagonal-length bounds test."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.workloads.base import Workload, launch_1d
+
+N = 48
+PENALTY = 2
+
+
+def build_nw_ir():
+    b = KernelBuilder("nw", [
+        ("diag", Type.S32), ("n", Type.S32), ("scores", PTR),
+        ("similarity", PTR),
+    ])
+    t = b.cvt(b.global_index_x(), Type.S32)
+    n, diag = b.param("n"), b.param("diag")
+    # cells on this anti-diagonal: row = t+1 .. , col = diag - row
+    row = b.add(t, 1)
+    col = b.sub(diag, row)
+    valid = b.pand(b.pand(b.ge(row, 1), b.le(row, n)),
+                   b.pand(b.ge(col, 1), b.le(col, n)))
+    with b.if_(valid):
+        pitch = b.add(n, 1)
+        index = b.mad(row, pitch, col)
+        northwest = b.load_s32(b.gep(b.param("scores"),
+                                     b.sub(b.sub(index, pitch), 1), 4))
+        north = b.load_s32(b.gep(b.param("scores"),
+                                 b.sub(index, pitch), 4))
+        west = b.load_s32(b.gep(b.param("scores"), b.sub(index, 1), 4))
+        match = b.load_s32(b.gep(b.param("similarity"), index, 4))
+        best = b.max_(b.add(northwest, match),
+                      b.max_(b.sub(north, PENALTY),
+                             b.sub(west, PENALTY)))
+        b.store(b.gep(b.param("scores"), index, 4), best)
+    return b.finish()
+
+
+class NeedlemanWunsch(Workload):
+    name = "rodinia/nw"
+
+    def __init__(self, dataset: str = "default"):
+        super().__init__()
+        self.dataset = dataset
+        rng = np.random.default_rng(221)
+        self.similarity = rng.integers(-3, 4,
+                                       (N + 1, N + 1)).astype(np.int32)
+
+    def build_ir(self):
+        return build_nw_ir()
+
+    def _initial_scores(self) -> np.ndarray:
+        scores = np.zeros((N + 1, N + 1), dtype=np.int32)
+        scores[0, :] = -PENALTY * np.arange(N + 1)
+        scores[:, 0] = -PENALTY * np.arange(N + 1)
+        return scores
+
+    def _run(self, device, kernel) -> np.ndarray:
+        scores_ptr = device.alloc_array(self._initial_scores())
+        sim_ptr = device.alloc_array(self.similarity)
+        for diag in range(2, 2 * N + 1):
+            launch_1d(device, kernel, N, 64,
+                      [diag, N, scores_ptr, sim_ptr])
+        return device.read_array(scores_ptr, (N + 1) * (N + 1),
+                                 np.int32).reshape(N + 1, N + 1)
+
+    def reference(self) -> np.ndarray:
+        scores = self._initial_scores().astype(np.int64)
+        for row in range(1, N + 1):
+            for col in range(1, N + 1):
+                scores[row, col] = max(
+                    scores[row - 1, col - 1]
+                    + self.similarity[row, col],
+                    scores[row - 1, col] - PENALTY,
+                    scores[row, col - 1] - PENALTY)
+        return scores.astype(np.int32)

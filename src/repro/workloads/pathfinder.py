@@ -1,0 +1,75 @@
+"""Rodinia ``pathfinder`` analog: dynamic-programming grid walk.
+
+The host sweeps rows; each thread updates one column with
+``data + min(prev[left], prev[center], prev[right])``, the edge columns
+taking shorter paths — light divergence, many small launches."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.workloads.base import Workload, launch_1d
+
+COLS = 256
+ROWS = 8
+
+
+def build_pathfinder_ir():
+    b = KernelBuilder("pathfinder", [
+        ("cols", Type.U32), ("prev", PTR), ("row", PTR), ("out", PTR),
+    ])
+    i = b.global_index_x()
+    with b.if_(b.lt(i, b.param("cols"))):
+        i_s = b.cvt(i, Type.S32)
+        cols = b.cvt(b.param("cols"), Type.S32)
+        best = b.var(0, Type.S32)
+        center = b.load_s32(b.gep(b.param("prev"), i_s, 4))
+        b.assign(best, center)
+        with b.if_(b.gt(i_s, 0)):
+            left = b.load_s32(b.gep(b.param("prev"), b.sub(i_s, 1), 4))
+            b.assign(best, b.min_(best, left))
+        with b.if_(b.lt(i_s, b.sub(cols, 1))):
+            right = b.load_s32(b.gep(b.param("prev"), b.add(i_s, 1), 4))
+            b.assign(best, b.min_(best, right))
+        here = b.load_s32(b.gep(b.param("row"), i_s, 4))
+        b.store(b.gep(b.param("out"), i_s, 4), b.add(here, best))
+    return b.finish()
+
+
+class Pathfinder(Workload):
+    name = "rodinia/pathfinder"
+
+    def __init__(self, dataset: str = "default"):
+        super().__init__()
+        self.dataset = dataset
+        rng = np.random.default_rng(201)
+        self.grid = rng.integers(0, 10, (ROWS, COLS)).astype(np.int32)
+
+    def build_ir(self):
+        return build_pathfinder_ir()
+
+    def _run(self, device, kernel) -> np.ndarray:
+        prev = device.alloc_array(self.grid[0])
+        out = device.alloc(COLS * 4)
+        for row in range(1, ROWS):
+            row_ptr = device.alloc_array(self.grid[row])
+            launch_1d(device, kernel, COLS, 128,
+                      [COLS, prev, row_ptr, out])
+            prev, out = out, prev
+        return device.read_array(prev, COLS, np.int32)
+
+    def reference(self) -> np.ndarray:
+        prev = self.grid[0].astype(np.int64)
+        for row in range(1, ROWS):
+            new = np.empty_like(prev)
+            for col in range(COLS):
+                best = prev[col]
+                if col > 0:
+                    best = min(best, prev[col - 1])
+                if col < COLS - 1:
+                    best = min(best, prev[col + 1])
+                new[col] = self.grid[row, col] + best
+            prev = new
+        return prev.astype(np.int32)

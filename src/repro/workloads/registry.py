@@ -1,0 +1,139 @@
+"""Workload registry: name → factory, plus the per-table benchmark lists
+used by the studies and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.workloads.backprop import Backprop
+from repro.workloads.base import Workload
+from repro.workloads.btree import BPlusTree
+from repro.workloads.cutcp import Cutcp
+from repro.workloads.gaussian import Gaussian
+from repro.workloads.heartwall import Heartwall
+from repro.workloads.histo import Histo
+from repro.workloads.hotspot import Hotspot
+from repro.workloads.kmeans import Kmeans
+from repro.workloads.lavamd import LavaMD
+from repro.workloads.lbm import Lbm
+from repro.workloads.lud import Lud
+from repro.workloads.minife import MiniFECSR, MiniFEELL
+from repro.workloads.mrig import MriGridding
+from repro.workloads.mriq import MriQ
+from repro.workloads.mummergpu import MummerGPU
+from repro.workloads.nn import NearestNeighbor
+from repro.workloads.nw import NeedlemanWunsch
+from repro.workloads.parboil_bfs import ParboilBFS
+from repro.workloads.pathfinder import Pathfinder
+from repro.workloads.rodinia_bfs import RodiniaBFS
+from repro.workloads.sad import Sad
+from repro.workloads.sgemm import Sgemm
+from repro.workloads.spmv import Spmv
+from repro.workloads.srad import SradV1, SradV2
+from repro.workloads.stencil import Stencil
+from repro.workloads.streamcluster import StreamCluster
+from repro.workloads.tpacf import Tpacf
+
+#: every workload factory, keyed "suite/name(dataset)"
+WORKLOADS: Dict[str, Callable[[], Workload]] = {
+    "parboil/bfs(1M)": lambda: ParboilBFS("1M"),
+    "parboil/bfs(NY)": lambda: ParboilBFS("NY"),
+    "parboil/bfs(SF)": lambda: ParboilBFS("SF"),
+    "parboil/bfs(UT)": lambda: ParboilBFS("UT"),
+    "parboil/sgemm(small)": lambda: Sgemm("small"),
+    "parboil/sgemm(medium)": lambda: Sgemm("medium"),
+    "parboil/spmv(small)": lambda: Spmv("small"),
+    "parboil/spmv(medium)": lambda: Spmv("medium"),
+    "parboil/spmv(large)": lambda: Spmv("large"),
+    "parboil/tpacf(small)": lambda: Tpacf("small"),
+    "parboil/stencil": Stencil,
+    "parboil/histo": Histo,
+    "parboil/sad": Sad,
+    "parboil/mri-q": MriQ,
+    "parboil/mri-gridding": MriGridding,
+    "parboil/cutcp": Cutcp,
+    "parboil/lbm": Lbm,
+    "rodinia/bfs": RodiniaBFS,
+    "rodinia/gaussian": Gaussian,
+    "rodinia/heartwall": Heartwall,
+    "rodinia/srad_v1": SradV1,
+    "rodinia/srad_v2": SradV2,
+    "rodinia/streamcluster": StreamCluster,
+    "rodinia/nn": NearestNeighbor,
+    "rodinia/hotspot": Hotspot,
+    "rodinia/kmeans": Kmeans,
+    "rodinia/backprop": Backprop,
+    "rodinia/pathfinder": Pathfinder,
+    "rodinia/nw": NeedlemanWunsch,
+    "rodinia/lud": Lud,
+    "rodinia/lavaMD": LavaMD,
+    "rodinia/b+tree": BPlusTree,
+    "rodinia/mummergpu": MummerGPU,
+    "miniFE(CSR)": MiniFECSR,
+    "miniFE(ELL)": MiniFEELL,
+}
+
+#: Table 1 rows (paper order)
+TABLE1_BENCHMARKS: List[str] = [
+    "parboil/bfs(1M)", "parboil/bfs(NY)", "parboil/bfs(SF)",
+    "parboil/bfs(UT)", "parboil/sgemm(small)", "parboil/sgemm(medium)",
+    "parboil/tpacf(small)",
+    "rodinia/bfs", "rodinia/gaussian", "rodinia/heartwall",
+    "rodinia/srad_v1", "rodinia/srad_v2", "rodinia/streamcluster",
+]
+
+#: Figure 7 series (paper order)
+FIGURE7_BENCHMARKS: List[str] = [
+    "parboil/bfs(NY)", "parboil/bfs(SF)", "parboil/bfs(UT)",
+    "parboil/spmv(small)", "parboil/spmv(medium)", "parboil/spmv(large)",
+    "rodinia/bfs", "rodinia/heartwall", "parboil/mri-gridding",
+    "miniFE(ELL)", "miniFE(CSR)",
+]
+
+#: Table 2 rows
+TABLE2_BENCHMARKS: List[str] = [
+    "parboil/bfs(1M)", "parboil/cutcp", "parboil/histo", "parboil/lbm",
+    "parboil/mri-gridding", "parboil/mri-q", "parboil/sad",
+    "parboil/sgemm(small)", "parboil/spmv(small)", "parboil/stencil",
+    "parboil/tpacf(small)",
+    "rodinia/b+tree", "rodinia/backprop", "rodinia/bfs",
+    "rodinia/gaussian", "rodinia/heartwall", "rodinia/hotspot",
+    "rodinia/kmeans", "rodinia/lavaMD", "rodinia/lud",
+    "rodinia/mummergpu", "rodinia/nn", "rodinia/nw",
+    "rodinia/pathfinder", "rodinia/srad_v1", "rodinia/srad_v2",
+    "rodinia/streamcluster",
+]
+
+#: Figure 10 applications (a representative subset; 1000 injections per
+#: app in the paper, configurable here)
+FIGURE10_BENCHMARKS: List[str] = [
+    "parboil/sgemm(small)", "parboil/spmv(small)", "parboil/stencil",
+    "parboil/sad", "rodinia/nn", "rodinia/hotspot", "rodinia/kmeans",
+    "rodinia/pathfinder", "rodinia/srad_v1", "rodinia/heartwall",
+]
+
+#: Table 3 rows (paper order: Parboil then Rodinia, sorted by GPU share)
+TABLE3_BENCHMARKS: List[str] = [
+    "parboil/sgemm(small)", "parboil/spmv(small)", "parboil/bfs(1M)",
+    "parboil/mri-q", "parboil/mri-gridding", "parboil/cutcp",
+    "parboil/histo", "parboil/stencil", "parboil/sad", "parboil/lbm",
+    "parboil/tpacf(small)",
+    "rodinia/nn", "rodinia/hotspot", "rodinia/lud", "rodinia/b+tree",
+    "rodinia/bfs", "rodinia/pathfinder", "rodinia/srad_v2",
+    "rodinia/mummergpu", "rodinia/backprop", "rodinia/kmeans",
+    "rodinia/lavaMD", "rodinia/srad_v1", "rodinia/nw",
+    "rodinia/gaussian", "rodinia/streamcluster", "rodinia/heartwall",
+]
+
+
+def make(name: str) -> Workload:
+    """Instantiate a workload by registry name."""
+    try:
+        return WORKLOADS[name]()
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; "
+                       f"choose from {sorted(WORKLOADS)}") from None
+
+
+def all_names() -> List[str]:
+    return sorted(WORKLOADS)

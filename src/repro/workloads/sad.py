@@ -1,0 +1,96 @@
+"""Parboil ``sad`` analog: sum-of-absolute-differences block matching.
+
+Each thread computes the SAD of one 4×4 macroblock of the current frame
+against the reference frame at one displacement.  Loop trips are uniform
+(fully convergent compute; Table 1 does not list sad among divergent
+codes) and the byte-sized frame loads exercise narrow memory widths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.workloads.base import Workload, launch_1d
+
+BLOCK = 4
+FRAME = 32
+DISPLACEMENT = 2
+
+
+def build_sad_ir():
+    b = KernelBuilder("sad", [
+        ("nblocks", Type.U32), ("frame", PTR), ("reference", PTR),
+        ("sads", PTR),
+    ])
+    i = b.global_index_x()
+    with b.if_(b.lt(i, b.param("nblocks"))):
+        blocks_per_row = FRAME // BLOCK
+        bx = b.mul(b.cvt(b.and_(i, blocks_per_row - 1), Type.S32), BLOCK)
+        by = b.mul(b.cvt(b.shr(i, 3), Type.S32), BLOCK)
+        total = b.var(0, Type.S32)
+        with b.for_range(0, BLOCK) as dy:
+            with b.for_range(0, BLOCK) as dx:
+                x = b.add(bx, dx)
+                y = b.add(by, dy)
+                cur_index = b.mad(y, FRAME, x)
+                ref_index = b.mad(b.add(y, DISPLACEMENT), FRAME,
+                                  b.add(x, DISPLACEMENT))
+                cur = b.load_s32(b.gep(b.param("frame"), cur_index, 4))
+                ref = b.load_s32(b.gep(b.param("reference"), ref_index, 4))
+                b.assign(total, b.add(total, b.abs_(b.sub(cur, ref))))
+        b.store(b.gep(b.param("sads"), i, 4), total)
+    return b.finish()
+
+
+class Sad(Workload):
+    name = "parboil/sad"
+
+    def __init__(self, dataset: str = "default"):
+        super().__init__()
+        self.dataset = dataset
+        rng = np.random.default_rng(71)
+        pad = FRAME + BLOCK + DISPLACEMENT
+        self.frame = rng.integers(0, 256, (pad, pad)).astype(np.int32)
+        self.ref = rng.integers(0, 256, (pad, pad)).astype(np.int32)
+        self.nblocks = (FRAME // BLOCK) ** 2
+
+    def build_ir(self):
+        return build_sad_ir()
+
+    def _run(self, device, kernel) -> np.ndarray:
+        pad = self.frame.shape[0]
+        # kernels index with stride FRAME; upload row-major at that pitch
+        frame_ptr = device.alloc_array(
+            np.ascontiguousarray(self.frame[:FRAME + BLOCK,
+                                            :FRAME]).astype(np.int32))
+        ref_ptr = device.alloc_array(
+            np.ascontiguousarray(self.ref[:FRAME + BLOCK,
+                                          :FRAME]).astype(np.int32))
+        out_ptr = device.alloc(self.nblocks * 4)
+        launch_1d(device, kernel, self.nblocks, 64,
+                  [self.nblocks, frame_ptr, ref_ptr, out_ptr])
+        return device.read_array(out_ptr, self.nblocks, np.int32)
+
+    def reference(self) -> np.ndarray:
+        # mirror the kernel's flat pitch-FRAME indexing exactly (the
+        # displaced access may wrap into the next pitch row)
+        frame = self.frame[:FRAME + BLOCK, :FRAME].ravel()
+        ref = self.ref[:FRAME + BLOCK, :FRAME].ravel()
+        blocks_per_row = FRAME // BLOCK
+        out = np.zeros(self.nblocks, dtype=np.int32)
+        for i in range(self.nblocks):
+            bx = (i % blocks_per_row) * BLOCK
+            by = (i // blocks_per_row) * BLOCK
+            total = 0
+            for dy in range(BLOCK):
+                for dx in range(BLOCK):
+                    x, y = bx + dx, by + dy
+                    cur_index = y * FRAME + x
+                    ref_index = (y + DISPLACEMENT) * FRAME \
+                        + (x + DISPLACEMENT)
+                    total += abs(int(frame[cur_index])
+                                 - int(ref[ref_index]))
+            out[i] = total
+        return out

@@ -1,0 +1,84 @@
+"""Parboil ``spmv`` analog: CSR sparse matrix–vector multiply, one row
+per thread.
+
+Row-pointer indirection makes warp lanes walk rows of different lengths
+(branch divergence at the row loop) and gather unrelated cache lines
+(address divergence) — the paper uses it in both Case Study I and the
+Figure 7 memory-divergence PMFs with three dataset sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.workloads.base import Workload, launch_1d
+from repro.workloads.datasets import CSRGraph, sparse_matrix_csr, \
+    spmv_reference
+
+DATASETS = {
+    "small": dict(num_rows=512, max_row=16, seed=31),
+    "medium": dict(num_rows=1024, max_row=32, seed=32),
+    "large": dict(num_rows=2048, max_row=48, seed=33),
+}
+
+
+def build_spmv_csr_ir(name: str = "spmv_csr"):
+    b = KernelBuilder(name, [
+        ("n", Type.U32), ("row_offsets", PTR), ("columns", PTR),
+        ("values", PTR), ("x", PTR), ("y", PTR),
+    ])
+    row = b.global_index_x()
+    with b.if_(b.lt(row, b.param("n"))):
+        start = b.load_s32(b.gep(b.param("row_offsets"), row, 4))
+        end = b.load_s32(b.gep(b.param("row_offsets"), b.add(row, 1), 4))
+        acc = b.var(0.0, Type.F32)
+        k = b.var(start, Type.S32)
+        with b.while_(lambda: b.lt(k, end)):
+            column = b.load_s32(b.gep(b.param("columns"), k, 4))
+            value = b.load_f32(b.gep(b.param("values"), k, 4))
+            xv = b.load_f32(b.gep(b.param("x"), column, 4))
+            b.assign(acc, b.fma(value, xv, acc))
+            b.assign(k, b.add(k, 1))
+        b.store(b.gep(b.param("y"), row, 4), acc)
+    return b.finish()
+
+
+class Spmv(Workload):
+    name = "parboil/spmv"
+
+    def __init__(self, dataset: str = "small", block: int = 128):
+        super().__init__()
+        self.dataset = dataset
+        self.block = block
+        config = DATASETS[dataset]
+        self.matrix: CSRGraph = sparse_matrix_csr(
+            config["num_rows"], max_row=config["max_row"],
+            seed=config["seed"])
+        rng = np.random.default_rng(config["seed"] + 100)
+        self.x = rng.random(self.matrix.num_rows, dtype=np.float32)
+
+    def build_ir(self):
+        return build_spmv_csr_ir()
+
+    def _run(self, device, kernel) -> np.ndarray:
+        matrix = self.matrix
+        n = matrix.num_rows
+        args = [
+            n,
+            device.alloc_array(matrix.row_offsets),
+            device.alloc_array(matrix.columns),
+            device.alloc_array(matrix.values),
+            device.alloc_array(self.x),
+            device.alloc(n * 4),
+        ]
+        launch_1d(device, kernel, n, self.block, args)
+        return device.read_array(args[-1], n, np.float32)
+
+    def reference(self) -> np.ndarray:
+        return spmv_reference(self.matrix, self.x)
+
+    def verify(self, output) -> bool:
+        return bool(np.allclose(output, self.reference(),
+                                rtol=1e-3, atol=1e-4))

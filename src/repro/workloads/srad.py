@@ -1,0 +1,143 @@
+"""Rodinia ``srad`` analogs: speckle-reducing anisotropic diffusion.
+
+Two implementations of the same computation, as in Rodinia:
+
+* **v1** clamps neighbour indices with ``min``/``max`` selects —
+  essentially branch-free (Table 1: 0.5 % dynamic divergence);
+* **v2** handles each boundary with an explicit if/else chain — the same
+  maths, far more divergent (Table 1: 21.3 %).
+
+The paper uses the pair to show that branch behaviour varies across
+implementations of one application."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.workloads.base import Workload, launch_1d
+
+SIDE = 32
+LAMBDA = 0.05
+
+
+def _diffusion_update(b, center, north, south, west, east):
+    laplacian = b.fsub(b.fadd(b.fadd(north, south), b.fadd(west, east)),
+                       b.fmul(center, 4.0))
+    return b.fma(laplacian, LAMBDA, center)
+
+
+def build_srad_v1_ir():
+    """Clamped-index variant (selects, no divergent branches)."""
+    b = KernelBuilder("srad_v1", [
+        ("n", Type.U32), ("src", PTR), ("dst", PTR),
+    ])
+    i = b.global_index_x()
+    with b.if_(b.lt(i, b.param("n"))):
+        i_s = b.cvt(i, Type.S32)
+        x = b.and_(i_s, SIDE - 1)
+        y = b.shr(i_s, 5)
+        xm = b.max_(b.sub(x, 1), 0)
+        xp = b.min_(b.add(x, 1), SIDE - 1)
+        ym = b.max_(b.sub(y, 1), 0)
+        yp = b.min_(b.add(y, 1), SIDE - 1)
+        center = b.load_f32(b.gep(b.param("src"), i_s, 4))
+        north = b.load_f32(b.gep(b.param("src"), b.mad(ym, SIDE, x), 4))
+        south = b.load_f32(b.gep(b.param("src"), b.mad(yp, SIDE, x), 4))
+        west = b.load_f32(b.gep(b.param("src"), b.mad(y, SIDE, xm), 4))
+        east = b.load_f32(b.gep(b.param("src"), b.mad(y, SIDE, xp), 4))
+        b.store(b.gep(b.param("dst"), i_s, 4),
+                _diffusion_update(b, center, north, south, west, east))
+    return b.finish()
+
+
+def build_srad_v2_ir():
+    """If/else-chain variant (same maths, divergent boundaries)."""
+    b = KernelBuilder("srad_v2", [
+        ("n", Type.U32), ("src", PTR), ("dst", PTR),
+    ])
+    i = b.global_index_x()
+    with b.if_(b.lt(i, b.param("n"))):
+        i_s = b.cvt(i, Type.S32)
+        x = b.and_(i_s, SIDE - 1)
+        y = b.shr(i_s, 5)
+        center = b.load_f32(b.gep(b.param("src"), i_s, 4))
+
+        def neighbor(off_var, edge_pred):
+            value = b.var(0.0, Type.F32)
+            branch = b.if_(edge_pred)
+            with branch:
+                b.assign(value, center)          # mirror at the edge
+            with branch.else_():
+                b.assign(value, b.load_f32(
+                    b.gep(b.param("src"), off_var, 4)))
+            return value
+
+        north = neighbor(b.mad(b.sub(y, 1), SIDE, x), b.eq(y, 0))
+        south = neighbor(b.mad(b.add(y, 1), SIDE, x), b.eq(y, SIDE - 1))
+        west = neighbor(b.mad(y, SIDE, b.sub(x, 1)), b.eq(x, 0))
+        east = neighbor(b.mad(y, SIDE, b.add(x, 1)), b.eq(x, SIDE - 1))
+        b.store(b.gep(b.param("dst"), i_s, 4),
+                _diffusion_update(b, center, north, south, west, east))
+    return b.finish()
+
+
+class _SradBase(Workload):
+    def __init__(self, dataset: str = "default", iterations: int = 2):
+        super().__init__()
+        self.dataset = dataset
+        self.iterations = iterations
+        rng = np.random.default_rng(141)
+        self.image = rng.random((SIDE, SIDE), dtype=np.float32)
+
+    def _run(self, device, kernel) -> np.ndarray:
+        n = SIDE * SIDE
+        src = device.alloc_array(self.image)
+        dst = device.alloc_array(self.image)
+        for _ in range(self.iterations):
+            launch_1d(device, kernel, n, 128, [n, src, dst])
+            src, dst = dst, src
+        return device.read_array(src, n, np.float32).reshape(SIDE, SIDE)
+
+    def _clamped_reference(self, mirror_edges: bool) -> np.ndarray:
+        image = self.image.copy()
+        for _ in range(self.iterations):
+            if mirror_edges:
+                north = np.vstack([image[:1], image[:-1]])
+                south = np.vstack([image[1:], image[-1:]])
+                west = np.hstack([image[:, :1], image[:, :-1]])
+                east = np.hstack([image[:, 1:], image[:, -1:]])
+            else:
+                north = image[np.maximum(np.arange(SIDE) - 1, 0)]
+                south = image[np.minimum(np.arange(SIDE) + 1, SIDE - 1)]
+                west = image[:, np.maximum(np.arange(SIDE) - 1, 0)]
+                east = image[:, np.minimum(np.arange(SIDE) + 1, SIDE - 1)]
+            laplacian = (north + south + west + east
+                         - np.float32(4.0) * image)
+            image = laplacian * np.float32(LAMBDA) + image
+        return image
+
+    def verify(self, output) -> bool:
+        return bool(np.allclose(output, self.reference(),
+                                rtol=1e-4, atol=1e-5))
+
+
+class SradV1(_SradBase):
+    name = "rodinia/srad_v1"
+
+    def build_ir(self):
+        return build_srad_v1_ir()
+
+    def reference(self) -> np.ndarray:
+        return self._clamped_reference(mirror_edges=False)
+
+
+class SradV2(_SradBase):
+    name = "rodinia/srad_v2"
+
+    def build_ir(self):
+        return build_srad_v2_ir()
+
+    def reference(self) -> np.ndarray:
+        return self._clamped_reference(mirror_edges=True)

@@ -1,0 +1,70 @@
+"""Rodinia ``streamcluster`` analog: point-to-center distance kernel.
+
+Each thread computes the squared Euclidean distance between one point
+and every cluster center over a fixed dimension count.  All loop bounds
+are uniform and there is no boundary test (the launch exactly covers the
+points), so the kernel is *fully convergent* — the paper's Table 1
+reports 0 divergent branches, which the studies check."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.workloads.base import Workload, launch_1d
+
+DIMS = 8
+NUM_POINTS = 512     # multiple of the block size: no bounds test
+NUM_CENTERS = 4
+
+
+def build_streamcluster_ir():
+    b = KernelBuilder("streamcluster", [
+        ("points", PTR), ("centers", PTR), ("distances", PTR),
+    ])
+    i = b.cvt(b.global_index_x(), Type.S32)
+    with b.for_range(0, NUM_CENTERS) as c:
+        total = b.var(0.0, Type.F32)
+        with b.for_range(0, DIMS) as d:
+            p = b.load_f32(b.gep(b.param("points"),
+                                 b.mad(i, DIMS, d), 4))
+            q = b.load_f32(b.gep(b.param("centers"),
+                                 b.mad(c, DIMS, d), 4))
+            diff = b.fsub(p, q)
+            b.assign(total, b.fma(diff, diff, total))
+        b.store(b.gep(b.param("distances"),
+                      b.mad(i, NUM_CENTERS, c), 4), total)
+    return b.finish()
+
+
+class StreamCluster(Workload):
+    name = "rodinia/streamcluster"
+
+    def __init__(self, dataset: str = "default"):
+        super().__init__()
+        self.dataset = dataset
+        rng = np.random.default_rng(151)
+        self.points = rng.random((NUM_POINTS, DIMS), dtype=np.float32)
+        self.centers = rng.random((NUM_CENTERS, DIMS), dtype=np.float32)
+
+    def build_ir(self):
+        return build_streamcluster_ir()
+
+    def _run(self, device, kernel) -> np.ndarray:
+        args = [
+            device.alloc_array(self.points),
+            device.alloc_array(self.centers),
+            device.alloc(NUM_POINTS * NUM_CENTERS * 4),
+        ]
+        launch_1d(device, kernel, NUM_POINTS, 128, args)
+        return device.read_array(args[-1], NUM_POINTS * NUM_CENTERS,
+                                 np.float32)
+
+    def reference(self) -> np.ndarray:
+        diff = self.points[:, None, :] - self.centers[None, :, :]
+        return (diff * diff).sum(axis=2).astype(np.float32).ravel()
+
+    def verify(self, output) -> bool:
+        return bool(np.allclose(output, self.reference(),
+                                rtol=1e-4, atol=1e-5))

@@ -1,0 +1,88 @@
+"""Parboil ``tpacf`` analog: two-point angular correlation function.
+
+Each thread takes one point and accumulates a histogram of angular
+separations against every other point.  The bin search is a
+data-dependent loop over bin edges — the paper reports tpacf among the
+most divergent Parboil codes (25 % dynamic divergence), which this
+per-pair bin-walk reproduces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.workloads.base import Workload, launch_1d
+
+NUM_BINS = 8
+
+
+def build_tpacf_ir():
+    b = KernelBuilder("tpacf", [
+        ("n", Type.U32), ("xs", PTR), ("ys", PTR), ("zs", PTR),
+        ("binb", PTR), ("hist", PTR),
+    ])
+    i = b.global_index_x()
+    with b.if_(b.lt(i, b.param("n"))):
+        xi = b.load_f32(b.gep(b.param("xs"), i, 4))
+        yi = b.load_f32(b.gep(b.param("ys"), i, 4))
+        zi = b.load_f32(b.gep(b.param("zs"), i, 4))
+        with b.for_range(0, b.cvt(b.param("n"), Type.S32)) as j:
+            xj = b.load_f32(b.gep(b.param("xs"), j, 4))
+            yj = b.load_f32(b.gep(b.param("ys"), j, 4))
+            zj = b.load_f32(b.gep(b.param("zs"), j, 4))
+            dot = b.fma(xi, xj, b.fma(yi, yj, b.fmul(zi, zj)))
+            # data-dependent bin walk (the divergent part of tpacf)
+            bin_index = b.var(0, Type.S32)
+            with b.while_(lambda: b.lt(bin_index, NUM_BINS - 1)):
+                edge = b.load_f32(b.gep(b.param("binb"), bin_index, 4))
+                with b.if_(b.ge(dot, edge)):
+                    b.break_()
+                b.assign(bin_index, b.add(bin_index, 1))
+            b.atomic_add(b.gep(b.param("hist"), bin_index, 4), 1)
+    return b.finish()
+
+
+class Tpacf(Workload):
+    name = "parboil/tpacf"
+
+    def __init__(self, dataset: str = "small", block: int = 64):
+        super().__init__()
+        self.dataset = dataset
+        self.block = block
+        num_points = {"small": 96, "medium": 160}[dataset]
+        rng = np.random.default_rng(41)
+        points = rng.normal(size=(num_points, 3)).astype(np.float32)
+        points /= np.linalg.norm(points, axis=1, keepdims=True)
+        self.points = points
+        # descending bin edges over the dot-product range [-1, 1]
+        self.binb = np.linspace(0.9, -0.9, NUM_BINS - 1).astype(np.float32)
+
+    def build_ir(self):
+        return build_tpacf_ir()
+
+    def _run(self, device, kernel) -> np.ndarray:
+        n = len(self.points)
+        args = [
+            n,
+            device.alloc_array(np.ascontiguousarray(self.points[:, 0])),
+            device.alloc_array(np.ascontiguousarray(self.points[:, 1])),
+            device.alloc_array(np.ascontiguousarray(self.points[:, 2])),
+            device.alloc_array(self.binb),
+            device.alloc(NUM_BINS * 4),
+        ]
+        launch_1d(device, kernel, n, self.block, args)
+        return device.read_array(args[-1], NUM_BINS, np.uint32)
+
+    def reference(self) -> np.ndarray:
+        dots = self.points @ self.points.T
+        hist = np.zeros(NUM_BINS, dtype=np.uint32)
+        for dot in dots.ravel():
+            bin_index = 0
+            while bin_index < NUM_BINS - 1:
+                if dot >= self.binb[bin_index]:
+                    break
+                bin_index += 1
+            hist[bin_index] += 1
+        return hist

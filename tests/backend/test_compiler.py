@@ -1,0 +1,157 @@
+"""Tests for the ptxas-analog backend: lowering, divergence control,
+register allocation, peephole."""
+
+import pytest
+
+from repro.backend import CompileError, CompileOptions, ptxas
+from repro.isa.instruction import LabelRef
+from repro.isa.opcodes import Opcode
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+
+from tests.conftest import build_divergent_sum, build_vecadd
+
+
+def opcodes(kernel):
+    return [i.opcode for i in kernel.instructions]
+
+
+class TestLowering:
+    def test_vecadd_compiles(self):
+        kernel = ptxas(build_vecadd())
+        ops = opcodes(kernel)
+        assert Opcode.LDG in ops and Opcode.STG in ops
+        assert Opcode.EXIT in ops
+
+    def test_params_load_from_constant_bank(self):
+        kernel = ptxas(build_vecadd())
+        from repro.isa.instruction import ConstRef
+
+        const_reads = [i for i in kernel.instructions
+                       if any(isinstance(s, ConstRef) for s in i.srcs)]
+        # n (1 word) + three pointers (2 words each)
+        assert len(const_reads) >= 7
+
+    def test_pointer_arithmetic_uses_carry_chain(self):
+        kernel = ptxas(build_vecadd())
+        mods = [i.mods for i in kernel.instructions if i.opcode is Opcode.IADD]
+        assert ("CC",) in mods and ("X",) in mods
+
+    def test_register_footprint_reported(self):
+        kernel = ptxas(build_vecadd())
+        highest = max((r.index for i in kernel.instructions
+                       for r in (*i.gpr_defs(), *i.gpr_uses())), default=0)
+        assert kernel.num_regs == highest + 1
+
+    def test_stack_pointer_never_allocated(self):
+        kernel = ptxas(build_divergent_sum())
+        for instr in kernel.instructions:
+            assert 1 not in [r.index for r in instr.gpr_defs()], \
+                f"R1 written by {instr}"
+
+    def test_labels_valid(self):
+        kernel = ptxas(build_divergent_sum())
+        kernel.validate()
+
+
+class TestDivergenceControl:
+    def test_if_gets_ssy_and_sync(self):
+        kernel = ptxas(build_vecadd())
+        ops = opcodes(kernel)
+        assert Opcode.SSY in ops and Opcode.SYNC in ops
+        # SYNC sits exactly at the SSY target
+        ssy = kernel.instructions[ops.index(Opcode.SSY)]
+        target = next(s for s in ssy.srcs if isinstance(s, LabelRef))
+        assert kernel.instructions[
+            kernel.label_target(target.name)].opcode is Opcode.SYNC
+
+    def test_loop_gets_pbk_and_brk(self):
+        kernel = ptxas(build_divergent_sum())
+        ops = opcodes(kernel)
+        assert Opcode.PBK in ops and Opcode.BRK in ops
+
+    def test_pbk_in_preheader_not_in_loop(self):
+        kernel = ptxas(build_divergent_sum())
+        ops = opcodes(kernel)
+        pbk_index = ops.index(Opcode.PBK)
+        # the PBK must be before the loop header test (single push)
+        brk_index = ops.index(Opcode.BRK)
+        assert pbk_index < brk_index
+
+    def test_break_lowered_to_brk_not_bra(self):
+        b = KernelBuilder("k", [("n", Type.S32)])
+        with b.for_range(0, b.param("n")) as i:
+            with b.if_(b.eq(i, 3)):
+                b.break_()
+        kernel = ptxas(b.finish())
+        # two BRKs: the header exit test and the explicit break
+        assert opcodes(kernel).count(Opcode.BRK) == 2
+
+    def test_no_ssy_when_reconvergence_is_loop_exit(self):
+        b = KernelBuilder("k", [("n", Type.S32)])
+        with b.for_range(0, b.param("n")) as i:
+            with b.if_(b.eq(i, 3)):
+                b.break_()
+        kernel = ptxas(b.finish())
+        assert Opcode.SSY not in opcodes(kernel)
+
+    def test_nested_ifs_get_nested_ssy(self):
+        b = KernelBuilder("k", [("n", Type.U32), ("out", PTR)])
+        i = b.global_index_x()
+        with b.if_(b.lt(i, b.param("n"))):
+            with b.if_(b.eq(b.and_(i, 1), 0)):
+                b.store(b.gep(b.param("out"), i, 4), i)
+        kernel = ptxas(b.finish())
+        assert opcodes(kernel).count(Opcode.SSY) == 2
+        assert opcodes(kernel).count(Opcode.SYNC) == 2
+
+
+class TestPeephole:
+    def test_branch_to_next_removed(self):
+        kernel = ptxas(build_vecadd())
+        for index, instr in enumerate(kernel.instructions):
+            if instr.opcode is Opcode.BRA and instr.guard.is_unconditional:
+                target = next(s for s in instr.srcs
+                              if isinstance(s, LabelRef))
+                assert kernel.label_target(target.name) != index + 1
+
+    def test_peephole_can_be_disabled(self):
+        fast = ptxas(build_vecadd())
+        slow = ptxas(build_vecadd(), CompileOptions(peephole=False))
+        assert len(slow.instructions) >= len(fast.instructions)
+
+
+class TestFinalPass:
+    def test_final_pass_runs_last(self):
+        seen = {}
+
+        def final(kernel):
+            seen["len"] = len(kernel.instructions)
+            return kernel
+
+        kernel = ptxas(build_vecadd(), CompileOptions(final_pass=final))
+        assert seen["len"] == len(kernel.instructions)
+
+    def test_final_pass_output_validated(self):
+        from dataclasses import replace
+        from repro.isa.instruction import Instruction
+
+        def bad(kernel):
+            broken = Instruction(Opcode.BRA,
+                                 srcs=(LabelRef("missing"),))
+            return replace(kernel,
+                           instructions=kernel.instructions + (broken,))
+
+        with pytest.raises(ValueError):
+            ptxas(build_vecadd(), CompileOptions(final_pass=bad))
+
+
+class TestErrors:
+    def test_unsupported_construct_raises_compile_error(self):
+        b = KernelBuilder("k", [("out", PTR)])
+        # 64-bit subtract is documented as unsupported
+        p = b.param("out")
+        q = b.sub(p, p)
+        b.store(b.param("out"), b.cvt(q, Type.U32))
+        with pytest.raises(CompileError):
+            ptxas(b.finish())

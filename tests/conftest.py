@@ -1,0 +1,84 @@
+"""Shared fixtures: common kernels, devices, and compile helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import ptxas
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.sim import Device, Dim3
+
+
+def build_vecadd():
+    """float vecadd — the repository's canonical kernel."""
+    b = KernelBuilder("vecadd", [("n", Type.U32), ("a", PTR), ("b", PTR),
+                                 ("out", PTR)])
+    i = b.global_index_x()
+    with b.if_(b.lt(i, b.param("n"))):
+        x = b.load_f32(b.gep(b.param("a"), i, 4))
+        y = b.load_f32(b.gep(b.param("b"), i, 4))
+        b.store(b.gep(b.param("out"), i, 4), b.fadd(x, y))
+    return b.finish()
+
+
+def build_saxpy():
+    b = KernelBuilder("saxpy", [("n", Type.U32), ("alpha", Type.F32),
+                                ("x", PTR), ("y", PTR)])
+    i = b.global_index_x()
+    with b.if_(b.lt(i, b.param("n"))):
+        xv = b.load_f32(b.gep(b.param("x"), i, 4))
+        yv = b.load_f32(b.gep(b.param("y"), i, 4))
+        b.store(b.gep(b.param("y"), i, 4),
+                b.fma(b.param("alpha"), xv, yv))
+    return b.finish()
+
+
+def build_divergent_sum():
+    """Per-thread loop with data-dependent trip count and a break."""
+    b = KernelBuilder("divsum", [("n", Type.U32), ("out", PTR)])
+    i = b.global_index_x()
+    with b.if_(b.lt(i, b.param("n"))):
+        limit = b.cvt(b.and_(i, 7), Type.S32)
+        total = b.var(0, Type.S32)
+        with b.for_range(0, limit) as j:
+            with b.if_(b.eq(j, 4)):
+                b.break_()
+            b.assign(total, b.add(total, j))
+        b.store(b.gep(b.param("out"), i, 4), total)
+    return b.finish()
+
+
+def divergent_sum_reference(n: int) -> np.ndarray:
+    def one(i):
+        total = 0
+        for j in range(i & 7):
+            if j == 4:
+                break
+            total += j
+        return total
+
+    return np.array([one(i) for i in range(n)], dtype=np.int32)
+
+
+@pytest.fixture
+def device():
+    return Device()
+
+
+@pytest.fixture
+def vecadd_kernel():
+    return ptxas(build_vecadd())
+
+
+def run_vecadd(device, kernel, n=256, block=128):
+    rng = np.random.default_rng(7)
+    a = rng.random(n, dtype=np.float32)
+    b = rng.random(n, dtype=np.float32)
+    pa, pb = device.alloc_array(a), device.alloc_array(b)
+    po = device.alloc(n * 4)
+    grid = Dim3((n + block - 1) // block)
+    stats = device.launch(kernel, grid, Dim3(block), [n, pa, pb, po])
+    out = device.read_array(po, n, np.float32)
+    return a, b, out, stats

@@ -1,0 +1,75 @@
+"""Tests for the error-injection campaign machinery."""
+
+import numpy as np
+import pytest
+
+from repro.handlers.error_injection import (
+    ErrorInjectionCampaign,
+    InjectionOutcome,
+)
+from repro.workloads import make
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return ErrorInjectionCampaign(make("rodinia/nn"), seed=3)
+
+
+class TestCampaign:
+    def test_profile_counts_events(self, campaign):
+        total = campaign.profile()
+        # nn: ~13 register/memory-writing instructions per thread, 1024
+        # threads; predicated-off lanes excluded
+        assert total > 1024 * 5
+        assert campaign.total_events == total
+
+    def test_golden_run_is_correct(self, campaign):
+        golden = campaign.golden_run()
+        workload = campaign.workload
+        assert workload.verify(golden)
+
+    def test_injection_is_deterministic_per_target(self, campaign):
+        campaign.golden_run()
+        campaign.profile()
+        first = campaign.inject_once(1000, dst_seed=1, bit_seed=5)
+        second = campaign.inject_once(1000, dst_seed=1, bit_seed=5)
+        assert first.outcome == second.outcome
+        assert first.description == second.description
+
+    def test_every_injection_classified(self, campaign):
+        result = campaign.run(num_injections=8)
+        assert len(result.records) == 8
+        for record in result.records:
+            assert isinstance(record.outcome, InjectionOutcome)
+
+    def test_fractions_sum_to_one(self, campaign):
+        result = campaign.run(num_injections=6)
+        assert sum(result.fractions().values()) == pytest.approx(1.0)
+
+
+class TestOutcomes:
+    def test_high_bit_pointer_flip_crashes_or_corrupts(self):
+        """Flipping address-computation results produces crashes (the
+        dominant non-masked outcome in the paper)."""
+        campaign = ErrorInjectionCampaign(make("rodinia/nn"), seed=11)
+        campaign.golden_run()
+        campaign.profile()
+        outcomes = set()
+        for target in range(0, campaign.total_events,
+                            max(campaign.total_events // 24, 1)):
+            record = campaign.inject_once(target, dst_seed=0, bit_seed=30)
+            outcomes.add(record.outcome)
+        assert InjectionOutcome.CRASH in outcomes \
+            or InjectionOutcome.SDC_OUTPUT in outcomes
+
+    def test_low_mantissa_flip_often_masked(self):
+        """Bit 0 of a float intermediate is below print precision."""
+        campaign = ErrorInjectionCampaign(make("rodinia/nn"), seed=12)
+        campaign.golden_run()
+        campaign.profile()
+        outcomes = []
+        for target in range(100, 2000, 400):
+            record = campaign.inject_once(target, dst_seed=0, bit_seed=0)
+            outcomes.append(record.outcome)
+        assert any(o in (InjectionOutcome.MASKED,
+                         InjectionOutcome.SDC_STDOUT) for o in outcomes)

@@ -1,0 +1,202 @@
+"""Round-trip tests for assembly text and binary encoding, including
+property-based tests over generated instructions."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import (
+    ConstRef,
+    GPR,
+    Imm,
+    Instruction,
+    LabelRef,
+    MemRef,
+    MemSpace,
+    Opcode,
+    Pred,
+    PredGuard,
+    SpecialReg,
+    decode_instruction,
+    encode_instruction,
+    format_instruction,
+    parse_instruction,
+    parse_kernel,
+)
+from repro.isa.asmtext import format_kernel
+from repro.isa.encoding import EncodingError
+from repro.isa.registers import SREG_NAMES
+
+EXAMPLES = [
+    "IADD R1, R1, -0x80",
+    "@!P0 LDG.64 R4, [R8+0x10]",
+    "STL [R1+0x18], R0",
+    "P2R R3, 0x7f",
+    "MOV32I R5, 0x640",
+    "@P0 IADD R4, RZ, 1",
+    "LOP.OR R4, R1, c[0x0][0x24]",
+    "ISETP.LT.U32.AND P0, PT, R17, R0, PT",
+    "SSY `(merge_2)",
+    "@P0 BRA `(then_1)",
+    "JCAL 0x7f000000",
+    "IMUL.WIDE.U32 R2, R17, 4",
+    "IADD.CC R14, R8, R2",
+    "IADD.X R15, R9, R3",
+    "FFMA R5, R0, R4, R6",
+    "MUFU.RCP R3, R2",
+    "S2R R0, SR_TID.X",
+    "ATOM.ADD.U32 R4, [R6], R8",
+    "SHFL.IDX R4, R5, R6",
+    "VOTE.BALLOT R4, P0",
+    "EXIT",
+    "BRK",
+    "PBK `(endfor_5)",
+    "F2I.TRUNC.S32 R2, R3",
+    "FADD.NEGB R2, R3, R4",
+    "@!P1 STG.128 [R20], R4",
+]
+
+
+class TestTextRoundtrip:
+    @pytest.mark.parametrize("text", EXAMPLES)
+    def test_example_roundtrip(self, text):
+        instr = parse_instruction(text + " ;")
+        assert format_instruction(instr) == text
+
+    def test_kernel_roundtrip(self):
+        source = """.kernel k
+.param n 0x140 4
+TOP:
+        IADD R0, R0, 1 ;
+        @P0 BRA `(TOP) ;
+        EXIT ;
+"""
+        kernel = parse_kernel(source)
+        assert format_kernel(parse_kernel(format_kernel(kernel))) \
+            == format_kernel(kernel)
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            parse_instruction("FROB R0, R1 ;")
+
+    def test_unknown_modifier_rejected(self):
+        with pytest.raises(ValueError):
+            parse_instruction("IADD.WAT R0, R1, R2 ;")
+
+    def test_float_immediate_roundtrip(self):
+        instr = parse_instruction("FADD R0, R1, 1.5f ;")
+        imm = instr.srcs[1]
+        assert isinstance(imm, Imm) and imm.is_float
+        assert struct.unpack("<f", struct.pack("<I", imm.value))[0] == 1.5
+        assert parse_instruction(format_instruction(instr) + ";") == instr
+
+
+class TestBinaryRoundtrip:
+    @pytest.mark.parametrize("text", EXAMPLES)
+    def test_example_roundtrip(self, text):
+        labels = {"merge_2": 0, "then_1": 1, "endfor_5": 2}
+        instr = parse_instruction(text + " ;")
+        words = encode_instruction(instr, labels)
+        decoded = decode_instruction(words, {v: k for k, v in labels.items()})
+        assert decoded == instr
+
+    def test_unknown_label_rejected(self):
+        instr = parse_instruction("BRA `(nowhere) ;")
+        with pytest.raises(EncodingError):
+            encode_instruction(instr)
+
+    def test_opcode_in_low_bits(self):
+        # handlers recover the opcode from encoding & 0x1ff (params.py)
+        instr = parse_instruction("FFMA R5, R0, R4, R6 ;")
+        word0, _ = encode_instruction(instr)
+        assert Opcode(word0 & 0x1FF) is Opcode.FFMA
+
+    def test_guard_bits_follow_opcode(self):
+        instr = parse_instruction("@!P2 NOP ;")
+        word0, _ = encode_instruction(instr)
+        assert (word0 >> 9) & 0x7 == 2
+        assert (word0 >> 12) & 1 == 1
+
+
+# ---------------------------------------------------------------------
+# property-based round-trips
+# ---------------------------------------------------------------------
+
+_gprs = st.builds(GPR, st.integers(0, 255))
+_preds = st.builds(Pred, st.integers(0, 7))
+_imms = st.builds(Imm, st.integers(-(2**31), 2**31 - 1))
+_consts = st.builds(ConstRef, st.integers(0, 3), st.integers(0, 0xFFFC))
+_mems = st.builds(MemRef,
+                  st.sampled_from(list(MemSpace)),
+                  _gprs,
+                  st.integers(-(2**17), 2**17 - 1))
+_sregs = st.builds(SpecialReg, st.sampled_from(SREG_NAMES))
+_operands = st.one_of(_gprs, _preds, _imms, _consts, _mems, _sregs)
+
+_guards = st.builds(PredGuard, _preds, st.booleans())
+
+
+_alu_srcs = st.one_of(_gprs, _consts)
+
+
+@st.composite
+def instructions(draw):
+    """Well-formed instructions in the shapes the toolchain emits."""
+    opcode = draw(st.sampled_from([
+        Opcode.IADD, Opcode.IMUL, Opcode.LOP, Opcode.FADD,
+        Opcode.FFMA, Opcode.SHL, Opcode.IMNMX,
+    ]))
+    arity = 3 if opcode is Opcode.FFMA else 2
+    dsts = (draw(_gprs),)
+    srcs = [draw(_alu_srcs) for _ in range(arity)]
+    # the second source may be an immediate (SASS-style)
+    if draw(st.booleans()):
+        srcs[1] = draw(_imms)
+    mods = tuple(draw(st.lists(
+        st.sampled_from(["U32", "S32", "CC", "X"]), max_size=2,
+        unique=True)))
+    return Instruction(opcode=opcode, dsts=dsts, srcs=tuple(srcs),
+                       guard=draw(_guards), mods=mods)
+
+
+@st.composite
+def memory_instructions(draw):
+    opcode = draw(st.sampled_from([Opcode.LDG, Opcode.LDS, Opcode.LDL]))
+    from repro.isa.instruction import OPCODE_SPACE
+
+    ref = MemRef(OPCODE_SPACE[opcode], draw(_gprs),
+                 draw(st.integers(-(2**17), 2**17 - 1)))
+    mods = draw(st.sampled_from([(), ("64",), ("U8",), ("S16",)]))
+    return Instruction(opcode=opcode, dsts=(draw(_gprs),), srcs=(ref,),
+                       guard=draw(_guards), mods=mods)
+
+
+@settings(max_examples=300, deadline=None)
+@given(instructions())
+def test_encode_decode_roundtrip(instr):
+    try:
+        words = encode_instruction(instr)
+    except EncodingError:
+        return  # payload genuinely too large; not a correctness issue
+    assert decode_instruction(words) == instr
+
+
+@settings(max_examples=300, deadline=None)
+@given(instructions())
+def test_text_roundtrip(instr):
+    text = format_instruction(instr)
+    assert parse_instruction(text + " ;") == instr
+
+
+@settings(max_examples=200, deadline=None)
+@given(memory_instructions())
+def test_memory_text_roundtrip(instr):
+    text = format_instruction(instr)
+    assert parse_instruction(text + " ;") == instr
+
+
+@settings(max_examples=200, deadline=None)
+@given(memory_instructions())
+def test_memory_encode_roundtrip(instr):
+    assert decode_instruction(encode_instruction(instr)) == instr

@@ -1,0 +1,123 @@
+"""Unit tests for the instruction model: class queries and def/use sets."""
+
+from repro.isa import (
+    GPR,
+    Imm,
+    Instruction,
+    MemRef,
+    MemSpace,
+    Opcode,
+    Pred,
+    PredGuard,
+    RZ,
+    parse_instruction,
+)
+
+
+def ins(text):
+    return parse_instruction(text)
+
+
+class TestClassQueries:
+    def test_store_is_memory_write(self):
+        store = ins("@P0 STG [R10], R0 ;")
+        assert store.is_memory and store.is_mem_write
+        assert not store.is_mem_read
+        assert store.mem_space is MemSpace.GLOBAL
+
+    def test_load_is_memory_read(self):
+        load = ins("LDG.64 R4, [R8+0x10] ;")
+        assert load.is_mem_read and not load.is_mem_write
+        assert load.mem_width == 8
+
+    def test_atomic_is_read_and_write(self):
+        atom = ins("ATOM.ADD R4, [R6], R8 ;")
+        assert atom.is_mem_read and atom.is_mem_write and atom.is_atomic
+
+    def test_local_access_is_spill_or_fill(self):
+        assert ins("STL [R1+0x18], R0 ;").is_spill_or_fill
+        assert ins("LDL R0, [R1+0x18] ;").is_spill_or_fill
+        assert not ins("LDG R0, [R2] ;").is_spill_or_fill
+
+    def test_branch_classes(self):
+        cond = ins("@P0 BRA `(L) ;")
+        assert cond.is_control_xfer and cond.is_cond_control_xfer
+        uncond = ins("BRA `(L) ;")
+        assert uncond.is_control_xfer and not uncond.is_cond_control_xfer
+
+    def test_call_class(self):
+        assert ins("JCAL 0x7f000000 ;").is_call
+
+    def test_sync_class(self):
+        assert ins("BAR 0 ;").is_sync
+        assert ins("MEMBAR.GL ;").is_sync
+
+    def test_numeric_class(self):
+        assert ins("IADD R0, R1, R2 ;").is_numeric
+        assert ins("FFMA R0, R1, R2, R3 ;").is_numeric
+        assert not ins("MOV R0, R1 ;").is_numeric
+
+    def test_texture_class(self):
+        assert ins("TLD R0, [R2] ;").is_texture
+
+
+class TestDefUse:
+    def test_alu_uses_and_defs(self):
+        add = ins("IADD R3, R1, R2 ;")
+        assert add.gpr_uses() == (GPR(1), GPR(2))
+        assert add.gpr_defs() == (GPR(3),)
+
+    def test_rz_never_appears(self):
+        add = ins("IADD R3, RZ, RZ ;")
+        assert add.gpr_uses() == ()
+        mov = ins("MOV RZ, R5 ;")
+        assert mov.gpr_defs() == ()
+
+    def test_global_address_uses_pair(self):
+        load = ins("LDG R0, [R8] ;")
+        assert load.gpr_uses() == (GPR(8), GPR(9))
+
+    def test_wide_load_defines_pair(self):
+        load = ins("LDG.64 R4, [R8] ;")
+        assert load.gpr_defs() == (GPR(4), GPR(5))
+
+    def test_wide_store_reads_data_pair(self):
+        store = ins("STL.64 [R1+0x60], R10 ;")
+        assert GPR(10) in store.gpr_uses() and GPR(11) in store.gpr_uses()
+        # local addressing reads only the 32-bit base
+        assert GPR(1) in store.gpr_uses() and GPR(2) not in store.gpr_uses()
+
+    def test_wide_multiply_defines_pair(self):
+        mul = ins("IMUL.WIDE.U32 R2, R17, 4 ;")
+        assert mul.gpr_defs() == (GPR(2), GPR(3))
+
+    def test_guard_is_a_predicate_use(self):
+        guarded = ins("@!P2 IADD R0, R0, 1 ;")
+        assert Pred(2) in guarded.pred_uses()
+
+    def test_setp_defines_predicate(self):
+        setp = ins("ISETP.LT.S32.AND P1, PT, R0, R1, PT ;")
+        assert setp.pred_defs() == (Pred(1),)
+
+    def test_shared_access_uses_single_base(self):
+        load = ins("LDS R0, [R4+0x8] ;")
+        assert load.gpr_uses() == (GPR(4),)
+
+
+class TestGuard:
+    def test_default_guard_unconditional(self):
+        assert ins("NOP ;").guard.is_unconditional
+
+    def test_negated_guard(self):
+        guarded = ins("@!P0 EXIT ;")
+        assert guarded.guard.negated
+        assert not guarded.guard.is_unconditional
+
+    def test_with_guard_helper(self):
+        base = ins("IADD R0, R0, 1 ;")
+        guarded = base.with_guard(PredGuard(Pred(3)))
+        assert guarded.guard.pred == Pred(3)
+
+    def test_tagging(self):
+        tagged = ins("NOP ;").with_tag("sassi")
+        assert tagged.tag == "sassi"

@@ -1,0 +1,65 @@
+"""Unit tests for the register name spaces."""
+
+import pytest
+
+from repro.isa.registers import (
+    GPR,
+    NUM_GPRS,
+    PT,
+    Pred,
+    RZ,
+    SREG_NAMES,
+    SpecialReg,
+)
+
+
+class TestGPR:
+    def test_rz_is_zero(self):
+        assert RZ.is_zero
+        assert repr(RZ) == "RZ"
+
+    def test_plain_register_repr(self):
+        assert repr(GPR(13)) == "R13"
+        assert not GPR(13).is_zero
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            GPR(NUM_GPRS)
+        with pytest.raises(ValueError):
+            GPR(-1)
+
+    def test_pair_of_even_register(self):
+        assert GPR(8).pair == GPR(9)
+
+    def test_pair_of_odd_register_rejected(self):
+        with pytest.raises(ValueError):
+            GPR(9).pair
+
+    def test_ordering(self):
+        assert GPR(3) < GPR(4) < RZ
+
+
+class TestPred:
+    def test_pt_is_true(self):
+        assert PT.is_true
+        assert repr(PT) == "PT"
+
+    def test_plain_predicate(self):
+        assert repr(Pred(2)) == "P2"
+        assert not Pred(2).is_true
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Pred(8)
+
+
+class TestSpecialReg:
+    def test_known_names_roundtrip(self):
+        for index, name in enumerate(SREG_NAMES):
+            reg = SpecialReg(name)
+            assert reg.encoding_index == index
+            assert SpecialReg.from_index(index) == reg
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            SpecialReg("SR_BOGUS")

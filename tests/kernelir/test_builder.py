@@ -1,0 +1,181 @@
+"""Tests for the KernelBuilder front-end and IR verifier."""
+
+import pytest
+
+from repro.kernelir import (
+    IRVerificationError,
+    KernelBuilder,
+    Type,
+    verify_kernel,
+)
+from repro.kernelir.builder import BuildError
+from repro.kernelir.ir import IRInstr, IROp, Space
+from repro.kernelir.types import PTR
+
+
+def simple_builder():
+    return KernelBuilder("k", [("n", Type.U32), ("out", PTR)])
+
+
+class TestStructure:
+    def test_params_preloaded_in_entry(self):
+        b = simple_builder()
+        kernel = b.finish()
+        entry_ops = [i.op for i in kernel.entry.instrs]
+        assert entry_ops.count(IROp.LD) == 2
+
+    def test_param_offsets_follow_layout(self):
+        b = KernelBuilder("k", [("n", Type.U32), ("p", PTR), ("m", Type.U32)])
+        kernel = b.finish()
+        assert kernel.param_offset("n") == 0x140
+        assert kernel.param_offset("p") == 0x148  # aligned to 8
+        assert kernel.param_offset("m") == 0x150
+
+    def test_unknown_param_rejected(self):
+        b = simple_builder()
+        with pytest.raises(BuildError):
+            b.param("missing")
+
+    def test_if_creates_then_and_merge(self):
+        b = simple_builder()
+        with b.if_(b.lt(b.tid_x(), b.param("n"))):
+            b.store(b.param("out"), b.tid_x())
+        kernel = b.finish()
+        labels = [blk.label for blk in kernel.blocks]
+        assert any(l.startswith("then") for l in labels)
+        assert any(l.startswith("merge") for l in labels)
+
+    def test_if_else(self):
+        b = simple_builder()
+        branch = b.if_(b.lt(b.tid_x(), b.param("n")))
+        with branch:
+            b.store(b.param("out"), 1)
+        with branch.else_():
+            b.store(b.param("out"), 2)
+        kernel = b.finish()
+        labels = [blk.label for blk in kernel.blocks]
+        assert any(l.startswith("else") for l in labels)
+        # merge block is laid out after the else block
+        merge = next(l for l in labels if l.startswith("merge"))
+        els = next(l for l in labels if l.startswith("else"))
+        assert labels.index(merge) > labels.index(els)
+
+    def test_loop_metadata_recorded(self):
+        b = simple_builder()
+        with b.for_range(0, 10):
+            pass
+        kernel = b.finish()
+        assert len(kernel.loops) == 1
+        loop = kernel.loops[0]
+        assert loop.preheader == "entry"
+
+    def test_block_loop_membership(self):
+        b = simple_builder()
+        with b.for_range(0, 10):
+            with b.for_range(0, 4):
+                pass
+        kernel = b.finish()
+        inner_body = next(blk for blk in kernel.blocks
+                          if len(blk.loops) == 2)
+        assert inner_body.loops[0] == kernel.loops[0].header
+
+    def test_break_outside_loop_rejected(self):
+        b = simple_builder()
+        with pytest.raises(BuildError):
+            b.break_()
+
+    def test_continue_runs_step(self):
+        b = simple_builder()
+        with b.for_range(0, 10):
+            b.continue_()
+        kernel = b.finish()
+        verify_kernel(kernel)  # continue must keep defs-dominate-uses
+
+    def test_code_after_break_is_dead_but_legal(self):
+        b = simple_builder()
+        with b.for_range(0, 10):
+            b.break_()
+            b.store(b.param("out"), 1)  # unreachable
+        verify_kernel(b.finish())
+
+    def test_if_condition_must_be_predicate(self):
+        b = simple_builder()
+        with pytest.raises(BuildError):
+            b.if_(b.tid_x())
+
+    def test_finish_is_terminal(self):
+        b = simple_builder()
+        b.finish()
+        with pytest.raises(BuildError):
+            b.add(1, 2)
+
+
+class TestTyping:
+    def test_binary_result_type_follows_operands(self):
+        b = simple_builder()
+        x = b.fadd(1.0, 2.0)
+        assert x.type is Type.F32
+        y = b.add(b.tid_x(), 1)
+        assert y.type is Type.U32
+
+    def test_cmp_produces_predicate(self):
+        b = simple_builder()
+        assert b.lt(1, 2).type is Type.PRED
+
+    def test_assign_type_mismatch_rejected(self):
+        b = simple_builder()
+        v = b.var(0, Type.S32)
+        with pytest.raises(BuildError):
+            b.assign(v, b.fadd(1.0, 1.0))
+
+    def test_gep_produces_pointer(self):
+        b = simple_builder()
+        p = b.gep(b.param("out"), b.tid_x(), 4)
+        assert p.type is Type.U64
+
+    def test_shared_array_allocates(self):
+        b = simple_builder()
+        base0 = b.shared_array(64)
+        base1 = b.shared_array(32)
+        kernel = b.finish()
+        assert base0.value == 0
+        assert base1.value == 64
+        assert kernel.shared_bytes == 96
+
+
+class TestVerifier:
+    def test_use_before_def_rejected(self):
+        from repro.kernelir.ir import Block, KernelIR, VReg
+
+        ghost = VReg(99, Type.S32)
+        kernel = KernelIR("bad", (), blocks=[
+            Block("entry", [
+                IRInstr(IROp.ST, srcs=(ghost, ghost, ghost),
+                        space=Space.GLOBAL, type=Type.S32),
+                IRInstr(IROp.RET),
+            ]),
+        ])
+        with pytest.raises(IRVerificationError):
+            verify_kernel(kernel)
+
+    def test_missing_terminator_rejected(self):
+        from repro.kernelir.ir import Block, KernelIR
+
+        kernel = KernelIR("bad", (), blocks=[Block("entry", [])])
+        with pytest.raises(IRVerificationError):
+            verify_kernel(kernel)
+
+    def test_unknown_branch_target_rejected(self):
+        from repro.kernelir.ir import Block, KernelIR
+
+        kernel = KernelIR("bad", (), blocks=[
+            Block("entry", [IRInstr(IROp.BR, targets=("nowhere",))]),
+        ])
+        with pytest.raises(IRVerificationError):
+            verify_kernel(kernel)
+
+    def test_global_store_needs_wide_pointer(self):
+        b = simple_builder()
+        with pytest.raises(IRVerificationError):
+            b.store(b.tid_x(), 1)  # 32-bit pointer to global space
+            b.finish()

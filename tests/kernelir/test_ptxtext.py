@@ -1,0 +1,94 @@
+"""PTX text emitter/parser round-trips over builder-generated kernels."""
+
+import pytest
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.ptxtext import emit_ptx, parse_ptx
+from repro.kernelir.types import PTR
+from repro.kernelir.verify import verify_kernel
+
+
+def roundtrips(kernel):
+    text = emit_ptx(kernel)
+    reparsed = parse_ptx(text)
+    assert emit_ptx(reparsed) == text
+    return reparsed
+
+
+class TestRoundtrip:
+    def test_straight_line(self):
+        b = KernelBuilder("k", [("n", Type.U32), ("out", PTR)])
+        b.store(b.gep(b.param("out"), b.tid_x(), 4), b.tid_x())
+        roundtrips(b.finish())
+
+    def test_control_flow(self):
+        b = KernelBuilder("k", [("n", Type.S32), ("out", PTR)])
+        total = b.var(0, Type.S32)
+        with b.for_range(0, b.param("n")) as i:
+            with b.if_(b.gt(total, 100)):
+                b.break_()
+            b.assign(total, b.add(total, i))
+        roundtrips(b.finish())
+
+    def test_float_constants_bit_exact(self):
+        b = KernelBuilder("k", [("out", PTR)])
+        b.store(b.param("out"), b.fmul(0.1, 3.0))
+        reparsed = roundtrips(b.finish())
+        verify_kernel(reparsed)
+
+    def test_loop_metadata_preserved(self):
+        b = KernelBuilder("k", [("n", Type.S32)])
+        with b.for_range(0, b.param("n")):
+            pass
+        kernel = b.finish()
+        reparsed = roundtrips(kernel)
+        assert reparsed.loops == kernel.loops
+        original_membership = {blk.label: blk.loops for blk in kernel.blocks}
+        for blk in reparsed.blocks:
+            assert blk.loops == original_membership[blk.label]
+
+    def test_shared_bytes_preserved(self):
+        b = KernelBuilder("k", [("out", PTR)])
+        b.shared_array(256)
+        reparsed = roundtrips(b.finish())
+        assert reparsed.shared_bytes == 256
+
+    def test_params_preserved(self):
+        b = KernelBuilder("k", [("n", Type.U32), ("alpha", Type.F32),
+                                ("p", PTR)])
+        reparsed = roundtrips(b.finish())
+        assert [p.name for p in reparsed.params] == ["n", "alpha", "p"]
+        assert reparsed.params[1].type is Type.F32
+
+    def test_atomics_and_shared(self):
+        from repro.kernelir.ir import Space
+
+        b = KernelBuilder("k", [("out", PTR)])
+        smem = b.shared_array(128)
+        offset = b.shared_ptr(smem, b.tid_x(), 4)
+        b.store(offset, b.tid_x(), space=Space.SHARED)
+        b.barrier()
+        b.atomic_add(b.param("out"), b.load_u32(offset, space=Space.SHARED))
+        reparsed = roundtrips(b.finish())
+        verify_kernel(reparsed)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_ptx("not ptx at all")
+
+    def test_parse_rejects_unknown_mnemonic(self):
+        text = (".visible .entry k ()\n{\nentry:\n"
+                "    frobnicate.s32 %r0, 1;\n    ret;\n}\n")
+        with pytest.raises(ValueError):
+            parse_ptx(text)
+
+    def test_parsed_kernel_compiles(self):
+        from repro.backend import ptxas
+
+        b = KernelBuilder("k", [("n", Type.U32), ("out", PTR)])
+        i = b.global_index_x()
+        with b.if_(b.lt(i, b.param("n"))):
+            b.store(b.gep(b.param("out"), i, 4), i)
+        kernel = parse_ptx(emit_ptx(b.finish()))
+        sass = ptxas(kernel)
+        assert len(sass.instructions) > 5

@@ -1,0 +1,92 @@
+"""Tests for the where/what specification and the ptxas-style flags."""
+
+import pytest
+
+from repro.isa import parse_instruction
+from repro.sassi import InstClass, InstrumentationSpec, What, spec_from_flags
+from repro.sassi.flags import FlagError
+
+
+def ins(text):
+    return parse_instruction(text)
+
+
+class TestInstClass:
+    def test_all_matches_everything(self):
+        assert InstClass.ALL.matches(ins("NOP ;"))
+
+    def test_memory(self):
+        assert InstClass.MEMORY.matches(ins("LDG R0, [R2] ;"))
+        assert InstClass.MEMORY.matches(ins("STL [R1], R0 ;"))
+        assert not InstClass.MEMORY.matches(ins("IADD R0, R0, 1 ;"))
+
+    def test_branches_are_conditional_only(self):
+        assert InstClass.BRANCHES.matches(ins("@P0 BRA `(L) ;"))
+        assert not InstClass.BRANCHES.matches(ins("BRA `(L) ;"))
+        assert InstClass.BRANCHES.matches(ins("@!P0 BRK ;"))
+
+    def test_calls(self):
+        assert InstClass.CALLS.matches(ins("JCAL 0x7f000000 ;"))
+
+    def test_reg_classes(self):
+        assert InstClass.REG_WRITES.matches(ins("IADD R0, R2, R3 ;"))
+        assert InstClass.REG_READS.matches(ins("IADD R0, R2, R3 ;"))
+        assert not InstClass.REG_WRITES.matches(ins("STG [R2], R0 ;"))
+        assert InstClass.REG_WRITES.matches(
+            ins("ISETP.LT.S32.AND P0, PT, R0, R1, PT ;"))
+
+
+class TestSpec:
+    def test_sassi_tagged_never_instrumented(self):
+        spec = InstrumentationSpec(before=frozenset({InstClass.ALL}))
+        tagged = ins("IADD R0, R0, 1 ;").with_tag("sassi")
+        assert not spec.instruments_before(tagged)
+
+    def test_after_skips_control_transfers(self):
+        spec = InstrumentationSpec(after=frozenset({InstClass.ALL}))
+        assert not spec.instruments_after(ins("BRA `(L) ;"))
+        assert not spec.instruments_after(ins("EXIT ;"))
+        assert spec.instruments_after(ins("IADD R0, R0, 1 ;"))
+
+    def test_before_instruments_branches(self):
+        spec = InstrumentationSpec(before=frozenset({InstClass.BRANCHES}))
+        assert spec.instruments_before(ins("@P0 BRA `(L) ;"))
+        assert not spec.instruments_before(ins("IADD R0, R0, 1 ;"))
+
+
+class TestFlags:
+    def test_paper_style_flags(self):
+        spec = spec_from_flags(
+            "-sassi-inst-before=memory,branches "
+            "-sassi-before-args=mem-info,cond-branch-info")
+        assert spec.before == frozenset({InstClass.MEMORY,
+                                         InstClass.BRANCHES})
+        assert spec.what == frozenset({What.MEMORY, What.COND_BRANCH})
+
+    def test_after_flags(self):
+        spec = spec_from_flags(
+            "-sassi-inst-after=reg-writes -sassi-after-args=reg-info")
+        assert spec.after == frozenset({InstClass.REG_WRITES})
+        assert spec.what == frozenset({What.REGISTERS})
+
+    def test_handler_name_override(self):
+        spec = spec_from_flags(
+            "-sassi-inst-before=all -sassi-before-handler=my_handler")
+        assert spec.before_handler == "my_handler"
+
+    def test_writeback_flag(self):
+        spec = spec_from_flags(
+            "-sassi-inst-after=reg-writes -sassi-writeback-regs")
+        assert spec.writeback_registers
+
+    def test_unknown_flag_rejected(self):
+        with pytest.raises(FlagError):
+            spec_from_flags("-sassi-frobnicate=yes")
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(FlagError):
+            spec_from_flags("-sassi-inst-before=everything")
+
+    def test_list_input(self):
+        spec = spec_from_flags(["-sassi-inst-before=calls"])
+        assert spec.before == frozenset({InstClass.CALLS})

@@ -1,0 +1,160 @@
+"""Unit tests for the lock-step engine, the CUPTI pieces, and program
+linking/preassignment."""
+
+import numpy as np
+import pytest
+
+from repro.isa import parse_kernel
+from repro.isa.program import SassProgram
+from repro.sassi.threadsimt import (
+    All,
+    Any_,
+    AtomicAdd,
+    Ballot,
+    Shfl,
+    ThreadHandlerError,
+    ffs,
+    popc,
+    run_warp_handler,
+)
+
+
+def run_handler(lanes, fn, memory=None):
+    memory = memory if memory is not None else {}
+
+    def atomic(address, value, width, op):
+        old = memory.get(address, 0)
+        if op == "add":
+            memory[address] = old + value
+        elif op == "and":
+            memory[address] = old & value
+        elif op == "or":
+            memory[address] = old | value
+        return old
+
+    run_warp_handler(lanes, fn, atomic)
+    return memory
+
+
+class TestLockstepEngine:
+    def test_ballot_sees_all_lanes(self):
+        seen = {}
+
+        def handler(lane):
+            seen[lane] = yield Ballot(lane % 2 == 0)
+
+        run_handler([0, 1, 2, 3], handler)
+        assert seen == {lane: 0b0101 for lane in range(4)}
+
+    def test_all_and_any(self):
+        results = {}
+
+        def handler(lane):
+            results.setdefault("all", (yield All(lane < 4)))
+            results.setdefault("any", (yield Any_(lane == 2)))
+
+        run_handler([0, 1, 2, 3], handler)
+        assert results == {"all": 1, "any": 1}
+
+    def test_shfl_reads_other_lane(self):
+        got = {}
+
+        def handler(lane):
+            got[lane] = yield Shfl(lane * 10, 3)
+
+        run_handler([0, 1, 2, 3], handler)
+        assert got == {lane: 30 for lane in range(4)}
+
+    def test_atomic_serializes_in_lane_order(self):
+        order = {}
+
+        def handler(lane):
+            order[lane] = yield AtomicAdd(0x100, 1)
+
+        memory = run_handler([0, 1, 2], handler)
+        assert memory[0x100] == 3
+        assert [order[lane] for lane in (0, 1, 2)] == [0, 1, 2]
+
+    def test_early_return_leaves_lockstep(self):
+        masks = []
+
+        def handler(lane):
+            if lane == 0:
+                return
+            masks.append((yield Ballot(1)))
+
+        run_handler([0, 1, 2], handler)
+        assert masks == [0b110, 0b110]
+
+    def test_mismatched_intrinsics_detected(self):
+        def handler(lane):
+            if lane == 0:
+                yield Ballot(1)
+            else:
+                yield AtomicAdd(0, 1)
+
+        with pytest.raises(ThreadHandlerError):
+            run_handler([0, 1], handler)
+
+    def test_ffs_popc_match_cuda(self):
+        assert [ffs(x) for x in (0, 1, 2, 0x80000000)] == [0, 1, 2, 32]
+        assert popc(0xF0F0F0F0) == 16
+
+
+class TestProgramLinking:
+    def make_kernel(self, name):
+        return parse_kernel(f".kernel {name}\nEXIT ;")
+
+    def test_preassigned_base_is_honoured(self):
+        program = SassProgram()
+        base = program.preassign_base("k")
+        placed = program.add_kernel(self.make_kernel("k"))
+        assert placed.base_address == base
+
+    def test_preassign_idempotent(self):
+        program = SassProgram()
+        assert program.preassign_base("k") == program.preassign_base("k")
+
+    def test_handler_symbols_live_in_reserved_range(self):
+        program = SassProgram()
+        first = program.add_handler_symbol("h1")
+        second = program.add_handler_symbol("h2")
+        assert first >= SassProgram.HANDLER_BASE
+        assert second != first
+        assert program.add_handler_symbol("h1") == first
+
+    def test_symbol_name_lookup(self):
+        program = SassProgram()
+        address = program.add_handler_symbol("my_handler")
+        assert program.symbol_name(address) == "my_handler"
+        assert program.symbol_name(0xDEAD) is None
+
+    def test_pc_math(self):
+        program = SassProgram()
+        placed = program.add_kernel(self.make_kernel("k"))
+        assert placed.index_of_pc(placed.pc_of(0)) == 0
+        with pytest.raises(ValueError):
+            placed.index_of_pc(placed.base_address + 3)
+
+
+class TestCounterBufferModes:
+    def test_whole_program_mode_never_zeroes(self):
+        from repro.backend import ptxas
+        from repro.sassi import SassiRuntime, spec_from_flags
+        from repro.sassi.cupti import CounterBuffer, CuptiSubscription
+        from repro.sim import Device
+        from tests.conftest import build_vecadd, run_vecadd
+
+        device = Device()
+        cupti = CuptiSubscription(device)
+        counters = CounterBuffer(cupti, 1, per_kernel=False)
+        runtime = SassiRuntime(device)
+        runtime.register_before_handler(
+            lambda ctx: ctx.atomic_add(counters.element_ptr(0), 1))
+        kernel = runtime.compile(
+            build_vecadd(), spec_from_flags("-sassi-inst-before=memory"))
+        run_vecadd(device, kernel, n=32, block=32)
+        first = counters.final_totals()[0]
+        run_vecadd(device, kernel, n=32, block=32)
+        second = counters.final_totals()[0]
+        assert second == 2 * first   # accumulated across launches

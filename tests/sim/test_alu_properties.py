@@ -1,0 +1,144 @@
+"""Property-based ALU semantics tests: kernels computing a single
+operation lane-wise must agree with numpy reference semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backend import ptxas
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.sim import Device, Dim3
+
+N = 64
+
+
+def _binary_kernel(name, emit, type_):
+    b = KernelBuilder(name, [("a", PTR), ("b", PTR), ("out", PTR)])
+    i = b.global_index_x()
+    x = b.load(b.gep(b.param("a"), i, 4), type_)
+    y = b.load(b.gep(b.param("b"), i, 4), type_)
+    b.store(b.gep(b.param("out"), i, 4), emit(b, x, y))
+    return ptxas(b.finish())
+
+
+_INT_OPS = {
+    "add": (lambda b, x, y: b.add(x, y), lambda a, b: a + b),
+    "sub": (lambda b, x, y: b.sub(x, y), lambda a, b: a - b),
+    "mul": (lambda b, x, y: b.mul(x, y), lambda a, b: a * b),
+    "and": (lambda b, x, y: b.and_(x, y), lambda a, b: a & b),
+    "or": (lambda b, x, y: b.or_(x, y), lambda a, b: a | b),
+    "xor": (lambda b, x, y: b.xor(x, y), lambda a, b: a ^ b),
+    "min": (lambda b, x, y: b.min_(x, y), np.minimum),
+    "max": (lambda b, x, y: b.max_(x, y), np.maximum),
+}
+
+_FLOAT_OPS = {
+    "fadd": (lambda b, x, y: b.fadd(x, y), lambda a, b: a + b),
+    "fsub": (lambda b, x, y: b.fsub(x, y), lambda a, b: a - b),
+    "fmul": (lambda b, x, y: b.fmul(x, y), lambda a, b: a * b),
+    "fmin": (lambda b, x, y: b.min_(x, y), np.fmin),
+    "fmax": (lambda b, x, y: b.max_(x, y), np.fmax),
+}
+
+_KERNELS = {}
+
+
+def _kernel_for(op_name, emit, type_):
+    key = (op_name, type_)
+    if key not in _KERNELS:
+        _KERNELS[key] = _binary_kernel(f"prop_{op_name}", emit, type_)
+    return _KERNELS[key]
+
+
+def _run(kernel, a, b):
+    device = Device()
+    pa, pb = device.alloc_array(a), device.alloc_array(b)
+    po = device.alloc(N * 4)
+    device.launch(kernel, Dim3(2), Dim3(32), [pa, pb, po])
+    return device.read_array(po, N, a.dtype)
+
+
+int_arrays = st.lists(
+    st.integers(-(2**31), 2**31 - 1), min_size=N, max_size=N
+).map(lambda xs: np.array(xs, dtype=np.int64).astype(np.int32))
+
+
+@pytest.mark.parametrize("op_name", sorted(_INT_OPS))
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_int32_ops_match_numpy(op_name, data):
+    emit, reference = _INT_OPS[op_name]
+    a = data.draw(int_arrays)
+    b = data.draw(int_arrays)
+    kernel = _kernel_for(op_name, emit, Type.S32)
+    got = _run(kernel, a, b)
+    with np.errstate(over="ignore"):
+        expected = reference(a.astype(np.int64),
+                             b.astype(np.int64)).astype(np.int64)
+    expected = (expected & 0xFFFFFFFF).astype(np.uint32).view(np.int32)
+    assert (got == expected).all()
+
+
+float_arrays = st.lists(
+    st.floats(-1e6, 1e6, width=32), min_size=N, max_size=N
+).map(lambda xs: np.array(xs, dtype=np.float32))
+
+
+@pytest.mark.parametrize("op_name", sorted(_FLOAT_OPS))
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_f32_ops_match_numpy(op_name, data):
+    emit, reference = _FLOAT_OPS[op_name]
+    a = data.draw(float_arrays)
+    b = data.draw(float_arrays)
+    kernel = _kernel_for(op_name, emit, Type.F32)
+    got = _run(kernel, a, b)
+    expected = reference(a, b).astype(np.float32)
+    assert np.array_equal(got, expected), (got[:4], expected[:4])
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_shift_semantics(data):
+    amounts = np.array(data.draw(st.lists(st.integers(0, 40),
+                                          min_size=N, max_size=N)),
+                       dtype=np.int32)
+    values = data.draw(int_arrays)
+
+    def emit(b, x, y):
+        return b.shr(x, y)
+
+    kernel = _kernel_for("shr_s32", emit, Type.S32)
+    got = _run(kernel, values, amounts)
+    clamped = np.minimum(amounts, 31)
+    expected = (values.astype(np.int64) >> clamped).astype(np.int32)
+    assert (got == expected).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_wide_multiply_is_64bit(data):
+    a = data.draw(st.lists(st.integers(0, 2**32 - 1),
+                           min_size=N, max_size=N)
+                  .map(lambda xs: np.array(xs, dtype=np.uint32)))
+    b = data.draw(st.lists(st.integers(0, 2**32 - 1),
+                           min_size=N, max_size=N)
+                  .map(lambda xs: np.array(xs, dtype=np.uint32)))
+    key = ("mulwide", Type.U64)
+    if key not in _KERNELS:
+        builder = KernelBuilder("prop_mulwide",
+                                [("a", PTR), ("b", PTR), ("out", PTR)])
+        i = builder.global_index_x()
+        x = builder.load_u32(builder.gep(builder.param("a"), i, 4))
+        y = builder.load_u32(builder.gep(builder.param("b"), i, 4))
+        builder.store(builder.gep(builder.param("out"), i, 8),
+                      builder.mul_wide(x, y))
+        _KERNELS[key] = ptxas(builder.finish())
+    device = Device()
+    pa, pb = device.alloc_array(a), device.alloc_array(b)
+    po = device.alloc(N * 8)
+    device.launch(_KERNELS[key], Dim3(2), Dim3(32), [pa, pb, po])
+    got = device.read_array(po, N, np.uint64)
+    expected = a.astype(np.uint64) * b.astype(np.uint64)
+    assert (got == expected).all()

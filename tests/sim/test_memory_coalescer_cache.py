@@ -1,0 +1,215 @@
+"""Unit tests for memory spaces, the coalescer, caches, and the warp
+divergence stack (plus hypothesis properties on coalescing invariants)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.cache import Cache, kepler_hierarchy
+from repro.sim.coalescer import LINE_BYTES, coalesce
+from repro.sim.errors import DeviceFault
+from repro.sim.memory import (
+    GLOBAL_BASE,
+    LOCAL_BASE,
+    Memory,
+    is_global,
+    is_local,
+    is_shared,
+    SHARED_BASE,
+)
+from repro.sim.warp import Warp, TokenKind
+
+
+class TestMemory:
+    def test_roundtrip_widths(self):
+        mem = Memory(256)
+        for width in (1, 2, 4, 8, 16):
+            value = (1 << (8 * width)) - 3
+            mem.write(16, width, value)
+            assert mem.read(16, width) == value
+
+    def test_little_endian(self):
+        mem = Memory(16)
+        mem.write(0, 4, 0x11223344)
+        assert mem.read(0, 1) == 0x44
+        assert mem.read(3, 1) == 0x11
+
+    def test_bounds_checked(self):
+        mem = Memory(32)
+        with pytest.raises(DeviceFault):
+            mem.read(30, 4)
+        with pytest.raises(DeviceFault):
+            mem.write(-1, 4, 0)
+
+    def test_bytes_roundtrip(self):
+        mem = Memory(64)
+        mem.write_bytes(8, b"hello")
+        assert mem.read_bytes(8, 5) == b"hello"
+
+    def test_window_predicates(self):
+        assert is_global(GLOBAL_BASE)
+        assert not is_global(GLOBAL_BASE - 1)
+        assert is_shared(SHARED_BASE + 100)
+        assert is_local(LOCAL_BASE + 100)
+        assert not is_local(GLOBAL_BASE)
+
+
+class TestCoalescer:
+    def test_same_line_coalesces_to_one(self):
+        result = coalesce([GLOBAL_BASE + i for i in range(0, 32, 4)], 4)
+        assert result.unique_lines == 1
+        assert not result.is_diverged
+
+    def test_unit_stride_full_warp(self):
+        result = coalesce([GLOBAL_BASE + 4 * i for i in range(32)], 4)
+        assert result.unique_lines == 4
+
+    def test_fully_diverged(self):
+        result = coalesce([GLOBAL_BASE + 1024 * i for i in range(32)], 4)
+        assert result.unique_lines == 32
+        assert result.is_fully_diverged
+
+    def test_straddling_access_touches_two_lines(self):
+        result = coalesce([GLOBAL_BASE + LINE_BYTES - 2], 4)
+        assert result.unique_lines == 2
+
+    def test_line_addresses_are_aligned(self):
+        result = coalesce([GLOBAL_BASE + 7, GLOBAL_BASE + 77], 4)
+        for line in result.line_addresses:
+            assert line % LINE_BYTES == 0
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=32))
+    def test_unique_lines_bounded_by_lanes(self, addrs):
+        result = coalesce(addrs, 4)
+        assert 1 <= result.unique_lines <= 2 * len(addrs)
+        assert result.active_lanes == len(addrs)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=32))
+    def test_aligned_word_accesses_never_split(self, addrs):
+        aligned = [a & ~3 for a in addrs]
+        result = coalesce(aligned, 4)
+        assert result.unique_lines <= len(set(a // LINE_BYTES
+                                              for a in aligned))
+        assert result.unique_lines == len(set(a // LINE_BYTES
+                                              for a in aligned))
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=32),
+           st.sampled_from([1, 2, 4, 8, 16]))
+    def test_coalescing_is_permutation_invariant(self, addrs, width):
+        forward = coalesce(addrs, width)
+        backward = coalesce(list(reversed(addrs)), width)
+        assert forward.unique_lines == backward.unique_lines
+        assert set(forward.line_addresses) == set(backward.line_addresses)
+
+
+class TestCache:
+    def test_repeat_access_hits(self):
+        cache = Cache(1024, ways=2)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.stats.hits == 1
+
+    def test_lru_eviction(self):
+        cache = Cache(2 * 32, ways=2)  # one set, two ways
+        cache.access(0)
+        cache.access(32 * 1)   # same set? with 1 set, every line maps there
+        cache.access(32 * 2)   # evicts line 0
+        assert not cache.access(0)
+        assert cache.stats.evictions >= 1
+
+    def test_miss_forwards_to_next_level(self):
+        l1 = kepler_hierarchy()
+        l1.access(0)
+        assert l1.next_level.stats.accesses == 1
+        l1.access(0)
+        assert l1.next_level.stats.accesses == 1  # L1 hit absorbs
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(100, ways=3)
+
+    def test_reset(self):
+        cache = Cache(1024)
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert not cache.access(0)
+
+
+class TestWarpStack:
+    def make_warp(self):
+        return Warp(0, 8, 32, np.arange(32))
+
+    def full(self):
+        return np.ones(32, dtype=bool)
+
+    def half(self):
+        mask = np.zeros(32, dtype=bool)
+        mask[:16] = True
+        return mask
+
+    def test_uniform_branch_no_push(self):
+        warp = self.make_warp()
+        warp.branch(self.full(), 10)
+        assert warp.pc == 10 and warp.stack_depth == 0
+
+    def test_divergent_branch_pushes_div(self):
+        warp = self.make_warp()
+        warp.branch(self.half(), 10)
+        assert warp.pc == 10
+        assert warp.stack_depth == 1
+        assert warp.stack[0].kind is TokenKind.DIV
+        assert (warp.active == self.half()).all()
+
+    def test_sync_resumes_other_side_then_reconverges(self):
+        warp = self.make_warp()
+        warp.push_sync(20)
+        warp.branch(self.half(), 10)
+        warp.pc = 20
+        warp.sync()                       # pops DIV: other half resumes
+        assert warp.pc == 1               # fallthrough of the branch at pc 0
+        assert (warp.active == ~self.half()).all()
+        warp.pc = 20
+        warp.sync()                       # pops SSY: full mask restored
+        assert warp.active.all()
+        assert warp.pc == 21
+
+    def test_brk_parks_and_releases(self):
+        warp = self.make_warp()
+        warp.push_brk(50)
+        warp.brk(self.half())
+        assert (warp.active == ~self.half()).all()
+        warp.brk(~self.half())
+        assert warp.active.all()
+        assert warp.pc == 50
+
+    def test_brk_scrubs_tokens_above(self):
+        warp = self.make_warp()
+        warp.push_brk(50)
+        warp.push_sync(30)               # an if inside the loop
+        breaking = self.half()
+        warp.brk(breaking)
+        assert not (warp.stack[1].mask & breaking).any()
+        assert (warp.stack[0].mask == breaking).all()
+
+    def test_exit_retires_lanes_everywhere(self):
+        warp = self.make_warp()
+        warp.push_sync(30)
+        exiting = self.half()
+        warp.exit_lanes(exiting)
+        assert not (warp.stack[0].mask & exiting).any()
+        warp.exit_lanes(warp.active.copy())
+        assert warp.done
+
+    def test_brk_without_pbk_faults(self):
+        warp = self.make_warp()
+        with pytest.raises(DeviceFault):
+            warp.brk(self.full())
+
+    def test_sync_on_empty_stack_faults(self):
+        warp = self.make_warp()
+        with pytest.raises(DeviceFault):
+            warp.sync()

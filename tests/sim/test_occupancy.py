@@ -1,0 +1,70 @@
+"""Tests for the SM occupancy calculator."""
+
+import pytest
+
+from repro.sim.occupancy import (
+    KEPLER_SM,
+    Occupancy,
+    occupancy,
+    occupancy_impact_of_instrumentation,
+)
+
+
+class TestOccupancy:
+    def test_small_kernel_is_warp_limited(self):
+        result = occupancy(threads_per_cta=256, regs_per_thread=16)
+        assert result.warps_per_sm == KEPLER_SM.max_warps
+        assert result.fraction == 1.0
+
+    def test_register_hog_reduces_occupancy(self):
+        lean = occupancy(256, 32)
+        fat = occupancy(256, 128)
+        assert fat.warps_per_sm < lean.warps_per_sm
+        assert fat.limiter == "registers"
+
+    def test_shared_memory_can_limit(self):
+        result = occupancy(64, 16, shared_per_cta=24 << 10)
+        assert result.limiter == "shared"
+        assert result.ctas_per_sm == 2
+
+    def test_tiny_ctas_hit_cta_limit(self):
+        result = occupancy(32, 16)
+        assert result.limiter == "ctas"
+        assert result.ctas_per_sm == KEPLER_SM.max_ctas
+
+    def test_bad_cta_size_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(0, 16)
+        with pytest.raises(ValueError):
+            occupancy(2048, 16)
+
+    def test_monotonic_in_registers(self):
+        previous = KEPLER_SM.max_warps + 1
+        for regs in (16, 32, 64, 96, 128, 255):
+            warps = occupancy(256, regs).warps_per_sm
+            assert warps <= previous
+            previous = warps
+
+
+class TestInstrumentationImpact:
+    def test_sassi_register_cap_preserves_occupancy(self):
+        """Instrumented kernels reuse the ABI registers, so SASSI's
+        16-register handler cap keeps occupancy essentially intact."""
+        from repro.backend import ptxas
+        from repro.sassi import SassiRuntime, spec_from_flags
+        from repro.sim import Device
+        from tests.conftest import build_vecadd
+
+        baseline = ptxas(build_vecadd())
+        device = Device()
+        runtime = SassiRuntime(device)
+        runtime.register_before_handler(lambda ctx: None)
+        instrumented = runtime.compile(
+            build_vecadd(),
+            spec_from_flags("-sassi-inst-before=all "
+                            "-sassi-before-args=mem-info"))
+        ratio = occupancy_impact_of_instrumentation(
+            baseline, instrumented, threads_per_cta=256)
+        assert ratio >= 0.75
+        # the register footprint grows by at most the ABI registers
+        assert instrumented.num_regs <= baseline.num_regs + 8

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.kernelir.ptxtext import emit_ptx
+
+from tests.conftest import build_vecadd
+
+
+@pytest.fixture
+def ptx_file(tmp_path):
+    path = tmp_path / "vecadd.ptx"
+    path.write_text(emit_ptx(build_vecadd()))
+    return str(path)
+
+
+class TestCompile:
+    def test_compile_prints_sass(self, ptx_file, capsys):
+        assert main(["compile", ptx_file]) == 0
+        out = capsys.readouterr().out
+        assert ".kernel vecadd" in out and "EXIT" in out
+
+    def test_compile_with_sassi_flags(self, ptx_file, capsys):
+        assert main(["compile", ptx_file,
+                     "--sassi",
+                     "-sassi-inst-before=memory "
+                     "-sassi-before-args=mem-info"]) == 0
+        captured = capsys.readouterr()
+        assert "JCAL" in captured.out
+        assert "before-sites" in captured.err
+
+    def test_compile_to_file(self, ptx_file, tmp_path, capsys):
+        out_path = tmp_path / "out.sass"
+        assert main(["compile", ptx_file, "-o", str(out_path)]) == 0
+        assert "STG" in out_path.read_text()
+
+    def test_disasm(self, ptx_file, capsys):
+        assert main(["disasm", ptx_file]) == 0
+        assert "LDG" in capsys.readouterr().out
+
+
+class TestWorkloads:
+    def test_list(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "parboil/bfs(NY)" in out and "miniFE(CSR)" in out
+
+    def test_run_one(self, capsys):
+        assert main(["workloads", "--run", "rodinia/nn"]) == 0
+        out = capsys.readouterr().out
+        assert "rodinia/nn" in out and "ok" in out
+
+
+class TestStudy:
+    def test_unknown_study_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["study", "table99"])

@@ -1,0 +1,95 @@
+"""Workload-suite tests: every registered workload compiles, runs, and
+verifies against its host reference — uninstrumented and under
+instrumentation (the strongest whole-system integration check)."""
+
+import numpy as np
+import pytest
+
+from repro.backend import ptxas
+from repro.sim import Device
+from repro.workloads import all_names, make
+from repro.workloads.datasets import (
+    bfs_reference,
+    road_graph,
+    scale_free_graph,
+    sparse_matrix_csr,
+    spmv_reference,
+    to_ell,
+)
+
+#: fast subset exercised under instrumentation as well
+INSTRUMENTED_SUBSET = [
+    "parboil/sgemm(small)", "parboil/histo", "rodinia/heartwall",
+    "rodinia/nw", "miniFE(ELL)",
+]
+
+
+@pytest.mark.parametrize("name", all_names())
+def test_workload_verifies(name):
+    workload = make(name)
+    device = Device()
+    kernel = ptxas(workload.build_ir())
+    output = workload.execute(device, kernel)
+    assert workload.verify(output), f"{name} produced a wrong result"
+    assert workload.last_trace.warp_instructions > 0
+
+
+@pytest.mark.parametrize("name", INSTRUMENTED_SUBSET)
+def test_workload_verifies_under_instrumentation(name):
+    from repro.sassi import SassiRuntime, spec_from_flags
+
+    workload = make(name)
+    device = Device()
+    runtime = SassiRuntime(device)  # poisons caller-saved registers
+    runtime.register_before_handler(lambda ctx: None)
+    spec = spec_from_flags(
+        "-sassi-inst-before=all -sassi-before-args=mem-info")
+    kernel = runtime.compile(workload.build_ir(), spec)
+    output = workload.execute(device, kernel)
+    assert workload.verify(output), \
+        f"{name} result changed under instrumentation"
+
+
+class TestDatasets:
+    def test_scale_free_deterministic(self):
+        a = scale_free_graph(256, seed=5)
+        b = scale_free_graph(256, seed=5)
+        assert (a.row_offsets == b.row_offsets).all()
+        assert (a.columns == b.columns).all()
+
+    def test_scale_free_degree_variance(self):
+        graph = scale_free_graph(1024, seed=5)
+        degrees = np.diff(graph.row_offsets)
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_road_graph_low_degree(self):
+        graph = road_graph(16, seed=5)
+        degrees = np.diff(graph.row_offsets)
+        assert degrees.max() <= 5
+        assert graph.num_rows == 256
+
+    def test_bfs_reference_reaches_source(self):
+        graph = road_graph(8)
+        levels = bfs_reference(graph)
+        assert levels[0] == 0
+        assert levels.max() > 2
+
+    def test_ell_conversion_preserves_product(self):
+        matrix = sparse_matrix_csr(64, max_row=8, seed=9)
+        x = np.random.default_rng(9).random(64).astype(np.float32)
+        columns, values, width = to_ell(matrix)
+        y_ell = np.zeros(64, dtype=np.float32)
+        for k in range(width):
+            y_ell += values[k * 64:(k + 1) * 64] \
+                * x[columns[k * 64:(k + 1) * 64]]
+        assert np.allclose(y_ell, spmv_reference(matrix, x), rtol=1e-4)
+
+    def test_ell_padding_is_harmless(self):
+        matrix = sparse_matrix_csr(16, min_row=1, max_row=4, seed=3)
+        columns, values, width = to_ell(matrix, pad_to=8)
+        assert width == 8
+        # padding entries carry value 0
+        lengths = np.diff(matrix.row_offsets)
+        for row in range(16):
+            for k in range(int(lengths[row]), 8):
+                assert values[k * 16 + row] == 0.0
