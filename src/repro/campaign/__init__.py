@@ -1,0 +1,52 @@
+"""Campaign layer: parallel trial execution and compile caching.
+
+The paper's case studies are embarrassingly parallel campaigns — Case
+Study IV runs hundreds of independent error-injection trials per
+workload and Table 3 sweeps every workload under several
+instrumentation configurations.  This package provides the two pieces
+that make those campaigns fast without changing their results:
+
+* :mod:`repro.campaign.engine` — a deterministic fan-out engine.
+  Trials are described by picklable task tuples, mapped over a
+  ``ProcessPoolExecutor``, and merged in task order, so a campaign's
+  result is bit-identical whether it ran with ``jobs=1`` or
+  ``jobs=N``.  Per-trial RNGs are derived from the campaign seed and
+  the trial index, never shared.
+* :mod:`repro.campaign.compile_cache` — a content-addressed compile
+  cache keyed on the kernel IR's canonical text, the instrumentation
+  spec, and the compile options, so each (workload, spec) pair is
+  lowered by ``ptxas`` exactly once per campaign instead of once per
+  trial.
+"""
+
+from repro.campaign.compile_cache import (
+    CompileCache,
+    cached_ptxas,
+    cached_sassi_compile,
+    get_cache,
+    ir_fingerprint,
+    options_fingerprint,
+    spec_fingerprint,
+)
+from repro.campaign.engine import (
+    default_jobs,
+    map_workloads,
+    merge_kernel_stats,
+    run_tasks,
+    trial_rng,
+)
+
+__all__ = [
+    "CompileCache",
+    "cached_ptxas",
+    "cached_sassi_compile",
+    "get_cache",
+    "ir_fingerprint",
+    "options_fingerprint",
+    "spec_fingerprint",
+    "default_jobs",
+    "map_workloads",
+    "merge_kernel_stats",
+    "run_tasks",
+    "trial_rng",
+]

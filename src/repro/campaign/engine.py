@@ -1,0 +1,104 @@
+"""Deterministic parallel campaign engine.
+
+Design rules that keep ``jobs=N`` bit-identical to serial runs:
+
+* a task is a pure function of its (picklable) task tuple — no shared
+  mutable state crosses the process boundary;
+* results are collected **in task order** (``ProcessPoolExecutor.map``),
+  so merging is independent of completion order;
+* every trial derives its own RNG from ``(campaign_seed, trial_index)``
+  via :func:`trial_rng`; a campaign never threads one mutable RNG
+  through its trial loop.
+
+Workers are ordinary processes importing :mod:`repro`; task functions
+must therefore be module-level (picklable by qualified name).
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.executor import KernelStats
+
+
+def default_jobs() -> int:
+    """Worker count when the caller asks for "all cores"."""
+    return max(1, os.cpu_count() or 1)
+
+
+def run_tasks(fn: Callable[[Any], Any], tasks: Iterable[Any],
+              jobs: int = 1, chunksize: int = 1) -> List[Any]:
+    """Map *fn* over *tasks*, serially or across worker processes.
+
+    Results are returned in task order regardless of completion order,
+    which is what makes parallel campaign merges deterministic.  *fn*
+    must be a module-level function and each task must be picklable
+    when ``jobs > 1``.
+    """
+    tasks = list(tasks)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, tasks, chunksize=chunksize))
+
+
+def _invoke(task: Tuple[str, str, tuple, dict]) -> Any:
+    """Worker trampoline: import ``module`` and call ``fn(*args, **kw)``."""
+    module_name, fn_name, args, kwargs = task
+    module = importlib.import_module(module_name)
+    return getattr(module, fn_name)(*args, **kwargs)
+
+
+def map_workloads(module: str, fn: str, names: Sequence[str],
+                  jobs: int = 1, **kwargs) -> List[Any]:
+    """Run ``module.fn(name, **kwargs)`` for each workload name.
+
+    The study drivers use this to fan their per-benchmark profiling
+    loops out across processes; with ``jobs=1`` it degrades to the
+    original serial loop (same call order, same results).
+    """
+    tasks = [(module, fn, (name,), dict(kwargs)) for name in names]
+    return run_tasks(_invoke, tasks, jobs=jobs)
+
+
+def trial_rng(campaign_seed: int, trial_index: int) -> np.random.Generator:
+    """The RNG for one trial of a campaign.
+
+    Seeded from ``(campaign_seed, trial_index)`` through numpy's
+    ``SeedSequence``, so trial *k* draws the same stream whether it runs
+    serially after trial *k-1*, in a worker process, or completely in
+    isolation — the reproducibility contract the error-injection
+    campaign (and any future campaign) relies on.
+    """
+    return np.random.default_rng([int(campaign_seed), int(trial_index)])
+
+
+def merge_kernel_stats(parts: Sequence[KernelStats],
+                       kernel: str = "") -> KernelStats:
+    """Order-independent reduction of per-launch/per-trial statistics.
+
+    Counters add, opcode histograms merge, and ``max_stack_depth`` takes
+    the maximum — every operation commutes, so any partition of the
+    campaign produces the same merged row.
+    """
+    merged = KernelStats(kernel=kernel or (parts[0].kernel if parts else ""))
+    for stats in parts:
+        merged.warp_instructions += stats.warp_instructions
+        merged.thread_instructions += stats.thread_instructions
+        merged.sassi_warp_instructions += stats.sassi_warp_instructions
+        merged.sassi_thread_instructions += stats.sassi_thread_instructions
+        merged.opcode_counts.update(stats.opcode_counts)
+        merged.global_mem_instructions += stats.global_mem_instructions
+        merged.global_transactions += stats.global_transactions
+        merged.handler_calls += stats.handler_calls
+        merged.barriers += stats.barriers
+        merged.cycles += stats.cycles
+        merged.max_stack_depth = max(merged.max_stack_depth,
+                                     stats.max_stack_depth)
+    return merged

@@ -6,6 +6,9 @@ Subcommands::
     python -m repro.cli disasm   kernel.ptx            # SASS listing
     python -m repro.cli workloads [--run NAME]         # list / verify
     python -m repro.cli study    table1|figure7|table2|table3|figure10
+                                 [--jobs N] [--no-cache]
+    python -m repro.cli run-all  [output.txt] [--jobs N] [--no-cache]
+                                 [--quick] [--injections N]
 
 ``compile`` consumes the PTX-like text form (see
 :mod:`repro.kernelir.ptxtext`), runs the backend, optionally applies the
@@ -96,7 +99,21 @@ def _cmd_study(args) -> int:
 
     module_name, fn_name = _STUDIES[args.which]
     module = importlib.import_module(module_name)
-    print(getattr(module, fn_name)())
+    print(getattr(module, fn_name)(jobs=max(1, args.jobs),
+                                   use_cache=not args.no_cache))
+    return 0
+
+
+def _cmd_run_all(args) -> int:
+    from repro.studies import run_all
+
+    argv = [args.output, "--injections", str(args.injections),
+            "--jobs", str(args.jobs)]
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.quick:
+        argv.append("--quick")
+    run_all.main(argv)
     return 0
 
 
@@ -126,7 +143,21 @@ def main(argv=None) -> int:
 
     study_parser = sub.add_parser("study", help="regenerate a result")
     study_parser.add_argument("which", choices=sorted(_STUDIES))
+    study_parser.add_argument("--jobs", type=int, default=1,
+                              help="worker processes for the campaign")
+    study_parser.add_argument("--no-cache", action="store_true",
+                              help="disable the compile cache")
     study_parser.set_defaults(fn=_cmd_study)
+
+    runall_parser = sub.add_parser(
+        "run-all", help="regenerate every table and figure")
+    runall_parser.add_argument("output", nargs="?",
+                               default="results/full_studies.txt")
+    runall_parser.add_argument("--injections", type=int, default=60)
+    runall_parser.add_argument("--jobs", type=int, default=1)
+    runall_parser.add_argument("--no-cache", action="store_true")
+    runall_parser.add_argument("--quick", action="store_true")
+    runall_parser.set_defaults(fn=_cmd_run_all)
 
     args = parser.parse_args(argv)
     return args.fn(args)

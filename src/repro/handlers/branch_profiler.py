@@ -81,8 +81,8 @@ class BranchProfiler:
         self.runtime.register_before_handler(handler, kind=kind)
         self.spec = spec_from_flags(self.FLAGS)
 
-    def compile(self, kernel_ir):
-        return self.runtime.compile(kernel_ir, self.spec)
+    def compile(self, kernel_ir, cache=None):
+        return self.runtime.compile(kernel_ir, self.spec, cache=cache)
 
     # ------------------------------------------------------ warp level
 

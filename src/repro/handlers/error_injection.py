@@ -31,6 +31,8 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.campaign.compile_cache import CompileCache, get_cache
+from repro.campaign.engine import run_tasks, trial_rng
 from repro.sassi import SassiRuntime, spec_from_flags
 from repro.sassi.cupti import CounterBuffer, CuptiSubscription
 from repro.sassi.handlers import SASSIContext
@@ -152,23 +154,39 @@ class ErrorInjectionCampaign:
 
     *workload* follows the :class:`repro.workloads.base.Workload`
     protocol (``build_ir`` and ``execute(device, kernel) -> np.ndarray``).
+
+    *workload_name* is the registry key; it is what lets ``run(jobs=N)``
+    fan trials out to worker processes (each worker re-instantiates the
+    workload by name).  Trial *k* always draws from
+    ``trial_rng(seed, k)``, so the outcome of one trial never depends on
+    how many trials ran before it, in which process, or in what order.
     """
 
     def __init__(self, workload, num_injections: int = 100,
-                 seed: int = 2015):
+                 seed: int = 2015, workload_name: Optional[str] = None,
+                 use_cache: bool = True):
         self.workload = workload
         self.num_injections = num_injections
-        self.rng = np.random.default_rng(seed)
+        self.seed = seed
+        self.workload_name = workload_name
+        self.use_cache = use_cache
         self._golden: Optional[np.ndarray] = None
         self.total_events = 0
+
+    @property
+    def _cache(self) -> Optional[CompileCache]:
+        return get_cache() if self.use_cache else None
 
     # ------------------------------------------------------------ steps
 
     def golden_run(self) -> np.ndarray:
         from repro.backend import ptxas
+        from repro.campaign.compile_cache import cached_ptxas
 
         device = Device()
-        kernel = ptxas(self.workload.build_ir())
+        ir = self.workload.build_ir()
+        kernel = cached_ptxas(ir, cache=self._cache) \
+            if self.use_cache else ptxas(ir)
         self._golden = self.workload.execute(device, kernel)
         return self._golden
 
@@ -180,7 +198,8 @@ class ErrorInjectionCampaign:
         runtime = SassiRuntime(device, poison_caller_saved=False)
         runtime.register_after_handler(_EventCounterHandler(counters))
         kernel = runtime.compile(self.workload.build_ir(),
-                                 spec_from_flags(PROFILE_FLAGS))
+                                 spec_from_flags(PROFILE_FLAGS),
+                                 cache=self._cache)
         self.workload.execute(device, kernel)
         self.total_events = int(counters.final_totals()[0])
         return self.total_events
@@ -198,7 +217,8 @@ class ErrorInjectionCampaign:
         runtime = SassiRuntime(device, poison_caller_saved=False)
         runtime.register_after_handler(handler)
         kernel = runtime.compile(self.workload.build_ir(),
-                                 spec_from_flags(INJECT_FLAGS))
+                                 spec_from_flags(INJECT_FLAGS),
+                                 cache=self._cache)
         try:
             output = self.workload.execute(device, kernel)
         except HangDetected:
@@ -250,7 +270,21 @@ class ErrorInjectionCampaign:
 
     # ------------------------------------------------------------ drive
 
-    def run(self, num_injections: Optional[int] = None) -> CampaignResult:
+    def trial(self, index: int) -> InjectionRecord:
+        """Trial *index*: pick a site from ``trial_rng(seed, index)`` and
+        inject.  Self-contained — does not advance any campaign state —
+        so serial loops and worker processes produce identical records.
+        """
+        if self.total_events == 0:
+            self.profile()
+        rng = trial_rng(self.seed, index)
+        target = int(rng.integers(0, self.total_events))
+        dst_seed = int(rng.integers(0, 1 << 16))
+        bit_seed = int(rng.integers(0, 1 << 16))
+        return self.inject_once(target, dst_seed, bit_seed)
+
+    def run(self, num_injections: Optional[int] = None,
+            jobs: int = 1) -> CampaignResult:
         count = num_injections or self.num_injections
         self.golden_run()
         total = self.profile()
@@ -258,10 +292,39 @@ class ErrorInjectionCampaign:
                                                  "workload"))
         if total == 0:
             return result
-        for _ in range(count):
-            target = int(self.rng.integers(0, total))
-            dst_seed = int(self.rng.integers(0, 1 << 16))
-            bit_seed = int(self.rng.integers(0, 1 << 16))
-            result.records.append(
-                self.inject_once(target, dst_seed, bit_seed))
+        if jobs > 1 and self.workload_name:
+            tasks = [(self.workload_name, self.seed, k, self.use_cache)
+                     for k in range(count)]
+            chunk = max(1, count // (4 * jobs))
+            result.records.extend(
+                run_tasks(_campaign_trial, tasks, jobs=jobs,
+                          chunksize=chunk))
+        else:
+            result.records.extend(self.trial(k) for k in range(count))
         return result
+
+
+# --------------------------------------------------------------- workers
+#
+# Per-process campaign memo: a worker pays for the golden run and the
+# event-count profile once per (workload, cache mode) and then serves
+# every trial chunk it is handed from warm state.
+
+_WORKER_CAMPAIGNS: Dict[tuple, "ErrorInjectionCampaign"] = {}
+
+
+def _campaign_trial(task) -> InjectionRecord:
+    workload_name, seed, index, use_cache = task
+    key = (workload_name, use_cache)
+    campaign = _WORKER_CAMPAIGNS.get(key)
+    if campaign is None:
+        from repro.workloads import make
+
+        campaign = ErrorInjectionCampaign(make(workload_name), seed=seed,
+                                          workload_name=workload_name,
+                                          use_cache=use_cache)
+        campaign.golden_run()
+        campaign.profile()
+        _WORKER_CAMPAIGNS[key] = campaign
+    campaign.seed = seed
+    return campaign.trial(index)

@@ -35,8 +35,8 @@ class MemoryDivergenceProfiler:
         self.runtime.register_before_handler(self.handler)
         self.spec = spec_from_flags(self.FLAGS)
 
-    def compile(self, kernel_ir):
-        return self.runtime.compile(kernel_ir, self.spec)
+    def compile(self, kernel_ir, cache=None):
+        return self.runtime.compile(kernel_ir, self.spec, cache=cache)
 
     def handler(self, ctx: SASSIContext) -> None:
         if ctx.mp is None:

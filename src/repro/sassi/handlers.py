@@ -272,12 +272,33 @@ class SassiRuntime:
 
         return final_pass
 
-    def compile(self, kernel_ir, spec: Optional[InstrumentationSpec] = None
-                ) -> SassKernel:
-        """``ptxas`` convenience: compile with SASSI as the final pass."""
+    def compile(self, kernel_ir, spec: Optional[InstrumentationSpec] = None,
+                cache=None) -> SassKernel:
+        """``ptxas`` convenience: compile with SASSI as the final pass.
+
+        Pass a :class:`repro.campaign.CompileCache` as *cache* to memoize
+        the result content-addressed on (IR, spec); identical requests
+        then skip the backend entirely (the campaign layer's contract).
+        """
+        if cache is not None:
+            from repro.campaign.compile_cache import (cached_ptxas,
+                                                      cached_sassi_compile)
+
+            if spec is None:
+                return cached_ptxas(kernel_ir, cache=cache)
+            return cached_sassi_compile(self, kernel_ir, spec, cache=cache)
         options = CompileOptions(
             final_pass=self.instrument(spec) if spec else None)
         return ptxas(kernel_ir, options)
+
+    def adopt_cached_compile(self, spec: InstrumentationSpec,
+                             report: InjectionReport) -> None:
+        """Account for a compile served from cache: run the same
+        registration validation, activate *spec* for handler contexts,
+        and record the injection report exactly as a real compile
+        would."""
+        self.instrument(spec)
+        self.reports.append(report)
 
     # ------------------------------------------------------ trampoline
 

@@ -130,6 +130,7 @@ class Executor:
         self.stats = KernelStats()
         self._watchdog = 0
         self._kernel: Optional[SassKernel] = None
+        self._decoded: Optional[_DecodedKernel] = None
         self._targets: List[Optional[int]] = []
         self._cta: Optional[CTAContext] = None
 
@@ -140,7 +141,8 @@ class Executor:
         self.stats = KernelStats(kernel=kernel.name)
         self._watchdog = 0
         self._kernel = kernel
-        self._targets = self._resolve_targets(kernel)
+        self._decoded = decode_kernel(kernel)
+        self._targets = self._decoded.targets
         counter = CycleCounter()
         num_threads = block.x * block.y * block.z
         if num_threads == 0 or num_threads > 1024:
@@ -211,45 +213,64 @@ class Executor:
 
     def _run_warp(self, warp: Warp, cta: CTAContext, counter) -> None:
         kernel = self._kernel
-        instructions = kernel.instructions
-        limit = len(instructions)
+        decoded = self._decoded
+        if decoded is None or decoded.kernel is not kernel:
+            # callers (tests) may install ``_kernel`` directly
+            decoded = decode_kernel(kernel)
+            self._decoded = decoded
+            self._targets = decoded.targets
+        records = decoded.records
+        limit = len(records)
+        max_warp_instructions = self.config.max_warp_instructions
+        execute = self._execute
         while not warp.done and not warp.at_barrier:
             if not (0 <= warp.pc < limit):
                 raise DeviceFault(
                     f"{kernel.name}: PC 0x{kernel.pc_of(warp.pc):x} outside "
                     "kernel body")
             self._watchdog += 1
-            if self._watchdog > self.config.max_warp_instructions:
+            if self._watchdog > max_warp_instructions:
                 raise HangDetected(
                     f"{kernel.name}: watchdog after {self._watchdog} "
                     "warp instructions")
-            instr = instructions[warp.pc]
-            self.step(warp, cta, instr, counter)
+            execute(records[warp.pc], warp, cta, counter)
 
     def step(self, warp: Warp, cta: CTAContext, instr: Instruction,
              counter: CycleCounter) -> None:
-        """Execute one instruction for one warp."""
+        """Execute one instruction for one warp.
+
+        Accepts a raw :class:`Instruction` (decoded on the fly) or a
+        predecoded record from the per-kernel cache.
+        """
+        if not isinstance(instr, _Decoded):
+            targets = self._targets
+            target = targets[warp.pc] \
+                if 0 <= warp.pc < len(targets) else None
+            instr = _Decoded(instr, target)
+        self._execute(instr, warp, cta, counter)
+
+    def _execute(self, dec: "_Decoded", warp: Warp, cta: CTAContext,
+                 counter: CycleCounter) -> None:
         stats = self.stats
         stats.warp_instructions += 1
-        guard = instr.guard
-        if guard.is_unconditional:
+        if dec.uncond:
             g = warp.active
         else:
-            g = warp.guard_mask(warp.preds[guard.pred.index], guard.negated)
+            g = warp.guard_mask(warp.preds[dec.pred_index], dec.negated)
         lanes = int(np.count_nonzero(g))
         stats.thread_instructions += lanes
-        stats.opcode_counts[instr.opcode] += 1
-        if instr.tag == "sassi":
+        stats.opcode_counts[dec.opcode] += 1
+        if dec.sassi:
             stats.sassi_warp_instructions += 1
             stats.sassi_thread_instructions += lanes
-        counter.issue(instr.opcode)
+        counter.issue(dec.opcode)
         if warp.stack_depth > stats.max_stack_depth:
             stats.max_stack_depth = warp.stack_depth
 
-        handler = _DISPATCH.get(instr.opcode)
+        handler = dec.handler
         if handler is None:
-            raise DeviceFault(f"illegal instruction: {instr!r}")
-        handler(self, warp, cta, instr, g, counter)
+            raise DeviceFault(f"illegal instruction: {dec.instr!r}")
+        handler(self, warp, cta, dec, g, counter)
 
     # --------------------------------------------------------- operands
 
@@ -340,6 +361,88 @@ class Executor:
                             for line in result.line_addresses)
             l2_misses = (l2.stats.misses - l2_before) if l2 is not None else 0
             counter.cache_misses(l1_misses, l2_misses)
+
+
+# ---------------------------------------------------------------------
+# per-kernel decode cache
+# ---------------------------------------------------------------------
+
+
+class _Decoded:
+    """One instruction, predecoded.
+
+    Everything the dispatch loop and the opcode handlers would otherwise
+    recompute on every dynamic execution is resolved once per kernel:
+    the handler function, the guard predicate, the branch target, the
+    SASSI provenance flag, and the modifier-derived operand decodings
+    (memory width/reference, comparison function, narrow-access
+    extension, atomic operation).  The record intentionally mirrors the
+    :class:`~repro.isa.instruction.Instruction` attribute surface
+    (``opcode``/``dsts``/``srcs``/``mods``/``guard``/``mem_width``/
+    ``mem_ref``) so opcode handlers accept either form.
+    """
+
+    __slots__ = ("instr", "opcode", "dsts", "srcs", "mods", "guard", "tag",
+                 "uncond", "pred_index", "negated", "sassi", "handler",
+                 "target", "mem_width", "mem_ref", "cmp_fn", "narrow",
+                 "atom_op")
+
+    def __init__(self, instr: Instruction, target: Optional[int] = None):
+        self.instr = instr
+        self.opcode = instr.opcode
+        self.dsts = instr.dsts
+        self.srcs = instr.srcs
+        self.mods = instr.mods
+        self.guard = instr.guard
+        self.tag = instr.tag
+        self.uncond = instr.guard.is_unconditional
+        self.pred_index = instr.guard.pred.index
+        self.negated = instr.guard.negated
+        self.sassi = instr.tag == "sassi"
+        self.handler = _DISPATCH.get(instr.opcode)
+        self.target = target
+        self.mem_width = instr.mem_width
+        self.mem_ref = instr.mem_ref
+        self.cmp_fn = _CMP_FNS[next(
+            (m for m in instr.mods if m in _CMP_FNS), "EQ")]
+        self.narrow = next(
+            (m for m in instr.mods if m in _SIGNED_EXT), None)
+        self.atom_op = next(
+            (m for m in instr.mods
+             if m in _ATOM_FNS or m in ("MIN", "MAX")), "ADD")
+
+    def __repr__(self) -> str:
+        return repr(self.instr)
+
+
+class _DecodedKernel:
+    """The decode cache for one kernel: records plus branch targets."""
+
+    __slots__ = ("kernel", "records", "targets")
+
+    def __init__(self, kernel: SassKernel):
+        self.kernel = kernel
+        targets: List[Optional[int]] = []
+        for instr in kernel.instructions:
+            target: Optional[int] = None
+            for operand in (*instr.srcs, *instr.dsts):
+                if isinstance(operand, LabelRef):
+                    target = kernel.label_target(operand.name)
+            targets.append(target)
+        self.targets = targets
+        self.records = [_Decoded(instr, target) for instr, target
+                        in zip(kernel.instructions, targets)]
+
+
+def decode_kernel(kernel: SassKernel) -> _DecodedKernel:
+    """Decode *kernel* once and memoize the result on the instance, so
+    every subsequent launch (BFS levels, iterative solvers...) skips
+    straight to execution."""
+    cached = kernel.__dict__.get("_decoded")
+    if cached is None:
+        cached = _DecodedKernel(kernel)
+        object.__setattr__(kernel, "_decoded", cached)
+    return cached
 
 
 # ---------------------------------------------------------------------
@@ -540,8 +643,7 @@ def _op_isetp(ex, warp, cta, instr, g, counter):
         lhs, rhs = _s32(a), _s32(_broadcast(b))
     else:
         lhs, rhs = a, _broadcast(b)
-    cmp = next((m for m in instr.mods if m in _CMP_FNS), "EQ")
-    result = _CMP_FNS[cmp](lhs, rhs)
+    result = instr.cmp_fn(lhs, rhs)
     combine = warp.preds[instr.srcs[2].index] if len(instr.srcs) > 2 \
         and hasattr(instr.srcs[2], "index") else warp.preds[7]
     result = result & combine
@@ -685,9 +787,8 @@ def _op_ffma(ex, warp, cta, instr, g, counter):
 def _op_fsetp(ex, warp, cta, instr, g, counter):
     a = _f32(_broadcast(ex._read(warp, instr.srcs[0])))
     b = _f32(_broadcast(_as_u32(ex._read(warp, instr.srcs[1]))))
-    cmp = next((m for m in instr.mods if m in _CMP_FNS), "EQ")
     with np.errstate(invalid="ignore"):
-        result = _CMP_FNS[cmp](a, b)
+        result = instr.cmp_fn(a, b)
     dst = instr.dsts[0]
     if not dst.is_true:
         warp.preds[dst.index][g] = result[g]
@@ -791,7 +892,7 @@ def _op_load(ex, warp, cta, instr, g, counter):
     if instr.opcode in (Opcode.LDG, Opcode.LD, Opcode.TLD):
         ex._account_global(addrs, g, width, counter)
     dst = instr.dsts[0]
-    narrow = next((m for m in instr.mods if m in _SIGNED_EXT), None)
+    narrow = instr.narrow
     if narrow is None:
         fast = _local_fast_path(ex, warp, cta, instr, g, addrs, width)
         if fast is not None:
@@ -827,7 +928,7 @@ def _op_store(ex, warp, cta, instr, g, counter):
     if instr.opcode in (Opcode.STG, Opcode.ST):
         ex._account_global(addrs, g, width, counter)
     data = instr.srcs[-1]
-    narrow = next((m for m in instr.mods if m in _SIGNED_EXT), None)
+    narrow = instr.narrow
     if narrow is None and isinstance(data, GPR) and not data.is_zero:
         fast = _local_fast_path(ex, warp, cta, instr, g, addrs, width)
         if fast is not None:
@@ -873,8 +974,7 @@ def _op_atom(ex, warp, cta, instr, g, counter):
     addrs = ex.lane_addresses(warp, instr)
     if instr.opcode in (Opcode.ATOM, Opcode.RED):
         ex._account_global(addrs, g, 4, counter)
-    op = next((m for m in instr.mods if m in _ATOM_FNS or m in
-               ("MIN", "MAX")), "ADD")
+    op = instr.atom_op
     signed = "S32" in instr.mods
     value_src = instr.srcs[-1]
     has_dst = bool(instr.dsts)

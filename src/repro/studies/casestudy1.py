@@ -6,6 +6,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.backend import ptxas
+from repro.campaign.compile_cache import get_cache
+from repro.campaign.engine import map_workloads
 from repro.handlers.branch_profiler import BranchProfiler, BranchStats, \
     DivergenceSummary
 from repro.sim import Device
@@ -20,21 +22,24 @@ class Table1Row:
     branches: List[BranchStats]
 
 
-def profile_benchmark(name: str) -> Table1Row:
+def profile_benchmark(name: str, use_cache: bool = True) -> Table1Row:
     """Run one workload under the branch profiler."""
     workload = make(name)
     device = Device()
     profiler = BranchProfiler(device)
-    kernel = profiler.compile(workload.build_ir())
+    kernel = profiler.compile(workload.build_ir(),
+                              cache=get_cache() if use_cache else None)
     output = workload.execute(device, kernel)
     assert workload.verify(output), f"{name}: wrong result when profiled"
     return Table1Row(benchmark=name, summary=profiler.summary(),
                      branches=profiler.branches())
 
 
-def run(benchmarks: Optional[Sequence[str]] = None) -> List[Table1Row]:
-    return [profile_benchmark(name)
-            for name in (benchmarks or TABLE1_BENCHMARKS)]
+def run(benchmarks: Optional[Sequence[str]] = None, jobs: int = 1,
+        use_cache: bool = True) -> List[Table1Row]:
+    names = list(benchmarks or TABLE1_BENCHMARKS)
+    return map_workloads("repro.studies.casestudy1", "profile_benchmark",
+                         names, jobs=jobs, use_cache=use_cache)
 
 
 def render_table1(rows: List[Table1Row]) -> str:
@@ -69,8 +74,9 @@ def render_figure5(row: Table1Row, top: int = 12) -> str:
     return chart + f"\n  divergent executions: {total_div:,}"
 
 
-def main(benchmarks: Optional[Sequence[str]] = None) -> str:
-    rows = run(benchmarks)
+def main(benchmarks: Optional[Sequence[str]] = None, jobs: int = 1,
+         use_cache: bool = True) -> str:
+    rows = run(benchmarks, jobs=jobs, use_cache=use_cache)
     parts = [render_table1(rows)]
     for name in ("parboil/bfs(1M)", "parboil/bfs(UT)"):
         match = next((r for r in rows if r.benchmark == name), None)

@@ -8,6 +8,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.campaign.compile_cache import get_cache
+from repro.campaign.engine import map_workloads
 from repro.handlers.memory_divergence import MemoryDivergenceProfiler
 from repro.sim import Device
 from repro.studies.report import heatmap, pmf_sparkline, table
@@ -22,11 +24,13 @@ class MemDivergenceResult:
     fully_diverged: float    # mass at 32 unique lines
 
 
-def profile_benchmark(name: str) -> MemDivergenceResult:
+def profile_benchmark(name: str,
+                      use_cache: bool = True) -> MemDivergenceResult:
     workload = make(name)
     device = Device()
     profiler = MemoryDivergenceProfiler(device)
-    kernel = profiler.compile(workload.build_ir())
+    kernel = profiler.compile(workload.build_ir(),
+                              cache=get_cache() if use_cache else None)
     output = workload.execute(device, kernel)
     assert workload.verify(output), f"{name}: wrong result when profiled"
     return MemDivergenceResult(
@@ -37,10 +41,11 @@ def profile_benchmark(name: str) -> MemDivergenceResult:
     )
 
 
-def run(benchmarks: Optional[Sequence[str]] = None
-        ) -> List[MemDivergenceResult]:
-    return [profile_benchmark(name)
-            for name in (benchmarks or FIGURE7_BENCHMARKS)]
+def run(benchmarks: Optional[Sequence[str]] = None, jobs: int = 1,
+        use_cache: bool = True) -> List[MemDivergenceResult]:
+    names = list(benchmarks or FIGURE7_BENCHMARKS)
+    return map_workloads("repro.studies.casestudy2", "profile_benchmark",
+                         names, jobs=jobs, use_cache=use_cache)
 
 
 def render_figure7(results: List[MemDivergenceResult]) -> str:
@@ -63,8 +68,9 @@ def render_figure8(results: List[MemDivergenceResult]) -> str:
     return "\n\n".join(parts)
 
 
-def main(benchmarks: Optional[Sequence[str]] = None) -> str:
-    results = run(benchmarks)
+def main(benchmarks: Optional[Sequence[str]] = None, jobs: int = 1,
+         use_cache: bool = True) -> str:
+    results = run(benchmarks, jobs=jobs, use_cache=use_cache)
     return render_figure7(results) + "\n\n" + render_figure8(results)
 
 

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.campaign.compile_cache import get_cache
+from repro.campaign.engine import map_workloads
 from repro.handlers.value_profiler import ValueProfiler, \
     ValueProfileSummary
 from repro.sim import Device
@@ -19,11 +21,13 @@ class Table2Row:
     sample_dump: str = ""
 
 
-def profile_benchmark(name: str, with_dump: bool = False) -> Table2Row:
+def profile_benchmark(name: str, with_dump: bool = False,
+                      use_cache: bool = True) -> Table2Row:
     workload = make(name)
     device = Device()
     profiler = ValueProfiler(device)
-    kernel = profiler.compile(workload.build_ir())
+    kernel = profiler.compile(workload.build_ir(),
+                              cache=get_cache() if use_cache else None)
     output = workload.execute(device, kernel)
     assert workload.verify(output), f"{name}: wrong result when profiled"
     dump = ""
@@ -36,9 +40,11 @@ def profile_benchmark(name: str, with_dump: bool = False) -> Table2Row:
                      sample_dump=dump)
 
 
-def run(benchmarks: Optional[Sequence[str]] = None) -> List[Table2Row]:
-    return [profile_benchmark(name)
-            for name in (benchmarks or TABLE2_BENCHMARKS)]
+def run(benchmarks: Optional[Sequence[str]] = None, jobs: int = 1,
+        use_cache: bool = True) -> List[Table2Row]:
+    names = list(benchmarks or TABLE2_BENCHMARKS)
+    return map_workloads("repro.studies.casestudy3", "profile_benchmark",
+                         names, jobs=jobs, use_cache=use_cache)
 
 
 def render_table2(rows: List[Table2Row]) -> str:
@@ -57,8 +63,9 @@ def render_table2(rows: List[Table2Row]) -> str:
     return table(headers, body, title="Table 2: value profiling results")
 
 
-def main(benchmarks: Optional[Sequence[str]] = None) -> str:
-    return render_table2(run(benchmarks))
+def main(benchmarks: Optional[Sequence[str]] = None, jobs: int = 1,
+         use_cache: bool = True) -> str:
+    return render_table2(run(benchmarks, jobs=jobs, use_cache=use_cache))
 
 
 if __name__ == "__main__":

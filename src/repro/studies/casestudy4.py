@@ -25,16 +25,20 @@ OUTCOME_ORDER = [
 
 
 def inject_benchmark(name: str, num_injections: int = 100,
-                     seed: int = 2015) -> CampaignResult:
+                     seed: int = 2015, jobs: int = 1,
+                     use_cache: bool = True) -> CampaignResult:
     campaign = ErrorInjectionCampaign(make(name),
                                       num_injections=num_injections,
-                                      seed=seed)
-    return campaign.run()
+                                      seed=seed, workload_name=name,
+                                      use_cache=use_cache)
+    return campaign.run(jobs=jobs)
 
 
 def run(benchmarks: Optional[Sequence[str]] = None,
-        num_injections: int = 100) -> List[CampaignResult]:
-    return [inject_benchmark(name, num_injections)
+        num_injections: int = 100, jobs: int = 1,
+        use_cache: bool = True) -> List[CampaignResult]:
+    return [inject_benchmark(name, num_injections, jobs=jobs,
+                             use_cache=use_cache)
             for name in (benchmarks or FIGURE10_BENCHMARKS)]
 
 
@@ -62,8 +66,10 @@ def render_figure10(results: List[CampaignResult]) -> str:
 
 
 def main(benchmarks: Optional[Sequence[str]] = None,
-         num_injections: int = 60) -> str:
-    return render_figure10(run(benchmarks, num_injections))
+         num_injections: int = 60, jobs: int = 1,
+         use_cache: bool = True) -> str:
+    return render_figure10(run(benchmarks, num_injections, jobs=jobs,
+                               use_cache=use_cache))
 
 
 if __name__ == "__main__":

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.backend import ptxas
+from repro.campaign.compile_cache import cached_ptxas, get_cache
+from repro.campaign.engine import map_workloads
 from repro.handlers.branch_profiler import BranchProfiler
 from repro.handlers.memory_divergence import MemoryDivergenceProfiler
 from repro.handlers.value_profiler import ValueProfiler
@@ -84,18 +86,22 @@ def _handler_for(case: str, device):
             self.runtime = rt
             self.spec = spec_from_flags(_SPEC_FLAGS["error"])
 
-        def compile(self, ir):
-            return self.runtime.compile(ir, self.spec)
+        def compile(self, ir, cache=None):
+            return self.runtime.compile(ir, self.spec, cache=cache)
 
     return _Shim(runtime)
 
 
 def measure_benchmark(name: str,
                       cases: Sequence[str] = CASE_STUDIES,
-                      empty_handlers: bool = False) -> Table3Row:
+                      empty_handlers: bool = False,
+                      use_cache: bool = True) -> Table3Row:
+    cache = get_cache() if use_cache else None
     workload = make(name)
     device = Device()
-    baseline_kernel = ptxas(workload.build_ir())
+    ir = workload.build_ir()
+    baseline_kernel = cached_ptxas(ir, cache=cache) \
+        if use_cache else ptxas(ir)
     _, base_wall, base_trace = _timed_run(workload, device,
                                           baseline_kernel)
     row = Table3Row(benchmark=name,
@@ -107,7 +113,7 @@ def measure_benchmark(name: str,
         profiler = _handler_for(case, instrumented_device)
         if empty_handlers:
             _stub_handler(profiler)
-        kernel = profiler.compile(workload.build_ir())
+        kernel = profiler.compile(workload.build_ir(), cache=cache)
         _, wall, trace = _timed_run(workload, instrumented_device, kernel)
         row.cells[case] = OverheadCell(
             kernel_ratio=trace.cycles / max(base_trace.cycles, 1),
@@ -129,9 +135,12 @@ def _stub_handler(profiler) -> None:
 
 
 def run(benchmarks: Optional[Sequence[str]] = None,
-        cases: Sequence[str] = CASE_STUDIES) -> List[Table3Row]:
-    return [measure_benchmark(name, cases)
-            for name in (benchmarks or TABLE3_BENCHMARKS)]
+        cases: Sequence[str] = CASE_STUDIES, jobs: int = 1,
+        use_cache: bool = True) -> List[Table3Row]:
+    names = list(benchmarks or TABLE3_BENCHMARKS)
+    return map_workloads("repro.studies.overhead", "measure_benchmark",
+                         names, jobs=jobs, cases=tuple(cases),
+                         use_cache=use_cache)
 
 
 def render_table3(rows: List[Table3Row],
@@ -179,8 +188,9 @@ def spill_cost_fraction(name: str, case: str = "value") -> float:
     return min(1.0, abi_instructions / max(report.injected_instructions, 1))
 
 
-def main(benchmarks: Optional[Sequence[str]] = None) -> str:
-    return render_table3(run(benchmarks))
+def main(benchmarks: Optional[Sequence[str]] = None, jobs: int = 1,
+         use_cache: bool = True) -> str:
+    return render_table3(run(benchmarks, jobs=jobs, use_cache=use_cache))
 
 
 if __name__ == "__main__":

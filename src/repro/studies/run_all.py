@@ -3,9 +3,17 @@
 Usage::
 
     python -m repro.studies.run_all [output.txt] [--injections N]
+                                    [--jobs N] [--no-cache] [--quick]
 
 Writes the rendered tables/figures (with timing) to the output file
 (default ``results/full_studies.txt``) and echoes progress to stdout.
+
+``--jobs N`` fans the per-benchmark profiling loops and the
+error-injection trials out over N worker processes through
+:mod:`repro.campaign.engine`; results are bit-identical to a serial
+run.  ``--no-cache`` disables the content-addressed compile cache
+(:mod:`repro.campaign.compile_cache`).  ``--quick`` runs a small, fast
+benchmark subset — the CI smoke configuration.
 """
 
 from __future__ import annotations
@@ -14,40 +22,73 @@ import argparse
 import os
 import time
 
+#: ``--quick`` benchmark subsets: small datasets that finish in seconds
+#: while still exercising every study's full pipeline.
+QUICK_TABLE1 = ["parboil/bfs(UT)", "parboil/sgemm(small)"]
+QUICK_FIGURE7 = ["parboil/spmv(small)", "parboil/bfs(UT)"]
+QUICK_TABLE2 = ["rodinia/nn", "rodinia/pathfinder"]
+QUICK_TABLE3 = ["parboil/sgemm(small)", "rodinia/nn", "rodinia/hotspot"]
+QUICK_ABLATION = ["parboil/sgemm(small)"]
+QUICK_FIGURE10 = ["rodinia/nn", "parboil/sgemm(small)"]
+FULL_ABLATION = ["parboil/sgemm(small)", "parboil/spmv(small)",
+                 "rodinia/hotspot"]
 
-def main() -> None:
+
+def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("output", nargs="?",
                         default="results/full_studies.txt")
     parser.add_argument("--injections", type=int, default=60,
                         help="error injections per application")
-    args = parser.parse_args()
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for campaign fan-out")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the compile cache")
+    parser.add_argument("--quick", action="store_true",
+                        help="small benchmark subset (CI smoke run)")
+    args = parser.parse_args(argv)
 
     from repro.studies import (ablation, casestudy1, casestudy2,
                                casestudy3, casestudy4, overhead)
 
+    jobs = max(1, args.jobs)
+    use_cache = not args.no_cache
+    if args.quick:
+        table1, figure7 = QUICK_TABLE1, QUICK_FIGURE7
+        table2, table3 = QUICK_TABLE2, QUICK_TABLE3
+        ablations, figure10 = QUICK_ABLATION, QUICK_FIGURE10
+        injections = min(args.injections, 10)
+    else:
+        table1 = figure7 = table2 = table3 = figure10 = None
+        ablations = FULL_ABLATION
+        injections = args.injections
+
     os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
     start = time.time()
     with open(args.output, "w") as sink:
+        # timing goes to stdout only: the artifact must be byte-identical
+        # across serial and --jobs runs, so no wall-clock in the file
         def emit(title: str, text: str) -> None:
-            sink.write(f"\n{'=' * 72}\n{title}  "
-                       f"[t={time.time() - start:.0f}s]\n{'=' * 72}\n")
+            sink.write(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n")
             sink.write(text + "\n")
             sink.flush()
             print(f"done: {title} at {time.time() - start:.0f}s",
                   flush=True)
 
-        emit("CASE STUDY I (Table 1 + Figure 5)", casestudy1.main())
-        emit("CASE STUDY II (Figure 7 + Figure 8)", casestudy2.main())
-        emit("CASE STUDY III (Table 2)", casestudy3.main())
-        emit("TABLE 3 (overheads)", overhead.main())
-        ablations = [ablation.run_ablation(name) for name in
-                     ("parboil/sgemm(small)", "parboil/spmv(small)",
-                      "rodinia/hotspot")]
+        emit("CASE STUDY I (Table 1 + Figure 5)",
+             casestudy1.main(table1, jobs=jobs, use_cache=use_cache))
+        emit("CASE STUDY II (Figure 7 + Figure 8)",
+             casestudy2.main(figure7, jobs=jobs, use_cache=use_cache))
+        emit("CASE STUDY III (Table 2)",
+             casestudy3.main(table2, jobs=jobs, use_cache=use_cache))
+        emit("TABLE 3 (overheads)",
+             overhead.main(table3, jobs=jobs, use_cache=use_cache))
         emit("ABLATION (ABI vs inline, spill skipping)",
-             ablation.render(ablations))
+             ablation.render([ablation.run_ablation(name)
+                              for name in ablations]))
         emit("CASE STUDY IV (Figure 10)",
-             casestudy4.main(num_injections=args.injections))
+             casestudy4.main(figure10, num_injections=injections,
+                             jobs=jobs, use_cache=use_cache))
     print(f"all studies written to {args.output} "
           f"in {time.time() - start:.0f}s")
 

@@ -1,0 +1,171 @@
+"""Unit tests for the content-addressed compile cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import ptxas
+from repro.campaign.compile_cache import (
+    CompileCache,
+    cached_ptxas,
+    cached_sassi_compile,
+    ir_fingerprint,
+    options_fingerprint,
+    spec_fingerprint,
+)
+from repro.isa.asmtext import format_kernel
+from repro.sassi import SassiRuntime, spec_from_flags
+from repro.sim import Device
+
+from tests.conftest import build_saxpy, build_vecadd, run_vecadd
+
+FLAGS = "-sassi-inst-before=memory -sassi-before-args=mem-info"
+
+
+class TestFingerprints:
+    def test_ir_fingerprint_stable(self):
+        assert ir_fingerprint(build_vecadd()) \
+            == ir_fingerprint(build_vecadd())
+
+    def test_ir_fingerprint_distinguishes_kernels(self):
+        assert ir_fingerprint(build_vecadd()) \
+            != ir_fingerprint(build_saxpy())
+
+    def test_spec_fingerprint_covers_fields(self):
+        base = spec_from_flags(FLAGS)
+        assert spec_fingerprint(base) == spec_fingerprint(base)
+        assert spec_fingerprint(base) != spec_fingerprint(None)
+        other = spec_from_flags(FLAGS + " -sassi-writeback-regs")
+        assert spec_fingerprint(base) != spec_fingerprint(other)
+        skip = spec_from_flags(FLAGS + " -sassi-skip-redundant-spills")
+        assert spec_fingerprint(base) != spec_fingerprint(skip)
+
+    def test_options_fingerprint(self):
+        from repro.backend import CompileOptions
+
+        assert options_fingerprint(None) \
+            != options_fingerprint(CompileOptions(peephole=False))
+
+
+class TestCachedPtxas:
+    def test_hit_returns_identical_kernel(self):
+        cache = CompileCache()
+        first = cached_ptxas(build_vecadd(), cache=cache)
+        second = cached_ptxas(build_vecadd(), cache=cache)
+        assert first is second
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_cached_kernel_matches_direct_compile(self):
+        cache = CompileCache()
+        cached = cached_ptxas(build_vecadd(), cache=cache)
+        direct = ptxas(build_vecadd())
+        assert format_kernel(cached) == format_kernel(direct)
+
+    def test_cached_kernel_executes_correctly(self):
+        cache = CompileCache()
+        cached_ptxas(build_vecadd(), cache=cache)
+        kernel = cached_ptxas(build_vecadd(), cache=cache)
+        a, b, out, _ = run_vecadd(Device(), kernel)
+        assert np.allclose(out, a + b)
+
+    def test_distinct_kernels_distinct_entries(self):
+        cache = CompileCache()
+        cached_ptxas(build_vecadd(), cache=cache)
+        cached_ptxas(build_saxpy(), cache=cache)
+        assert len(cache) == 2
+        assert cache.stats.misses == 2
+
+
+class TestCachedSassiCompile:
+    def _runtime(self):
+        runtime = SassiRuntime(Device(), poison_caller_saved=False)
+        runtime.register_before_handler(lambda ctx: None)
+        return runtime
+
+    def test_second_compile_hits(self):
+        cache = CompileCache()
+        spec = spec_from_flags(FLAGS)
+        first = cached_sassi_compile(self._runtime(), build_vecadd(),
+                                     spec, cache=cache)
+        second = cached_sassi_compile(self._runtime(), build_vecadd(),
+                                      spec, cache=cache)
+        assert cache.stats.hits == 1
+        assert format_kernel(first) == format_kernel(second)
+
+    def test_hit_still_records_report(self):
+        cache = CompileCache()
+        spec = spec_from_flags(FLAGS)
+        rt1 = self._runtime()
+        cached_sassi_compile(rt1, build_vecadd(), spec, cache=cache)
+        rt2 = self._runtime()
+        cached_sassi_compile(rt2, build_vecadd(), spec, cache=cache)
+        assert len(rt2.reports) == 1
+        assert rt2.reports[-1] == rt1.reports[-1]
+
+    def test_cached_instrumented_kernel_runs(self):
+        cache = CompileCache()
+        spec = spec_from_flags(FLAGS)
+        cached_sassi_compile(self._runtime(), build_vecadd(), spec,
+                             cache=cache)
+        runtime = self._runtime()
+        kernel = cached_sassi_compile(runtime, build_vecadd(), spec,
+                                      cache=cache)
+        a, b, out, stats = run_vecadd(runtime.device, kernel)
+        assert np.allclose(out, a + b)
+        assert stats.handler_calls > 0
+
+    def test_spec_change_misses(self):
+        cache = CompileCache()
+        cached_sassi_compile(self._runtime(), build_vecadd(),
+                             spec_from_flags(FLAGS), cache=cache)
+        cached_sassi_compile(
+            self._runtime(), build_vecadd(),
+            spec_from_flags(FLAGS + " -sassi-skip-redundant-spills"),
+            cache=cache)
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2
+
+
+class TestDiskCache:
+    def test_persists_across_instances(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        warm = CompileCache(directory=directory)
+        first = cached_ptxas(build_vecadd(), cache=warm)
+        cold = CompileCache(directory=directory)
+        second = cached_ptxas(build_vecadd(), cache=cold)
+        assert cold.stats.hits == 1
+        assert cold.stats.misses == 0
+        assert format_kernel(first) == format_kernel(second)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        warm = CompileCache(directory=directory)
+        cached_ptxas(build_vecadd(), cache=warm)
+        for entry in (tmp_path / "cache").iterdir():
+            entry.write_bytes(b"not a pickle")
+        cold = CompileCache(directory=directory)
+        kernel = cached_ptxas(build_vecadd(), cache=cold)
+        assert cold.stats.misses == 1
+        a, b, out, _ = run_vecadd(Device(), kernel)
+        assert np.allclose(out, a + b)
+
+    def test_clear(self):
+        cache = CompileCache()
+        cached_ptxas(build_vecadd(), cache=cache)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.misses == 0
+
+    def test_decode_state_not_pickled(self, tmp_path):
+        """Cached kernels must not drag executor decode records along."""
+        directory = str(tmp_path / "cache")
+        cache = CompileCache(directory=directory)
+        kernel = cached_ptxas(build_vecadd(), cache=cache)
+        run_vecadd(Device(), kernel)  # attaches _decoded to the instance
+        cache.store("again", kernel)
+        assert "_decoded" not in kernel.__dict__
+        cold = CompileCache(directory=directory)
+        reloaded, _ = cold.lookup("again")
+        assert "_decoded" not in reloaded.__dict__

@@ -1,0 +1,106 @@
+"""Unit tests for the campaign fan-out engine."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.campaign.engine import (
+    default_jobs,
+    map_workloads,
+    merge_kernel_stats,
+    run_tasks,
+    trial_rng,
+)
+from repro.sim.executor import KernelStats
+
+
+def _square(x):
+    return x * x
+
+
+class TestRunTasks:
+    def test_serial_matches_parallel(self):
+        tasks = list(range(20))
+        assert run_tasks(_square, tasks, jobs=1) \
+            == run_tasks(_square, tasks, jobs=3)
+
+    def test_results_in_task_order(self):
+        assert run_tasks(_square, [3, 1, 2], jobs=2) == [9, 1, 4]
+
+    def test_empty_and_single(self):
+        assert run_tasks(_square, [], jobs=4) == []
+        assert run_tasks(_square, [5], jobs=4) == [25]
+
+    def test_chunksize_does_not_change_results(self):
+        tasks = list(range(17))
+        assert run_tasks(_square, tasks, jobs=2, chunksize=5) \
+            == [x * x for x in tasks]
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+
+class TestTrialRng:
+    def test_same_trial_same_stream(self):
+        a = trial_rng(2015, 7).integers(0, 1 << 30, size=16)
+        b = trial_rng(2015, 7).integers(0, 1 << 30, size=16)
+        assert np.array_equal(a, b)
+
+    def test_independent_of_other_trials(self):
+        """Trial k's draws must not depend on trials 0..k-1 running."""
+        lone = trial_rng(2015, 5).integers(0, 1 << 30, size=4)
+        for k in range(5):
+            trial_rng(2015, k).integers(0, 1 << 30, size=99)
+        again = trial_rng(2015, 5).integers(0, 1 << 30, size=4)
+        assert np.array_equal(lone, again)
+
+    def test_distinct_across_trials_and_seeds(self):
+        draws = {tuple(trial_rng(seed, k).integers(0, 1 << 30, size=4))
+                 for seed in (1, 2) for k in range(8)}
+        assert len(draws) == 16
+
+
+class TestMergeKernelStats:
+    def _stats(self, n):
+        stats = KernelStats(kernel="k", warp_instructions=n,
+                            thread_instructions=32 * n, cycles=2 * n,
+                            global_transactions=n, barriers=1,
+                            max_stack_depth=n)
+        stats.opcode_counts = Counter({"IADD": n, "EXIT": 1})
+        return stats
+
+    def test_order_independent(self):
+        parts = [self._stats(n) for n in (3, 1, 2)]
+        forward = merge_kernel_stats(parts)
+        backward = merge_kernel_stats(list(reversed(parts)))
+        assert forward == backward
+
+    def test_sums_and_max(self):
+        merged = merge_kernel_stats([self._stats(2), self._stats(5)])
+        assert merged.warp_instructions == 7
+        assert merged.thread_instructions == 224
+        assert merged.cycles == 14
+        assert merged.barriers == 2
+        assert merged.max_stack_depth == 5
+        assert merged.opcode_counts == Counter({"IADD": 7, "EXIT": 2})
+
+    def test_empty(self):
+        merged = merge_kernel_stats([], kernel="none")
+        assert merged.kernel == "none"
+        assert merged.warp_instructions == 0
+
+
+class TestMapWorkloads:
+    def test_serial_equals_parallel(self):
+        from repro.studies import casestudy3
+
+        names = ["rodinia/nn", "rodinia/pathfinder"]
+        serial = map_workloads("repro.studies.casestudy3",
+                               "profile_benchmark", names, jobs=1)
+        parallel = map_workloads("repro.studies.casestudy3",
+                                 "profile_benchmark", names, jobs=2)
+        assert [r.benchmark for r in serial] == names
+        assert serial == parallel

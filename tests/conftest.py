@@ -62,6 +62,18 @@ def divergent_sum_reference(n: int) -> np.ndarray:
     return np.array([one(i) for i in range(n)], dtype=np.int32)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the tests/golden/ stat snapshots from the "
+             "current executor behavior instead of comparing")
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def device():
     return Device()

@@ -47,6 +47,45 @@ class TestCampaign:
         assert sum(result.fractions().values()) == pytest.approx(1.0)
 
 
+class TestPerTrialReseeding:
+    """Regression tests for the shared-RNG bug: the campaign used to
+    thread one ``default_rng(seed)`` through its trial loop, so trial
+    *k*'s site selection depended on every trial before it — running a
+    subset, reordering, or parallelizing changed the results."""
+
+    def test_trial_independent_of_preceding_trials(self):
+        full = ErrorInjectionCampaign(make("rodinia/nn"), seed=3)
+        full.golden_run()
+        full.profile()
+        records = [full.trial(k) for k in range(4)]
+
+        fresh = ErrorInjectionCampaign(make("rodinia/nn"), seed=3)
+        fresh.golden_run()
+        fresh.profile()
+        lone = fresh.trial(3)  # trials 0..2 never ran here
+        assert lone == records[3]
+
+    def test_run_reproducible_across_campaigns(self):
+        first = ErrorInjectionCampaign(make("rodinia/nn"), seed=9)
+        second = ErrorInjectionCampaign(make("rodinia/nn"), seed=9)
+        assert first.run(num_injections=4) == second.run(num_injections=4)
+
+    def test_seed_changes_site_selection(self):
+        a = ErrorInjectionCampaign(make("rodinia/nn"), seed=1)
+        b = ErrorInjectionCampaign(make("rodinia/nn"), seed=2)
+        targets_a = [r.target_event for r in a.run(num_injections=6).records]
+        targets_b = [r.target_event for r in b.run(num_injections=6).records]
+        assert targets_a != targets_b
+
+    def test_parallel_run_matches_serial(self):
+        serial = ErrorInjectionCampaign(make("rodinia/nn"), seed=3,
+                                        workload_name="rodinia/nn")
+        parallel = ErrorInjectionCampaign(make("rodinia/nn"), seed=3,
+                                          workload_name="rodinia/nn")
+        assert serial.run(num_injections=4) \
+            == parallel.run(num_injections=4, jobs=2)
+
+
 class TestOutcomes:
     def test_high_bit_pointer_flip_crashes_or_corrupts(self):
         """Flipping address-computation results produces crashes (the

@@ -1,0 +1,81 @@
+"""Golden-stat regression tests.
+
+Each snapshot in ``tests/golden/`` pins the merged
+:class:`~repro.sim.executor.KernelStats` of one small workload's
+uninstrumented run — instruction counts, opcode histogram, memory
+transactions, cycles.  Any executor, coalescer, or cost-model change
+that shifts these numbers fails here first, loudly, with a diff.
+
+To bless an intentional change::
+
+    PYTHONPATH=src python -m pytest tests/integration/test_golden_stats.py \
+        --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.backend import ptxas
+from repro.campaign.engine import merge_kernel_stats
+from repro.sim import Device
+from repro.workloads import make
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "..", "golden")
+
+GOLDEN_WORKLOADS = [
+    "rodinia/nn",
+    "rodinia/hotspot",
+    "rodinia/pathfinder",
+    "parboil/sgemm(small)",
+    "parboil/spmv(small)",
+]
+
+
+def _slug(name: str) -> str:
+    return (name.replace("/", "_").replace("(", "_")
+            .replace(")", "").lower())
+
+
+def _snapshot(name: str) -> dict:
+    workload = make(name)
+    device = Device()
+    workload.execute(device, ptxas(workload.build_ir()))
+    trace = workload.last_trace
+    merged = merge_kernel_stats(trace.launches)
+    return {
+        "workload": name,
+        "kernel_launches": trace.kernel_launches,
+        "warp_instructions": merged.warp_instructions,
+        "thread_instructions": merged.thread_instructions,
+        "opcode_counts": {op.name: count for op, count in
+                          sorted(merged.opcode_counts.items(),
+                                 key=lambda item: item[0].name)},
+        "global_mem_instructions": merged.global_mem_instructions,
+        "global_transactions": merged.global_transactions,
+        "barriers": merged.barriers,
+        "cycles": merged.cycles,
+        "max_stack_depth": merged.max_stack_depth,
+    }
+
+
+@pytest.mark.parametrize("name", GOLDEN_WORKLOADS)
+def test_golden_stats(name, update_golden):
+    path = os.path.join(GOLDEN_DIR, f"{_slug(name)}.json")
+    current = _snapshot(name)
+    if update_golden:
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(current, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        pytest.skip(f"golden snapshot rewritten: {path}")
+    assert os.path.exists(path), \
+        f"missing golden snapshot {path}; run with --update-golden"
+    with open(path) as handle:
+        golden = json.load(handle)
+    assert current == golden, (
+        f"{name}: executor statistics drifted from the golden snapshot; "
+        f"if intentional, re-bless with --update-golden")
