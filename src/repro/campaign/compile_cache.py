@@ -32,6 +32,7 @@ from repro.kernelir.ir import KernelIR
 from repro.kernelir.ptxtext import emit_ptx
 from repro.sassi.inject import InjectionReport
 from repro.sassi.spec import InstrumentationSpec
+from repro.telemetry.collector import TELEMETRY, span as telemetry_span
 
 #: Environment variable naming the shared on-disk cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -95,6 +96,8 @@ class CompileCache:
         entry = self._mem.get(key)
         if entry is not None:
             self.stats.hits += 1
+            if TELEMETRY.enabled:
+                TELEMETRY.incr("compile_cache.hits")
             return entry
         path = self._path(key)
         if path is not None and os.path.exists(path):
@@ -106,8 +109,13 @@ class CompileCache:
             if entry is not None:
                 self._mem[key] = entry
                 self.stats.hits += 1
+                if TELEMETRY.enabled:
+                    TELEMETRY.incr("compile_cache.hits")
+                    TELEMETRY.incr("compile_cache.disk_hits")
                 return entry
         self.stats.misses += 1
+        if TELEMETRY.enabled:
+            TELEMETRY.incr("compile_cache.misses")
         return None
 
     def store(self, key: str, kernel: SassKernel,
@@ -121,11 +129,19 @@ class CompileCache:
         try:
             os.makedirs(self.directory, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        except OSError:
+            return  # disk layer is best-effort
+        try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump((kernel, report), handle)
             os.replace(tmp, path)
         except OSError:
-            pass  # disk layer is best-effort
+            # interrupted write: drop the temp file; readers never see a
+            # partial entry because only os.replace publishes it
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
 
     def clear(self) -> None:
         self._mem.clear()
@@ -173,7 +189,8 @@ def cached_ptxas(kernel_ir: KernelIR,
     entry = cache.lookup(key)
     if entry is not None:
         return entry[0]
-    kernel = ptxas(kernel_ir, options)
+    with telemetry_span("compile", kernel=kernel_ir.name):
+        kernel = ptxas(kernel_ir, options)
     cache.store(key, kernel)
     return kernel
 
@@ -210,3 +227,10 @@ def cached_sassi_compile(runtime, kernel_ir: KernelIR,
     kernel = runtime.compile(kernel_ir, spec)
     cache.store(key, kernel, runtime.reports[-1])
     return kernel
+
+
+def cache_counter_totals() -> Tuple[int, int]:
+    """(hits, misses) of the process-wide cache — convenience for the
+    telemetry summary and tests."""
+    cache = get_cache()
+    return cache.stats.hits, cache.stats.misses

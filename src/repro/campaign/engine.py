@@ -24,6 +24,7 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.sim.executor import KernelStats
+from repro.telemetry.collector import TELEMETRY, Snapshot
 
 
 def default_jobs() -> int:
@@ -44,8 +45,37 @@ def run_tasks(fn: Callable[[Any], Any], tasks: Iterable[Any],
     if jobs <= 1 or len(tasks) <= 1:
         return [fn(task) for task in tasks]
     workers = min(jobs, len(tasks))
+    if TELEMETRY.enabled:
+        # each task returns (result, telemetry delta); merging in task
+        # order keeps counter totals identical to a serial run
+        wrapped = _TelemetryTask(fn)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pairs = list(pool.map(wrapped, tasks, chunksize=chunksize))
+        results = []
+        for result, snapshot in pairs:
+            TELEMETRY.merge_snapshot(snapshot)
+            results.append(result)
+        return results
     with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(fn, tasks, chunksize=chunksize))
+
+
+class _TelemetryTask:
+    """Picklable wrapper shipping each task's telemetry delta home.
+
+    The worker may have inherited (via fork) or not inherited (via
+    spawn) the parent's telemetry state; capturing a mark before the
+    task and returning only the delta makes both correct.
+    """
+
+    def __init__(self, fn: Callable[[Any], Any]):
+        self.fn = fn
+
+    def __call__(self, task: Any) -> Tuple[Any, Snapshot]:
+        TELEMETRY.enable()
+        mark = TELEMETRY.mark()
+        result = self.fn(task)
+        return result, TELEMETRY.delta_since(mark)
 
 
 def _invoke(task: Tuple[str, str, tuple, dict]) -> Any:

@@ -5,22 +5,69 @@ Subcommands::
     python -m repro.cli compile  kernel.ptx [--sassi FLAGS] [-o out.sass]
     python -m repro.cli disasm   kernel.ptx            # SASS listing
     python -m repro.cli workloads [--run NAME]         # list / verify
+    python -m repro.cli run      NAME [--metrics] [--trace FILE]
+                                 [--jsonl FILE]
+    python -m repro.cli trace    trace.json            # inspect a trace
     python -m repro.cli study    table1|figure7|table2|table3|figure10
-                                 [--jobs N] [--no-cache]
+                                 [--jobs N] [--no-cache] [--metrics]
+                                 [--trace FILE]
     python -m repro.cli run-all  [output.txt] [--jobs N] [--no-cache]
-                                 [--quick] [--injections N]
+                                 [--quick] [--injections N] [--metrics]
+                                 [--trace FILE]
 
 ``compile`` consumes the PTX-like text form (see
 :mod:`repro.kernelir.ptxtext`), runs the backend, optionally applies the
 SASSI injector with the paper's flag syntax (a no-op handler is bound so
 the output is inspectable), and prints/writes the SASS listing.
+
+``run`` executes one workload with telemetry enabled: ``--trace`` writes
+a Chrome ``trace_event`` JSON (open in ``chrome://tracing``/Perfetto),
+``--jsonl`` a flat event stream, ``--metrics`` prints the span/counter
+summary.  ``trace`` summarizes a previously written Chrome trace.
+
+Usage errors (unknown workload, malformed flags, unwritable paths) exit
+with status 2 and a one-line ``repro: ...`` message — never a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+
+
+class CliError(Exception):
+    """A user-facing error: printed as one line, exit status 2."""
+
+
+def _check_writable(path: str) -> None:
+    """Fail fast (before any expensive work) if *path* can't be written."""
+    directory = os.path.dirname(path) or "."
+    if not os.path.isdir(directory):
+        raise CliError(f"cannot write {path}: "
+                       f"directory {directory!r} does not exist")
+    existed = os.path.exists(path)
+    try:
+        with open(path, "a"):
+            pass
+    except OSError as exc:
+        raise CliError(f"cannot write {path}: {exc}")
+    if not existed:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+
+def _make_workload(name: str):
+    from repro.workloads import make
+
+    try:
+        return make(name)
+    except KeyError as exc:
+        raise CliError(exc.args[0] if exc.args else f"unknown workload "
+                       f"{name!r}")
 
 
 def _cmd_compile(args) -> int:
@@ -28,16 +75,29 @@ def _cmd_compile(args) -> int:
     from repro.isa.asmtext import format_kernel
     from repro.kernelir.ptxtext import parse_ptx
 
-    with open(args.input) as handle:
-        kernel_ir = parse_ptx(handle.read())
+    try:
+        with open(args.input) as handle:
+            kernel_ir = parse_ptx(handle.read())
+    except OSError as exc:
+        raise CliError(f"cannot read {args.input}: {exc.strerror or exc}")
+    except ValueError as exc:
+        raise CliError(f"cannot parse {args.input}: {exc}")
     if args.sassi:
         from repro.sassi import SassiRuntime, spec_from_flags
+        from repro.sassi.flags import FlagError
         from repro.sim import Device
 
+        try:
+            spec = spec_from_flags(args.sassi)
+        except FlagError as exc:
+            raise CliError(f"bad --sassi flags: {exc}")
         runtime = SassiRuntime(Device())
         runtime.register_before_handler(lambda ctx: None)
         runtime.register_after_handler(lambda ctx: None)
-        kernel = runtime.compile(kernel_ir, spec_from_flags(args.sassi))
+        kernel = runtime.compile(kernel_ir, spec)
+        if not runtime.reports:
+            raise CliError("instrumentation produced no injection report "
+                           "(nothing matched the spec?)")
         report = runtime.reports[-1]
         print(f"// SASSI: {report.before_sites} before-sites, "
               f"{report.after_sites} after-sites, "
@@ -47,6 +107,7 @@ def _cmd_compile(args) -> int:
         kernel = ptxas(kernel_ir)
     listing = format_kernel(kernel)
     if args.output:
+        _check_writable(args.output)
         with open(args.output, "w") as handle:
             handle.write(listing)
     else:
@@ -61,7 +122,7 @@ def _cmd_disasm(args) -> int:
 
 
 def _cmd_workloads(args) -> int:
-    from repro.workloads import all_names, make
+    from repro.workloads import all_names
 
     if not args.run:
         for name in all_names():
@@ -70,17 +131,103 @@ def _cmd_workloads(args) -> int:
     from repro.backend import ptxas
     from repro.sim import Device
 
+    status = 0
     for name in args.run:
-        workload = make(name)
+        workload = _make_workload(name)
         device = Device()
         start = time.perf_counter()
         output = workload.execute(device, ptxas(workload.build_ir()))
         elapsed = time.perf_counter() - start
-        status = "ok" if workload.verify(output) else "WRONG RESULT"
+        ok = workload.verify(output)
+        status = status or (0 if ok else 1)
         trace = workload.last_trace
-        print(f"{name:30s} {status:12s} {elapsed:6.2f}s "
+        print(f"{name:30s} {'ok' if ok else 'WRONG RESULT':12s} "
+              f"{elapsed:6.2f}s "
               f"{trace.warp_instructions:>10,} warp instrs "
               f"{trace.kernel_launches:>5} launches")
+    return status
+
+
+def _telemetry_outputs(args, manifest_extra):
+    """Write the trace/jsonl files and print the summary as requested."""
+    from repro.telemetry import (TELEMETRY, render_summary, run_manifest,
+                                 write_chrome_trace, write_jsonl)
+
+    manifest = run_manifest(extra=manifest_extra)
+    if getattr(args, "trace", None):
+        write_chrome_trace(args.trace, TELEMETRY, manifest=manifest)
+        print(f"chrome trace written to {args.trace}", file=sys.stderr)
+    if getattr(args, "jsonl", None):
+        write_jsonl(args.jsonl, TELEMETRY, manifest=manifest)
+        print(f"jsonl events written to {args.jsonl}", file=sys.stderr)
+    if getattr(args, "metrics", False):
+        print(render_summary(TELEMETRY))
+
+
+def _cmd_run(args) -> int:
+    from repro.backend import ptxas
+    from repro.sim import Device
+    from repro.telemetry import TELEMETRY, span
+
+    for path in (args.trace, args.jsonl):
+        if path:
+            _check_writable(path)
+    workload = _make_workload(args.name)
+    TELEMETRY.enable(reset=True)
+    try:
+        device = Device()
+        with span("run", workload=args.name):
+            with span("compile", workload=args.name):
+                kernel = ptxas(workload.build_ir())
+            with span("execute", workload=args.name):
+                output = workload.execute(device, kernel)
+        ok = workload.verify(output)
+        trace = workload.last_trace
+        print(f"{args.name}: {'ok' if ok else 'WRONG RESULT'} "
+              f"({trace.warp_instructions:,} warp instructions, "
+              f"{trace.kernel_launches} launches)")
+        _telemetry_outputs(args, {"command": "run",
+                                  "workload": args.name})
+    finally:
+        TELEMETRY.disable()
+    return 0 if ok else 1
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    try:
+        with open(args.input) as handle:
+            doc = json.load(handle)
+    except OSError as exc:
+        raise CliError(f"cannot read {args.input}: {exc.strerror or exc}")
+    except json.JSONDecodeError as exc:
+        raise CliError(f"{args.input} is not valid trace JSON: {exc}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise CliError(f"{args.input} has no traceEvents "
+                       "(not a Chrome trace?)")
+    events = doc["traceEvents"]
+    spans = [e for e in events if e.get("ph") == "X"]
+    totals = {}
+    for event in spans:
+        entry = totals.setdefault(event.get("name", "?"), [0, 0.0])
+        entry[0] += 1
+        entry[1] += float(event.get("dur", 0.0))
+    print(f"{args.input}: {len(spans)} spans, "
+          f"{len({e.get('tid') for e in spans})} lanes")
+    for name in sorted(totals, key=lambda n: -totals[n][1]):
+        count, dur = totals[name]
+        print(f"  {name:<24} {count:>6}  {dur / 1e6:>9.4f}s")
+    for event in events:
+        if event.get("ph") == "C" and event.get("name") == "counters":
+            print("counters:")
+            for key, value in sorted(event.get("args", {}).items()):
+                print(f"  {key:<40} {value:>12}")
+    meta = doc.get("metadata", {})
+    if meta:
+        rev = meta.get("git_rev") or "unknown"
+        print(f"manifest: python {meta.get('python', '?')}, "
+              f"git {rev[:12]}, schema {meta.get('schema', '?')}")
     return 0
 
 
@@ -97,24 +244,55 @@ _STUDIES = {
 def _cmd_study(args) -> int:
     import importlib
 
-    module_name, fn_name = _STUDIES[args.which]
-    module = importlib.import_module(module_name)
-    print(getattr(module, fn_name)(jobs=max(1, args.jobs),
-                                   use_cache=not args.no_cache))
+    from repro.telemetry import TELEMETRY
+
+    if args.trace:
+        _check_writable(args.trace)
+    telemetry_on = bool(args.trace or args.metrics)
+    if telemetry_on:
+        TELEMETRY.enable(reset=True)
+    try:
+        module_name, fn_name = _STUDIES[args.which]
+        module = importlib.import_module(module_name)
+        print(getattr(module, fn_name)(jobs=max(1, args.jobs),
+                                       use_cache=not args.no_cache))
+        if telemetry_on:
+            _telemetry_outputs(args, {"command": "study",
+                                      "study": args.which,
+                                      "jobs": max(1, args.jobs)})
+    finally:
+        if telemetry_on:
+            TELEMETRY.disable()
     return 0
 
 
 def _cmd_run_all(args) -> int:
     from repro.studies import run_all
 
+    if args.trace:
+        _check_writable(args.trace)
     argv = [args.output, "--injections", str(args.injections),
             "--jobs", str(args.jobs)]
     if args.no_cache:
         argv.append("--no-cache")
     if args.quick:
         argv.append("--quick")
+    if args.trace:
+        argv.extend(["--trace", args.trace])
+    if args.metrics:
+        argv.append("--metrics")
     run_all.main(argv)
     return 0
+
+
+def _add_telemetry_flags(parser, jsonl: bool = False) -> None:
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the telemetry span/counter summary")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a Chrome trace_event JSON file")
+    if jsonl:
+        parser.add_argument("--jsonl", metavar="FILE", default=None,
+                            help="write a flat JSONL event stream")
 
 
 def main(argv=None) -> int:
@@ -141,12 +319,24 @@ def main(argv=None) -> int:
                                   help="workload names to run+verify")
     workloads_parser.set_defaults(fn=_cmd_workloads)
 
+    run_parser = sub.add_parser(
+        "run", help="run one workload with telemetry")
+    run_parser.add_argument("name", help="workload name (see `workloads`)")
+    _add_telemetry_flags(run_parser, jsonl=True)
+    run_parser.set_defaults(fn=_cmd_run)
+
+    trace_parser = sub.add_parser(
+        "trace", help="summarize a Chrome trace file")
+    trace_parser.add_argument("input")
+    trace_parser.set_defaults(fn=_cmd_trace)
+
     study_parser = sub.add_parser("study", help="regenerate a result")
     study_parser.add_argument("which", choices=sorted(_STUDIES))
     study_parser.add_argument("--jobs", type=int, default=1,
                               help="worker processes for the campaign")
     study_parser.add_argument("--no-cache", action="store_true",
                               help="disable the compile cache")
+    _add_telemetry_flags(study_parser)
     study_parser.set_defaults(fn=_cmd_study)
 
     runall_parser = sub.add_parser(
@@ -157,10 +347,15 @@ def main(argv=None) -> int:
     runall_parser.add_argument("--jobs", type=int, default=1)
     runall_parser.add_argument("--no-cache", action="store_true")
     runall_parser.add_argument("--quick", action="store_true")
+    _add_telemetry_flags(runall_parser)
     runall_parser.set_defaults(fn=_cmd_run_all)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except CliError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -42,6 +42,7 @@ from repro.sassi.params import (
 from repro.sassi.spec import InstrumentationSpec, What, Where
 from repro.sassi.threadsimt import ThreadHandlerError, run_warp_handler
 from repro.sim.memory import GLOBAL_BASE, LOCAL_BASE
+from repro.telemetry.collector import TELEMETRY, span as telemetry_span
 
 POISON = 0xDEADBEEF
 
@@ -264,9 +265,10 @@ class SassiRuntime:
         def final_pass(kernel: SassKernel) -> SassKernel:
             report = InjectionReport()
             fn_addr = self.device.program.preassign_base(kernel.name)
-            instrumented = instrument_kernel(
-                kernel, spec, self.device.program.add_handler_symbol,
-                fn_addr=fn_addr, report=report)
+            with telemetry_span("inject", kernel=kernel.name):
+                instrumented = instrument_kernel(
+                    kernel, spec, self.device.program.add_handler_symbol,
+                    fn_addr=fn_addr, report=report)
             self.reports.append(report)
             return instrumented
 
@@ -289,7 +291,8 @@ class SassiRuntime:
             return cached_sassi_compile(self, kernel_ir, spec, cache=cache)
         options = CompileOptions(
             final_pass=self.instrument(spec) if spec else None)
-        return ptxas(kernel_ir, options)
+        with telemetry_span("compile", kernel=kernel_ir.name):
+            return ptxas(kernel_ir, options)
 
     def adopt_cached_compile(self, spec: InstrumentationSpec,
                              report: InjectionReport) -> None:
@@ -303,18 +306,32 @@ class SassiRuntime:
     # ------------------------------------------------------ trampoline
 
     def _make_binding(self, registration: _Registration, where: Where):
-        def binding(executor, warp, cta, mask):
-            ctx = self._build_context(executor, warp, cta, mask, where)
+        def invoke(ctx):
             if registration.kind == "warp":
                 registration.fn(ctx)
+                return
+
+            def make_gen(lane):
+                return registration.fn(SASSIThreadContext(ctx, lane))
+
+            def atomic(address, value, width, op):
+                return ctx.device_atomic(address, value, width, op)
+
+            run_warp_handler(ctx.lanes(), make_gen, atomic)
+
+        def binding(executor, warp, cta, mask):
+            ctx = self._build_context(executor, warp, cta, mask, where)
+            telemetry = TELEMETRY
+            if telemetry.enabled:
+                telemetry.incr(f"handler.invocations.{registration.name}")
+                start = telemetry.clock()
+                try:
+                    invoke(ctx)
+                finally:
+                    telemetry.add_time("handler_body_seconds",
+                                       telemetry.clock() - start)
             else:
-                def make_gen(lane):
-                    return registration.fn(SASSIThreadContext(ctx, lane))
-
-                def atomic(address, value, width, op):
-                    return ctx.device_atomic(address, value, width, op)
-
-                run_warp_handler(ctx.lanes(), make_gen, atomic)
+                invoke(ctx)
             if self.poison_caller_saved:
                 self._poison(warp, mask)
 

@@ -25,6 +25,7 @@ from repro.sim.memory import (
     LOCAL_BASE,
     Memory,
 )
+from repro.telemetry.collector import span as telemetry_span
 
 #: Size of constant bank 0 (launch configuration + kernel parameters).
 CONST_BANK_BYTES = 64 << 10
@@ -156,7 +157,8 @@ class Device:
             callback(self, kernel, grid, block)
         executor = Executor(self, self.config)
         try:
-            stats = executor.run(kernel, grid, block, shared_bytes)
+            with telemetry_span("launch", kernel=kernel.name):
+                stats = executor.run(kernel, grid, block, shared_bytes)
         finally:
             self.last_stats = executor.stats
         for callback in self._exit_callbacks:

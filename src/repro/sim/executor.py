@@ -44,6 +44,8 @@ from repro.sim.memory import (
     Memory,
 )
 from repro.sim.warp import WARP_SIZE, Warp
+from repro.telemetry.classify import OPCLASS_KEY, sassi_key
+from repro.telemetry.collector import TELEMETRY
 
 #: Physical bytes of local memory actually backed per thread (the
 #: addressing window is larger; see repro.sim.memory).
@@ -266,6 +268,9 @@ class Executor:
         counter.issue(dec.opcode)
         if warp.stack_depth > stats.max_stack_depth:
             stats.max_stack_depth = warp.stack_depth
+        if TELEMETRY.enabled:
+            TELEMETRY.record_dispatch(
+                dec, lanes, int(np.count_nonzero(warp.active)))
 
         handler = dec.handler
         if handler is None:
@@ -385,7 +390,7 @@ class _Decoded:
     __slots__ = ("instr", "opcode", "dsts", "srcs", "mods", "guard", "tag",
                  "uncond", "pred_index", "negated", "sassi", "handler",
                  "target", "mem_width", "mem_ref", "cmp_fn", "narrow",
-                 "atom_op")
+                 "atom_op", "opclass_key", "sassi_key")
 
     def __init__(self, instr: Instruction, target: Optional[int] = None):
         self.instr = instr
@@ -399,6 +404,8 @@ class _Decoded:
         self.pred_index = instr.guard.pred.index
         self.negated = instr.guard.negated
         self.sassi = instr.tag == "sassi"
+        self.opclass_key = OPCLASS_KEY[instr.opcode]
+        self.sassi_key = sassi_key(instr) if self.sassi else None
         self.handler = _DISPATCH.get(instr.opcode)
         self.target = target
         self.mem_width = instr.mem_width

@@ -11,6 +11,7 @@ from repro.campaign.engine import map_workloads
 from repro.handlers.branch_profiler import BranchProfiler, BranchStats, \
     DivergenceSummary
 from repro.sim import Device
+from repro.telemetry import span as telemetry_span
 from repro.workloads import TABLE1_BENCHMARKS, make
 from repro.studies.report import bar_chart, table
 
@@ -24,12 +25,14 @@ class Table1Row:
 
 def profile_benchmark(name: str, use_cache: bool = True) -> Table1Row:
     """Run one workload under the branch profiler."""
-    workload = make(name)
-    device = Device()
-    profiler = BranchProfiler(device)
-    kernel = profiler.compile(workload.build_ir(),
-                              cache=get_cache() if use_cache else None)
-    output = workload.execute(device, kernel)
+    with telemetry_span("profile", study="casestudy1", workload=name):
+        workload = make(name)
+        device = Device()
+        profiler = BranchProfiler(device)
+        kernel = profiler.compile(workload.build_ir(),
+                                  cache=get_cache() if use_cache else None)
+        with telemetry_span("execute", workload=name):
+            output = workload.execute(device, kernel)
     assert workload.verify(output), f"{name}: wrong result when profiled"
     return Table1Row(benchmark=name, summary=profiler.summary(),
                      branches=profiler.branches())

@@ -13,6 +13,7 @@ from repro.campaign.engine import map_workloads
 from repro.handlers.memory_divergence import MemoryDivergenceProfiler
 from repro.sim import Device
 from repro.studies.report import heatmap, pmf_sparkline, table
+from repro.telemetry import span as telemetry_span
 from repro.workloads import FIGURE7_BENCHMARKS, make
 
 
@@ -26,12 +27,14 @@ class MemDivergenceResult:
 
 def profile_benchmark(name: str,
                       use_cache: bool = True) -> MemDivergenceResult:
-    workload = make(name)
-    device = Device()
-    profiler = MemoryDivergenceProfiler(device)
-    kernel = profiler.compile(workload.build_ir(),
-                              cache=get_cache() if use_cache else None)
-    output = workload.execute(device, kernel)
+    with telemetry_span("profile", study="casestudy2", workload=name):
+        workload = make(name)
+        device = Device()
+        profiler = MemoryDivergenceProfiler(device)
+        kernel = profiler.compile(workload.build_ir(),
+                                  cache=get_cache() if use_cache else None)
+        with telemetry_span("execute", workload=name):
+            output = workload.execute(device, kernel)
     assert workload.verify(output), f"{name}: wrong result when profiled"
     return MemDivergenceResult(
         benchmark=name,

@@ -11,6 +11,7 @@ from repro.handlers.value_profiler import ValueProfiler, \
     ValueProfileSummary
 from repro.sim import Device
 from repro.studies.report import table
+from repro.telemetry import span as telemetry_span
 from repro.workloads import TABLE2_BENCHMARKS, make
 
 
@@ -23,12 +24,14 @@ class Table2Row:
 
 def profile_benchmark(name: str, with_dump: bool = False,
                       use_cache: bool = True) -> Table2Row:
-    workload = make(name)
-    device = Device()
-    profiler = ValueProfiler(device)
-    kernel = profiler.compile(workload.build_ir(),
-                              cache=get_cache() if use_cache else None)
-    output = workload.execute(device, kernel)
+    with telemetry_span("profile", study="casestudy3", workload=name):
+        workload = make(name)
+        device = Device()
+        profiler = ValueProfiler(device)
+        kernel = profiler.compile(workload.build_ir(),
+                                  cache=get_cache() if use_cache else None)
+        with telemetry_span("execute", workload=name):
+            output = workload.execute(device, kernel)
     assert workload.verify(output), f"{name}: wrong result when profiled"
     dump = ""
     if with_dump:

@@ -11,6 +11,7 @@ from repro.handlers.error_injection import (
     InjectionOutcome,
 )
 from repro.studies.report import stacked_rows
+from repro.telemetry import span as telemetry_span
 from repro.workloads import FIGURE10_BENCHMARKS, make
 
 #: Figure 10 legend order
@@ -27,11 +28,13 @@ OUTCOME_ORDER = [
 def inject_benchmark(name: str, num_injections: int = 100,
                      seed: int = 2015, jobs: int = 1,
                      use_cache: bool = True) -> CampaignResult:
-    campaign = ErrorInjectionCampaign(make(name),
-                                      num_injections=num_injections,
-                                      seed=seed, workload_name=name,
-                                      use_cache=use_cache)
-    return campaign.run(jobs=jobs)
+    with telemetry_span("campaign", study="casestudy4", workload=name,
+                        injections=num_injections):
+        campaign = ErrorInjectionCampaign(make(name),
+                                          num_injections=num_injections,
+                                          seed=seed, workload_name=name,
+                                          use_cache=use_cache)
+        return campaign.run(jobs=jobs)
 
 
 def run(benchmarks: Optional[Sequence[str]] = None,

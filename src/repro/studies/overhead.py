@@ -31,6 +31,7 @@ from repro.handlers.value_profiler import ValueProfiler
 from repro.sassi import SassiRuntime, spec_from_flags
 from repro.sim import Device
 from repro.studies.report import table
+from repro.telemetry import span as telemetry_span
 from repro.workloads import TABLE3_BENCHMARKS, make
 
 #: case-study configurations, in the paper's column order
@@ -97,30 +98,34 @@ def measure_benchmark(name: str,
                       empty_handlers: bool = False,
                       use_cache: bool = True) -> Table3Row:
     cache = get_cache() if use_cache else None
-    workload = make(name)
-    device = Device()
-    ir = workload.build_ir()
-    baseline_kernel = cached_ptxas(ir, cache=cache) \
-        if use_cache else ptxas(ir)
-    _, base_wall, base_trace = _timed_run(workload, device,
-                                          baseline_kernel)
-    row = Table3Row(benchmark=name,
-                    baseline_cycles=base_trace.cycles,
-                    baseline_wall=base_wall,
-                    launches=base_trace.kernel_launches)
-    for case in cases:
-        instrumented_device = Device()
-        profiler = _handler_for(case, instrumented_device)
-        if empty_handlers:
-            _stub_handler(profiler)
-        kernel = profiler.compile(workload.build_ir(), cache=cache)
-        _, wall, trace = _timed_run(workload, instrumented_device, kernel)
-        row.cells[case] = OverheadCell(
-            kernel_ratio=trace.cycles / max(base_trace.cycles, 1),
-            instruction_ratio=trace.warp_instructions
-            / max(base_trace.warp_instructions, 1),
-            wall_ratio=wall / max(base_wall, 1e-9),
-        )
+    with telemetry_span("overhead", study="table3", workload=name):
+        workload = make(name)
+        device = Device()
+        ir = workload.build_ir()
+        baseline_kernel = cached_ptxas(ir, cache=cache) \
+            if use_cache else ptxas(ir)
+        with telemetry_span("execute", workload=name, case="baseline"):
+            _, base_wall, base_trace = _timed_run(workload, device,
+                                                  baseline_kernel)
+        row = Table3Row(benchmark=name,
+                        baseline_cycles=base_trace.cycles,
+                        baseline_wall=base_wall,
+                        launches=base_trace.kernel_launches)
+        for case in cases:
+            instrumented_device = Device()
+            profiler = _handler_for(case, instrumented_device)
+            if empty_handlers:
+                _stub_handler(profiler)
+            kernel = profiler.compile(workload.build_ir(), cache=cache)
+            with telemetry_span("execute", workload=name, case=case):
+                _, wall, trace = _timed_run(workload, instrumented_device,
+                                            kernel)
+            row.cells[case] = OverheadCell(
+                kernel_ratio=trace.cycles / max(base_trace.cycles, 1),
+                instruction_ratio=trace.warp_instructions
+                / max(base_trace.warp_instructions, 1),
+                wall_ratio=wall / max(base_wall, 1e-9),
+            )
     return row
 
 

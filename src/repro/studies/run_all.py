@@ -19,6 +19,7 @@ benchmark subset — the CI smoke configuration.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import time
 
@@ -46,10 +47,26 @@ def main(argv=None) -> None:
                         help="disable the compile cache")
     parser.add_argument("--quick", action="store_true",
                         help="small benchmark subset (CI smoke run)")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="enable telemetry and write a Chrome "
+                             "trace_event JSON file")
+    parser.add_argument("--metrics", action="store_true",
+                        help="enable telemetry and print the counter/span "
+                             "summary to stdout")
     args = parser.parse_args(argv)
 
     from repro.studies import (ablation, casestudy1, casestudy2,
                                casestudy3, casestudy4, overhead)
+    from repro.telemetry import (TELEMETRY, render_summary, run_manifest,
+                                 write_chrome_trace)
+
+    if args.trace:
+        # fail fast, before minutes of study work, if the path is bad
+        probe_dir = os.path.dirname(args.trace) or "."
+        if not os.path.isdir(probe_dir):
+            parser.error(f"--trace directory does not exist: {probe_dir}")
+    if args.trace or args.metrics:
+        TELEMETRY.enable(reset=True)
 
     jobs = max(1, args.jobs)
     use_cache = not args.no_cache
@@ -89,6 +106,24 @@ def main(argv=None) -> None:
         emit("CASE STUDY IV (Figure 10)",
              casestudy4.main(figure10, num_injections=injections,
                              jobs=jobs, use_cache=use_cache))
+    if args.trace or args.metrics:
+        # the manifest carries timestamps/pids, so it lives in sidecar
+        # files -- the study artifact itself must stay byte-identical
+        # between serial and --jobs runs
+        manifest = run_manifest(extra={
+            "command": "run-all", "jobs": jobs, "quick": bool(args.quick),
+            "use_cache": use_cache, "injections": injections,
+        })
+        if args.trace:
+            write_chrome_trace(args.trace, TELEMETRY, manifest=manifest)
+            print(f"chrome trace written to {args.trace}")
+        if args.metrics:
+            print(render_summary(TELEMETRY))
+        manifest_path = args.output + ".manifest.json"
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"run manifest written to {manifest_path}")
     print(f"all studies written to {args.output} "
           f"in {time.time() - start:.0f}s")
 

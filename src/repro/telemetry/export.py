@@ -1,0 +1,137 @@
+"""Telemetry exporters: Chrome ``trace_event`` JSON, JSONL, plain text.
+
+The Chrome format targets ``chrome://tracing`` / Perfetto: every span
+becomes a complete ("X") event; counter totals ride along as counter
+("C") events and the run manifest as trace-level ``metadata``.  Span
+timestamps from different processes are not comparable (each worker has
+its own ``perf_counter`` base), so every root tree is normalized to its
+own start and given its own ``tid`` lane.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.collector import Span, Telemetry, TELEMETRY
+from repro.telemetry.manifest import run_manifest
+
+
+def _span_events(root: Span, tid: int, pid: int = 1) -> List[Dict[str, Any]]:
+    base = root.t0
+    events: List[Dict[str, Any]] = []
+    for node in root.walk():
+        args: Dict[str, Any] = dict(node.meta)
+        if node.counters:
+            args["counters"] = dict(node.counters)
+        if node.timers:
+            args["timers"] = dict(node.timers)
+        events.append({
+            "name": node.name,
+            "ph": "X",
+            "ts": round((node.t0 - base) * 1e6, 3),
+            "dur": round(node.wall * 1e6, 3),
+            "pid": pid,
+            "tid": tid,
+            "cat": "repro",
+            "args": args,
+        })
+    return events
+
+
+def chrome_trace(telemetry: Optional[Telemetry] = None,
+                 manifest: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """The full ``trace_event`` document as a JSON-serializable dict."""
+    telemetry = telemetry or TELEMETRY
+    events: List[Dict[str, Any]] = []
+    for tid, root in enumerate(telemetry.roots):
+        events.extend(_span_events(root, tid))
+    if telemetry.counters:
+        events.append({
+            "name": "counters", "ph": "C", "ts": 0, "pid": 1, "tid": 0,
+            "args": {k: int(v) for k, v in sorted(telemetry.counters.items())},
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": manifest if manifest is not None else run_manifest(),
+    }
+
+
+def write_chrome_trace(path: str, telemetry: Optional[Telemetry] = None,
+                       manifest: Optional[Dict[str, Any]] = None) -> None:
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(telemetry, manifest), handle, indent=1)
+        handle.write("\n")
+
+
+def jsonl_events(telemetry: Optional[Telemetry] = None,
+                 manifest: Optional[Dict[str, Any]] = None
+                 ) -> List[Dict[str, Any]]:
+    """Flat event stream: one manifest record, one record per span
+    (depth-first), one per counter, one per timer."""
+    telemetry = telemetry or TELEMETRY
+    events: List[Dict[str, Any]] = [
+        {"type": "manifest",
+         **(manifest if manifest is not None else run_manifest())}]
+    for tid, root in enumerate(telemetry.roots):
+        base = root.t0
+        for node in root.walk():
+            events.append({
+                "type": "span", "name": node.name, "tree": tid,
+                "ts": node.t0 - base, "wall": node.wall,
+                "meta": dict(node.meta), "counters": dict(node.counters),
+                "timers": dict(node.timers),
+            })
+    for key, value in sorted(telemetry.counters.items()):
+        events.append({"type": "counter", "name": key, "value": int(value)})
+    for key, value in sorted(telemetry.timers.items()):
+        events.append({"type": "timer", "name": key, "seconds": value})
+    return events
+
+
+def write_jsonl(path: str, telemetry: Optional[Telemetry] = None,
+                manifest: Optional[Dict[str, Any]] = None) -> None:
+    with open(path, "w") as handle:
+        for event in jsonl_events(telemetry, manifest):
+            handle.write(json.dumps(event) + "\n")
+
+
+def render_summary(telemetry: Optional[Telemetry] = None) -> str:
+    """Plain-text digest: span aggregates then counter/timer tables.
+
+    Counter lines are ``<name>  <value>`` — stable and parseable (the
+    telemetry tests and the CLI's ``--metrics`` output rely on it).
+    """
+    telemetry = telemetry or TELEMETRY
+    lines: List[str] = []
+
+    totals: Dict[str, List[float]] = {}
+    for root in telemetry.roots:
+        for node in root.walk():
+            entry = totals.setdefault(node.name, [0, 0.0, 0.0])
+            entry[0] += 1
+            entry[1] += node.wall
+            entry[2] += node.self_wall()
+    if totals:
+        lines.append("spans (count / total s / self s):")
+        width = max(len(name) for name in totals)
+        for name in sorted(totals, key=lambda n: -totals[n][1]):
+            count, wall, self_wall = totals[name]
+            lines.append(f"  {name:<{width}}  {int(count):>6}  "
+                         f"{wall:>9.4f}  {self_wall:>9.4f}")
+    if telemetry.counters:
+        lines.append("counters:")
+        width = max(len(name) for name in telemetry.counters)
+        for name in sorted(telemetry.counters):
+            lines.append(f"  {name:<{width}}  "
+                         f"{int(telemetry.counters[name]):>12}")
+    if telemetry.timers:
+        lines.append("timers (s):")
+        width = max(len(name) for name in telemetry.timers)
+        for name in sorted(telemetry.timers):
+            lines.append(f"  {name:<{width}}  "
+                         f"{telemetry.timers[name]:>12.4f}")
+    if not lines:
+        return "telemetry: no data recorded (was it enabled?)"
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Run manifests: the provenance block attached to campaign artifacts.
+
+A manifest records everything needed to re-run (or distrust) a result:
+the campaign seed, the instrumentation-spec fingerprint, the repository
+revision, and the interpreter/library versions.  Exporters embed it in
+every trace file and ``run-all`` writes it next to its artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Dict, Optional
+
+MANIFEST_SCHEMA = 1
+
+
+def git_revision(path: Optional[str] = None) -> Optional[str]:
+    """The repository's HEAD commit, or None outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=path or os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=5)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def run_manifest(seed: Optional[int] = None,
+                 spec_fingerprint: Optional[str] = None,
+                 extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Build the provenance dict for one run."""
+    import numpy as np
+
+    manifest: Dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "created_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "numpy": np.__version__,
+        "git_rev": git_revision(),
+        "argv": list(sys.argv),
+        "pid": os.getpid(),
+    }
+    if seed is not None:
+        manifest["seed"] = int(seed)
+    if spec_fingerprint is not None:
+        manifest["spec_fingerprint"] = spec_fingerprint
+    if extra:
+        manifest.update(extra)
+    return manifest

@@ -33,9 +33,11 @@ from repro.workloads.srad import SradV1, SradV2
 from repro.workloads.stencil import Stencil
 from repro.workloads.streamcluster import StreamCluster
 from repro.workloads.tpacf import Tpacf
+from repro.workloads.vectoradd import VectorAdd
 
 #: every workload factory, keyed "suite/name(dataset)"
 WORKLOADS: Dict[str, Callable[[], Workload]] = {
+    "vectoradd": VectorAdd,
     "parboil/bfs(1M)": lambda: ParboilBFS("1M"),
     "parboil/bfs(NY)": lambda: ParboilBFS("NY"),
     "parboil/bfs(SF)": lambda: ParboilBFS("SF"),

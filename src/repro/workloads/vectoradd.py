@@ -1,0 +1,55 @@
+"""The canonical hello-world workload: ``c[i] = a[i] + b[i]``.
+
+Small, single-launch, and branch-light — the reference workload for the
+telemetry tests and the ``repro run vectoradd`` smoke path, where its
+per-opcode-class counter totals are checked against the executor's
+:class:`~repro.sim.executor.KernelStats` exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernelir import KernelBuilder, Type
+from repro.kernelir.types import PTR
+from repro.workloads.base import Workload, launch_1d
+
+
+def build_vectoradd_ir():
+    b = KernelBuilder("vectoradd", [
+        ("n", Type.U32), ("a", PTR), ("b", PTR), ("c", PTR),
+    ])
+    i = b.global_index_x()
+    with b.if_(b.lt(i, b.param("n"))):
+        lhs = b.load_f32(b.gep(b.param("a"), i, 4))
+        rhs = b.load_f32(b.gep(b.param("b"), i, 4))
+        b.store(b.gep(b.param("c"), i, 4), b.fadd(lhs, rhs))
+    return b.finish()
+
+
+class VectorAdd(Workload):
+    name = "vectoradd"
+
+    def __init__(self, dataset: str = "default", n: int = 1024):
+        super().__init__()
+        self.dataset = dataset
+        rng = np.random.default_rng(42)
+        self.a = rng.random(n, dtype=np.float32)
+        self.b = rng.random(n, dtype=np.float32)
+
+    def build_ir(self):
+        return build_vectoradd_ir()
+
+    def _run(self, device, kernel) -> np.ndarray:
+        n = len(self.a)
+        args = [
+            n,
+            device.alloc_array(self.a),
+            device.alloc_array(self.b),
+            device.alloc(n * 4),
+        ]
+        launch_1d(device, kernel, n, 128, args)
+        return device.read_array(args[-1], n, np.float32)
+
+    def reference(self) -> np.ndarray:
+        return (self.a + self.b).astype(np.float32)

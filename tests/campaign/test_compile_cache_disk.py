@@ -1,0 +1,121 @@
+"""Disk-layer tests for the compile cache: the ``REPRO_CACHE_DIR``
+environment path, writer atomicity, and torn-write tolerance."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.campaign.compile_cache import (
+    CACHE_DIR_ENV,
+    CompileCache,
+    cached_ptxas,
+    get_cache,
+    reset_cache,
+)
+from repro.isa.asmtext import format_kernel
+from repro.sim import Device
+
+from tests.conftest import build_vecadd, run_vecadd
+
+
+@pytest.fixture(autouse=True)
+def fresh_global_cache():
+    reset_cache()
+    yield
+    reset_cache()
+
+
+class TestEnvVarDirectory:
+    def test_round_trip_across_process_wide_caches(self, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        reset_cache()
+        first = cached_ptxas(build_vecadd())
+        assert get_cache().directory == str(tmp_path)
+        assert get_cache().stats.misses == 1
+
+        reset_cache()  # a "new process" sharing only the directory
+        second = cached_ptxas(build_vecadd())
+        assert get_cache().stats.hits == 1
+        assert get_cache().stats.misses == 0
+        assert format_kernel(first) == format_kernel(second)
+
+        a, b, out, _ = run_vecadd(Device(), second)
+        assert np.allclose(out, a + b)
+
+    def test_unset_env_means_memory_only(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        reset_cache()
+        cached_ptxas(build_vecadd())
+        assert get_cache().directory is None
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestWriterAtomicity:
+    def test_concurrent_writers_leave_one_clean_entry(self, tmp_path):
+        directory = str(tmp_path)
+        writer_a = CompileCache(directory=directory)
+        writer_b = CompileCache(directory=directory)
+        # both race to compile + publish the same key
+        kernel_a = cached_ptxas(build_vecadd(), cache=writer_a)
+        kernel_b = cached_ptxas(build_vecadd(), cache=writer_b)
+        assert not [name for name in os.listdir(directory)
+                    if name.endswith(".tmp")]
+        entries = [name for name in os.listdir(directory)
+                   if name.endswith(".pkl")]
+        assert len(entries) == 1
+        with open(os.path.join(directory, entries[0]), "rb") as handle:
+            pickle.load(handle)  # the published entry is complete
+
+        reader = CompileCache(directory=directory)
+        kernel_c = cached_ptxas(build_vecadd(), cache=reader)
+        assert reader.stats.hits == 1
+        assert format_kernel(kernel_a) == format_kernel(kernel_b) \
+            == format_kernel(kernel_c)
+
+    def test_interrupted_rename_leaves_no_debris(self, tmp_path,
+                                                 monkeypatch):
+        directory = str(tmp_path)
+
+        def failing_replace(src, dst):
+            raise OSError("simulated crash mid-publish")
+
+        monkeypatch.setattr(os, "replace", failing_replace)
+        cache = CompileCache(directory=directory)
+        cached_ptxas(build_vecadd(), cache=cache)
+        monkeypatch.undo()
+        assert os.listdir(directory) == []  # no entry, no temp file
+
+        cold = CompileCache(directory=directory)
+        kernel = cached_ptxas(build_vecadd(), cache=cold)
+        assert cold.stats.misses == 1  # torn write reads as a clean miss
+        a, b, out, _ = run_vecadd(Device(), kernel)
+        assert np.allclose(out, a + b)
+
+    def test_inflight_temp_file_is_invisible_to_readers(self, tmp_path):
+        directory = str(tmp_path)
+        warm = CompileCache(directory=directory)
+        cached_ptxas(build_vecadd(), cache=warm)
+        # another writer mid-flight: partial temp data in the directory
+        with open(os.path.join(directory, "partial.tmp"), "wb") as handle:
+            handle.write(b"\x80\x04 partial pickle")
+        cold = CompileCache(directory=directory)
+        cached_ptxas(build_vecadd(), cache=cold)
+        assert cold.stats.hits == 1
+        assert cold.stats.misses == 0
+
+    def test_unwritable_directory_degrades_to_memory(self, tmp_path):
+        blocked = tmp_path / "blocked"
+        blocked.mkdir()
+        blocked.chmod(0o500)
+        if os.access(str(blocked), os.W_OK):
+            pytest.skip("running as root; cannot drop write permission")
+        cache = CompileCache(directory=str(blocked))
+        kernel = cached_ptxas(build_vecadd(), cache=cache)
+        again = cached_ptxas(build_vecadd(), cache=cache)
+        assert again is kernel  # in-memory layer still works
+        blocked.chmod(0o700)

@@ -1,0 +1,188 @@
+"""Direct unit tests for the CUPTI analog (subscription, counter
+buffers, device hash table) — no instrumentation pipeline involved."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import ptxas
+from repro.sassi.cupti import CounterBuffer, CuptiSubscription, \
+    DeviceHashTable
+from repro.sim import Device
+from repro.sim.memory import GLOBAL_BASE
+
+from tests.conftest import build_vecadd, run_vecadd
+
+
+class _Ctx:
+    """Minimal handler-context stand-in: generic-address device access."""
+
+    def __init__(self, device):
+        self.device = device
+
+    def read_device(self, address, width=4):
+        return self.device.global_mem.read(address - GLOBAL_BASE, width)
+
+    def write_device(self, address, value, width=4):
+        self.device.global_mem.write(address - GLOBAL_BASE, width,
+                                     int(value))
+
+
+class TestCuptiSubscription:
+    def test_launch_before_exit(self):
+        device = Device()
+        subscription = CuptiSubscription(device)
+        events = []
+        subscription.on_kernel_launch(
+            lambda d, k, grid, block: events.append(("launch", k.name)))
+        subscription.on_kernel_exit(
+            lambda d, k, stats: events.append(
+                ("exit", k.name, stats.warp_instructions)))
+        run_vecadd(device, ptxas(build_vecadd()))
+        assert [event[0] for event in events] == ["launch", "exit"]
+        assert events[0][1] == events[1][1] == "vecadd"
+        assert events[1][2] > 0
+
+    def test_subscribers_fire_in_registration_order(self):
+        device = Device()
+        subscription = CuptiSubscription(device)
+        order = []
+        subscription.on_kernel_launch(
+            lambda *args: order.append("first"))
+        subscription.on_kernel_launch(
+            lambda *args: order.append("second"))
+        run_vecadd(device, ptxas(build_vecadd()))
+        assert order == ["first", "second"]
+
+    def test_one_event_pair_per_launch(self):
+        device = Device()
+        subscription = CuptiSubscription(device)
+        events = []
+        subscription.on_kernel_exit(lambda *args: events.append("exit"))
+        kernel = ptxas(build_vecadd())
+        run_vecadd(device, kernel)
+        run_vecadd(device, kernel)
+        assert events == ["exit", "exit"]
+
+
+class TestCounterBuffer:
+    def test_zeroed_on_launch(self):
+        device = Device()
+        buffer = CounterBuffer(CuptiSubscription(device), 4)
+        # dirty the device-side array; the launch hook must clear it
+        device.memcpy_htod(buffer.device_ptr,
+                           np.arange(1, 5, dtype=np.uint64))
+        run_vecadd(device, ptxas(build_vecadd()))
+        assert len(buffer.records) == 1
+        assert (buffer.records[0].counters == 0).all()
+        assert (buffer.totals == 0).all()
+
+    def test_per_kernel_false_preserves_across_launches(self):
+        device = Device()
+        buffer = CounterBuffer(CuptiSubscription(device), 4,
+                               per_kernel=False)
+        values = np.arange(1, 5, dtype=np.uint64)
+        device.memcpy_htod(buffer.device_ptr, values)
+        run_vecadd(device, ptxas(build_vecadd()))
+        assert (buffer.records[0].counters == values).all()
+        assert (buffer.final_totals() == values).all()
+
+    def test_totals_accumulate_per_invocation(self):
+        device = Device()
+        subscription = CuptiSubscription(device)
+        buffer = CounterBuffer(subscription, 2)
+        # emulate a kernel bumping counter 1 by writing after the zero
+        subscription.on_kernel_launch(
+            lambda d, k, grid, block: d.memcpy_htod(
+                buffer.element_ptr(1), np.array([5], dtype=np.uint64)))
+        kernel = ptxas(build_vecadd())
+        run_vecadd(device, kernel)
+        run_vecadd(device, kernel)
+        assert [record.invocation for record in buffer.records] == [0, 1]
+        assert (buffer.totals == np.array([0, 10], dtype=np.uint64)).all()
+
+    def test_element_ptr_strides_by_dtype(self):
+        device = Device()
+        buffer = CounterBuffer(CuptiSubscription(device), 4)
+        assert buffer.element_ptr(3) == buffer.device_ptr + 3 * 8
+
+
+def _slot(key: int, capacity: int) -> int:
+    tagged = int(key) | (1 << 63)
+    return (tagged * 0x9E3779B97F4A7C15 >> 32) % capacity
+
+
+def _colliding_keys(capacity: int, count: int):
+    """Distinct keys whose initial probe slot is identical."""
+    groups = {}
+    for key in range(1, 10_000):
+        groups.setdefault(_slot(key, capacity), []).append(key)
+        if len(groups[_slot(key, capacity)]) >= count:
+            return groups[_slot(key, capacity)][:count]
+    raise AssertionError("no collision group found")
+
+
+class TestDeviceHashTable:
+    def test_find_inserts_then_returns_same_entry(self):
+        device = Device()
+        table = DeviceHashTable(device, capacity=16, num_counters=2)
+        ctx = _Ctx(device)
+        entry = table.find(ctx, 0xBEEF)
+        assert table.find(ctx, 0xBEEF) == entry
+        assert [key for key, _ in table.items()] == [0xBEEF]
+
+    def test_collisions_probe_to_adjacent_slots(self):
+        device = Device()
+        capacity = 8
+        table = DeviceHashTable(device, capacity=capacity, num_counters=1)
+        ctx = _Ctx(device)
+        first, second, third = _colliding_keys(capacity, 3)
+        entries = [table.find(ctx, key) for key in (first, second, third)]
+        assert len(set(entries)) == 3
+        slots = sorted((entry - 8 - table.device_ptr) // table.entry_bytes
+                       for entry in entries)
+        base = _slot(first, capacity)
+        assert slots == sorted((base + probe) % capacity
+                               for probe in range(3))
+        # each key still resolves to its own entry after the collisions
+        for key, entry in zip((first, second, third), entries):
+            assert table.find(ctx, key) == entry
+        assert sorted(key for key, _ in table.items()) \
+            == sorted((first, second, third))
+
+    def test_counters_survive_roundtrip(self):
+        device = Device()
+        table = DeviceHashTable(device, capacity=8, num_counters=3)
+        ctx = _Ctx(device)
+        counters = table.find(ctx, 42)
+        ctx.write_device(table.counter_ptr(counters, 0), 7, 8)
+        ctx.write_device(table.counter_ptr(counters, 2), 9, 8)
+        ((key, values),) = table.items()
+        assert key == 42
+        assert values.tolist() == [7, 0, 9]
+
+    def test_key_zero_distinct_from_empty_slot(self):
+        device = Device()
+        table = DeviceHashTable(device, capacity=8, num_counters=1)
+        ctx = _Ctx(device)
+        entry = table.find(ctx, 0)
+        assert table.find(ctx, 0) == entry
+        assert [key for key, _ in table.items()] == [0]
+
+    def test_full_table_raises(self):
+        device = Device()
+        table = DeviceHashTable(device, capacity=4, num_counters=1)
+        ctx = _Ctx(device)
+        for key in range(1, 5):
+            table.find(ctx, key)
+        with pytest.raises(RuntimeError, match="full"):
+            table.find(ctx, 99)
+
+    def test_clear_empties_the_table(self):
+        device = Device()
+        table = DeviceHashTable(device, capacity=8, num_counters=1)
+        ctx = _Ctx(device)
+        table.find(ctx, 1)
+        table.clear()
+        assert table.items() == []

@@ -1,0 +1,129 @@
+"""Exporters (Chrome trace, JSONL, text summary) and the run manifest."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.backend import ptxas
+from repro.sim import Device
+from repro.telemetry import (
+    TELEMETRY,
+    chrome_trace,
+    jsonl_events,
+    render_summary,
+    run_manifest,
+    span,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+from tests.conftest import build_vecadd, run_vecadd
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+    yield
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+
+
+@pytest.fixture
+def populated():
+    TELEMETRY.enable(reset=True)
+    kernel = ptxas(build_vecadd())
+    with span("run", workload="vecadd"):
+        run_vecadd(Device(), kernel)
+    TELEMETRY.disable()
+    return TELEMETRY
+
+
+class TestChromeTrace:
+    def test_document_round_trips_through_json(self, populated, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), populated)
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+
+    def test_span_events_are_normalized_and_complete(self, populated):
+        doc = chrome_trace(populated)
+        xevents = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in xevents}
+        assert {"run", "launch"} <= names
+        for event in xevents:
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert event["cat"] == "repro"
+        run_event = next(e for e in xevents if e["name"] == "run")
+        assert run_event["ts"] == 0  # normalized to its root's start
+        assert run_event["args"]["workload"] == "vecadd"
+
+    def test_counter_event_carries_totals(self, populated):
+        doc = chrome_trace(populated)
+        counter_event = next(e for e in doc["traceEvents"]
+                             if e["ph"] == "C")
+        assert counter_event["args"] \
+            == {k: int(v) for k, v in populated.counters.items()}
+
+    def test_metadata_is_the_manifest(self, populated):
+        manifest = run_manifest(seed=7, extra={"command": "test"})
+        doc = chrome_trace(populated, manifest=manifest)
+        assert doc["metadata"]["seed"] == 7
+        assert doc["metadata"]["command"] == "test"
+
+
+class TestJsonl:
+    def test_every_line_parses(self, populated, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_jsonl(str(path), populated)
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["type"] == "manifest"
+        kinds = {record["type"] for record in records}
+        assert {"manifest", "span", "counter"} <= kinds
+
+    def test_counter_records_match_totals(self, populated):
+        records = jsonl_events(populated)
+        counters = {r["name"]: r["value"] for r in records
+                    if r["type"] == "counter"}
+        assert counters == {k: int(v)
+                            for k, v in populated.counters.items()}
+
+
+class TestSummary:
+    def test_lists_spans_and_counters(self, populated):
+        text = render_summary(populated)
+        assert "spans (count / total s / self s):" in text
+        assert "run" in text and "launch" in text
+        assert "instr.float" in text
+
+    def test_counter_lines_are_parseable(self, populated):
+        text = render_summary(populated)
+        parsed = {}
+        for line in text.splitlines():
+            parts = line.split()
+            if len(parts) == 2 and parts[0].startswith(("instr.", "sassi.",
+                                                        "divergence.")):
+                parsed[parts[0]] = int(parts[1])
+        for key, value in populated.counters.items():
+            if key.startswith("instr."):
+                assert parsed[key] == value
+
+    def test_empty_telemetry_says_so(self):
+        assert "no data" in render_summary(TELEMETRY)
+
+
+class TestManifest:
+    def test_fields(self):
+        manifest = run_manifest(seed=2015, spec_fingerprint="abc")
+        assert manifest["schema"] == 1
+        assert manifest["seed"] == 2015
+        assert manifest["spec_fingerprint"] == "abc"
+        assert isinstance(manifest["python"], str)
+        assert isinstance(manifest["argv"], list)
+        assert manifest["git_rev"] is None \
+            or len(manifest["git_rev"]) == 40
+        json.dumps(manifest)  # must be JSON-serializable

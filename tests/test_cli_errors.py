@@ -1,0 +1,151 @@
+"""CLI exit codes, one-line diagnostics, and the telemetry flags."""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.kernelir.ptxtext import emit_ptx
+from repro.telemetry import TELEMETRY
+
+from tests.conftest import build_vecadd
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+    yield
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+
+
+@pytest.fixture
+def ptx_file(tmp_path):
+    path = tmp_path / "vecadd.ptx"
+    path.write_text(emit_ptx(build_vecadd()))
+    return str(path)
+
+
+def _one_line_error(capsys) -> str:
+    err = capsys.readouterr().err
+    lines = [line for line in err.splitlines() if line]
+    assert len(lines) == 1, f"expected one diagnostic line, got: {err!r}"
+    assert lines[0].startswith("repro: ")
+    assert "Traceback" not in err
+    return lines[0]
+
+
+class TestErrorExits:
+    def test_unknown_workload(self, capsys):
+        assert main(["run", "no/such(workload)"]) == 2
+        assert "no/such(workload)" in _one_line_error(capsys)
+
+    def test_unknown_workload_via_workloads_run(self, capsys):
+        assert main(["workloads", "--run", "nope"]) == 2
+        assert "nope" in _one_line_error(capsys)
+
+    def test_malformed_sassi_flags(self, ptx_file, capsys):
+        assert main(["compile", ptx_file,
+                     "--sassi=-sassi-bogus=wat"]) == 2
+        assert "bad --sassi flags" in _one_line_error(capsys)
+
+    def test_missing_input_file(self, capsys):
+        assert main(["compile", "/no/such/file.ptx"]) == 2
+        assert "cannot read" in _one_line_error(capsys)
+
+    def test_unparseable_input_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ptx"
+        bad.write_text("this is not ptx\n")
+        assert main(["compile", str(bad)]) == 2
+        assert "cannot parse" in _one_line_error(capsys)
+
+    def test_unwritable_trace_path(self, capsys):
+        assert main(["run", "vectoradd",
+                     "--trace", "/no-such-dir-xyz/out.json"]) == 2
+        message = _one_line_error(capsys)
+        assert "cannot write" in message
+        # failed before doing any work: nothing was recorded
+        assert TELEMETRY.counters == {}
+
+    def test_unwritable_trace_path_on_run_all(self, capsys):
+        assert main(["run-all", "--quick",
+                     "--trace", "/no-such-dir-xyz/out.json"]) == 2
+        assert "cannot write" in _one_line_error(capsys)
+
+    def test_trace_subcommand_on_missing_file(self, capsys):
+        assert main(["trace", "/no/such/trace.json"]) == 2
+        assert "cannot read" in _one_line_error(capsys)
+
+    def test_trace_subcommand_on_invalid_json(self, tmp_path, capsys):
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        assert main(["trace", str(garbage)]) == 2
+        assert "not valid trace JSON" in _one_line_error(capsys)
+
+    def test_trace_subcommand_on_wrong_schema(self, tmp_path, capsys):
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text("[1, 2, 3]")
+        assert main(["trace", str(wrong)]) == 2
+        assert "traceEvents" in _one_line_error(capsys)
+
+
+class TestRunWithTelemetry:
+    def test_metrics_and_trace_match_kernel_stats(self, tmp_path, capsys):
+        """Acceptance path: ``repro run vectoradd --metrics --trace``
+        emits a valid Chrome trace and a summary whose per-opcode-class
+        counts sum to the executor's reported warp instructions."""
+        trace_path = tmp_path / "out.json"
+        assert main(["run", "vectoradd", "--metrics",
+                     "--trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "vectoradd: ok" in out
+
+        match = re.search(r"\(([\d,]+) warp instructions", out)
+        reported = int(match.group(1).replace(",", ""))
+
+        doc = json.loads(trace_path.read_text())
+        names = {event["name"] for event in doc["traceEvents"]
+                 if event.get("ph") == "X"}
+        assert {"run", "compile", "execute", "launch"} <= names
+        counter_event = next(event for event in doc["traceEvents"]
+                             if event.get("ph") == "C")
+        instr = {key: value
+                 for key, value in counter_event["args"].items()
+                 if key.startswith("instr.")}
+        assert sum(instr.values()) == reported
+
+        # the --metrics text summary shows the same counters
+        summary_counts = {}
+        for line in out.splitlines():
+            parts = line.split()
+            if len(parts) == 2 and parts[0].startswith("instr."):
+                summary_counts[parts[0]] = int(parts[1])
+        assert summary_counts == instr
+
+    def test_jsonl_export(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        assert main(["run", "vectoradd", "--jsonl", str(path)]) == 0
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert records[0]["type"] == "manifest"
+        assert records[0]["workload"] == "vectoradd"
+        assert any(record["type"] == "span" for record in records)
+
+    def test_trace_subcommand_reads_back_run_output(self, tmp_path,
+                                                    capsys):
+        trace_path = tmp_path / "out.json"
+        assert main(["run", "vectoradd", "--trace",
+                     str(trace_path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out and "launch" in out
+        assert "manifest:" in out
+
+    def test_run_leaves_telemetry_disabled(self, tmp_path):
+        assert main(["run", "vectoradd"]) == 0
+        assert not TELEMETRY.enabled
