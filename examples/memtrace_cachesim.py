@@ -28,10 +28,11 @@ def collect_trace(name: str):
     return tracer
 
 
-def main():
-    tracer = collect_trace("parboil/spmv(small)")
-    accesses = sum(len(r.line_addresses) for r in tracer.trace)
-    print(f"collected {len(tracer.trace):,} warp accesses "
+def main(workload: str = "parboil/spmv(small)"):
+    tracer = collect_trace(workload)
+    manifest = tracer.flush()
+    accesses = sum(len(r.line_addresses) for r in tracer.records())
+    print(f"collected {manifest.total_events:,} warp accesses "
           f"({accesses:,} line transactions)\n")
 
     for config_name, size_kib, ways in (("small L1", 8, 2),

@@ -7,7 +7,11 @@ Subcommands::
     python -m repro.cli workloads [--run NAME]         # list / verify
     python -m repro.cli run      NAME [--metrics] [--trace FILE]
                                  [--jsonl FILE]
-    python -m repro.cli trace    trace.json            # inspect a trace
+    python -m repro.cli timeline trace.json   # inspect a Chrome trace
+    python -m repro.cli capture  NAME [-o FILE] [--all-spaces]
+    python -m repro.cli replay   trace.rptrace [--analysis a,b,...]
+    python -m repro.cli trace-info trace.rptrace
+    python -m repro.cli trace-diff a.rptrace b.rptrace [--max-deltas N]
     python -m repro.cli study    table1|figure7|table2|table3|figure10
                                  [--jobs N] [--no-cache] [--metrics]
                                  [--trace FILE]
@@ -23,7 +27,13 @@ the output is inspectable), and prints/writes the SASS listing.
 ``run`` executes one workload with telemetry enabled: ``--trace`` writes
 a Chrome ``trace_event`` JSON (open in ``chrome://tracing``/Perfetto),
 ``--jsonl`` a flat event stream, ``--metrics`` prints the span/counter
-summary.  ``trace`` summarizes a previously written Chrome trace.
+summary.  ``timeline`` summarizes a previously written Chrome trace
+(``trace`` is kept as a deprecated alias for one release).
+
+``capture``/``replay``/``trace-info``/``trace-diff`` drive the binary
+event-trace subsystem (:mod:`repro.trace`): record one instrumented run
+to an ``.rptrace`` file, then answer many questions offline —
+``trace-diff`` exits 1 when the traces differ, like ``diff``.
 
 Usage errors (unknown workload, malformed flags, unwritable paths) exit
 with status 2 and a one-line ``repro: ...`` message — never a traceback.
@@ -193,9 +203,13 @@ def _cmd_run(args) -> int:
     return 0 if ok else 1
 
 
-def _cmd_trace(args) -> int:
+def _cmd_timeline(args) -> int:
     import json
 
+    if args.command == "trace":
+        print("repro: `trace` is deprecated; use `repro timeline` "
+              "(the name now refers to binary event traces — see "
+              "`repro capture`)", file=sys.stderr)
     try:
         with open(args.input) as handle:
             doc = json.load(handle)
@@ -231,6 +245,91 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _default_trace_path(workload: str) -> str:
+    safe = "".join(c if c.isalnum() or c in "-_." else "_"
+                   for c in workload)
+    return f"{safe}.rptrace"
+
+
+def _cmd_capture(args) -> int:
+    from repro.trace import capture_workload
+
+    output = args.output or _default_trace_path(args.name)
+    _check_writable(output)
+    # fail on unknown workloads before the (long) instrumented run
+    _make_workload(args.name)
+    manifest, verified, wall = capture_workload(
+        args.name, output, global_only=not args.all_spaces)
+    counts = ", ".join(f"{kind}={count:,}" for kind, count
+                       in sorted(manifest.kind_counts().items()))
+    print(f"{output}: {manifest.total_events:,} events ({counts}) "
+          f"in {wall:.2f}s, workload "
+          f"{'verified' if verified else 'WRONG RESULT'}")
+    return 0 if verified else 1
+
+
+def _open_trace_or_die(path: str):
+    from repro.trace import TraceReader
+
+    if not os.path.exists(path):
+        raise CliError(f"cannot read {path}: no such file")
+    return TraceReader(path)
+
+
+def _cmd_replay(args) -> int:
+    from repro.trace import ANALYSES, TraceFormatError, make_analysis, \
+        replay
+
+    reader = _open_trace_or_die(args.input)
+    names = [n.strip() for n in args.analysis.split(",") if n.strip()] \
+        if args.analysis else sorted(ANALYSES)
+    try:
+        analyses = [make_analysis(name) for name in names]
+    except KeyError as exc:
+        raise CliError(str(exc.args[0]))
+    try:
+        start = time.perf_counter()
+        replay(reader, analyses)
+        elapsed = time.perf_counter() - start
+    except TraceFormatError as exc:
+        raise CliError(f"{args.input}: {exc}")
+    for analysis in analyses:
+        print(analysis.report())
+    print(f"replayed {args.input} in {elapsed:.2f}s", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace_info(args) -> int:
+    from repro.trace import TraceFormatError
+
+    reader = _open_trace_or_die(args.input)
+    try:
+        manifest = reader.manifest()
+    except TraceFormatError as exc:
+        raise CliError(f"{args.input}: {exc}")
+    size = os.path.getsize(args.input)
+    print(f"{args.input}: rptrace v{manifest.version}, "
+          f"{size:,} bytes, {manifest.total_events:,} events, "
+          f"checksum 0x{manifest.checksum:08x}")
+    for kind, count in sorted(manifest.kind_counts().items()):
+        print(f"  {kind:<12} {count:>12,}")
+    return 0
+
+
+def _cmd_trace_diff(args) -> int:
+    from repro.trace import TraceFormatError, diff_traces
+
+    for path in (args.a, args.b):
+        if not os.path.exists(path):
+            raise CliError(f"cannot read {path}: no such file")
+    try:
+        diff = diff_traces(args.a, args.b, max_deltas=args.max_deltas)
+    except TraceFormatError as exc:
+        raise CliError(str(exc))
+    print(diff.report())
+    return 0 if diff.identical else 1
+
+
 _STUDIES = {
     "table1": ("repro.studies.casestudy1", "main"),
     "figure7": ("repro.studies.casestudy2", "main"),
@@ -238,6 +337,7 @@ _STUDIES = {
     "table2": ("repro.studies.casestudy3", "main"),
     "table3": ("repro.studies.overhead", "main"),
     "figure10": ("repro.studies.casestudy4", "main"),
+    "tracereplay": ("repro.studies.tracereplay", "main"),
 }
 
 
@@ -325,10 +425,46 @@ def main(argv=None) -> int:
     _add_telemetry_flags(run_parser, jsonl=True)
     run_parser.set_defaults(fn=_cmd_run)
 
-    trace_parser = sub.add_parser(
-        "trace", help="summarize a Chrome trace file")
-    trace_parser.add_argument("input")
-    trace_parser.set_defaults(fn=_cmd_trace)
+    timeline_parser = sub.add_parser(
+        "timeline", aliases=["trace"],
+        help="summarize a Chrome trace file (`trace` alias deprecated)")
+    timeline_parser.add_argument("input")
+    timeline_parser.set_defaults(fn=_cmd_timeline)
+
+    capture_parser = sub.add_parser(
+        "capture", help="record a workload's binary event trace")
+    capture_parser.add_argument("name",
+                                help="workload name (see `workloads`)")
+    capture_parser.add_argument("-o", "--output", default=None,
+                                metavar="FILE",
+                                help="output .rptrace path "
+                                     "(default: <workload>.rptrace)")
+    capture_parser.add_argument("--all-spaces", action="store_true",
+                                help="record shared/local accesses too, "
+                                     "not just global memory")
+    capture_parser.set_defaults(fn=_cmd_capture)
+
+    replay_parser = sub.add_parser(
+        "replay", help="run offline analyses over a recorded trace")
+    replay_parser.add_argument("input", help=".rptrace file")
+    replay_parser.add_argument("--analysis", default=None,
+                               metavar="A,B,...",
+                               help="comma-separated analyses "
+                                    "(default: all registered)")
+    replay_parser.set_defaults(fn=_cmd_replay)
+
+    info_parser = sub.add_parser(
+        "trace-info", help="print a trace's manifest (no replay)")
+    info_parser.add_argument("input", help=".rptrace file")
+    info_parser.set_defaults(fn=_cmd_trace_info)
+
+    diff_parser = sub.add_parser(
+        "trace-diff", help="find where two traces first diverge")
+    diff_parser.add_argument("a", help="baseline .rptrace")
+    diff_parser.add_argument("b", help="comparison .rptrace")
+    diff_parser.add_argument("--max-deltas", type=int, default=100_000,
+                             help="stop counting differences after N")
+    diff_parser.set_defaults(fn=_cmd_trace_diff)
 
     study_parser = sub.add_parser("study", help="regenerate a result")
     study_parser.add_argument("which", choices=sorted(_STUDIES))

@@ -25,13 +25,16 @@ of error messages on stderr); potential SDCs split into stdout-only
 from __future__ import annotations
 
 import enum
+import os
+import tempfile
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.campaign.compile_cache import CompileCache, get_cache
+from repro.campaign.compile_cache import CACHE_DIR_ENV, CompileCache, \
+    get_cache
 from repro.campaign.engine import run_tasks, trial_rng
 from repro.sassi import SassiRuntime, spec_from_flags
 from repro.sassi.cupti import CounterBuffer, CuptiSubscription
@@ -44,6 +47,23 @@ PROFILE_FLAGS = ("-sassi-inst-after=reg-writes,memory "
 INJECT_FLAGS = ("-sassi-inst-after=reg-writes,memory "
                 "-sassi-after-args=reg-info,mem-info "
                 "-sassi-writeback-regs")
+#: injection plus a full before-site trace capture in the same run.
+#: The extra before sites never change the after-site event numbering
+#: (after sites exclude control transfers and marshal the same frames),
+#: so traced trials hit the identical injection site as untraced ones.
+TRACED_INJECT_FLAGS = ("-sassi-inst-before=all "
+                       "-sassi-before-args=mem-info,cond-branch-info "
+                       + INJECT_FLAGS)
+
+
+def default_trace_dir(workload_name: str) -> str:
+    """Per-workload sidecar directory under the campaign cache layout
+    (``$REPRO_CACHE_DIR/traces/<workload>`` when the cache dir is set)."""
+    root = os.environ.get(CACHE_DIR_ENV) or os.path.join(
+        tempfile.gettempdir(), "repro-cache")
+    safe = "".join(c if c.isalnum() or c in "-_." else "_"
+                   for c in workload_name)
+    return os.path.join(root, "traces", safe)
 
 
 class InjectionOutcome(enum.Enum):
@@ -164,12 +184,17 @@ class ErrorInjectionCampaign:
 
     def __init__(self, workload, num_injections: int = 100,
                  seed: int = 2015, workload_name: Optional[str] = None,
-                 use_cache: bool = True):
+                 use_cache: bool = True,
+                 trace_dir: Optional[str] = None):
         self.workload = workload
         self.num_injections = num_injections
         self.seed = seed
         self.workload_name = workload_name
         self.use_cache = use_cache
+        #: when set, every trial writes a full event-trace sidecar to
+        #: ``<trace_dir>/seed<seed>-trial<index>.rptrace`` (see
+        #: ``repro trace-diff`` for comparing them across seeds)
+        self.trace_dir = trace_dir
         self._golden: Optional[np.ndarray] = None
         self.total_events = 0
 
@@ -205,8 +230,16 @@ class ErrorInjectionCampaign:
         return self.total_events
 
     def inject_once(self, target_event: int, dst_seed: int,
-                    bit_seed: int) -> InjectionRecord:
-        """Step 3: one injection run, classified against the golden."""
+                    bit_seed: int,
+                    trace_path: Optional[str] = None) -> InjectionRecord:
+        """Step 3: one injection run, classified against the golden.
+
+        With *trace_path*, the run also streams a full event-trace
+        sidecar (before-site capture piggybacked on the injection
+        runtime).  The writer is finalized even when the trial crashes
+        or hangs, so every sidecar is a valid, diffable ``.rptrace``
+        covering everything up to the fault.
+        """
         if self._golden is None:
             self.golden_run()
         device = Device()
@@ -216,8 +249,18 @@ class ErrorInjectionCampaign:
                                     bit_seed)
         runtime = SassiRuntime(device, poison_caller_saved=False)
         runtime.register_after_handler(handler)
+        writer = None
+        if trace_path is not None:
+            from repro.trace.capture import TraceRecorder
+            from repro.trace.io import TraceWriter
+
+            writer = TraceWriter(trace_path)
+            TraceRecorder(device, writer, runtime=runtime)
+            flags = TRACED_INJECT_FLAGS
+        else:
+            flags = INJECT_FLAGS
         kernel = runtime.compile(self.workload.build_ir(),
-                                 spec_from_flags(INJECT_FLAGS),
+                                 spec_from_flags(flags),
                                  cache=self._cache)
         try:
             output = self.workload.execute(device, kernel)
@@ -227,6 +270,9 @@ class ErrorInjectionCampaign:
         except DeviceFault:
             return InjectionRecord(target_event, InjectionOutcome.CRASH,
                                    bit_seed % 32, handler.injected or "")
+        finally:
+            if writer is not None:
+                writer.close()
         outcome = self._classify(output)
         return InjectionRecord(target_event, outcome, bit_seed % 32,
                                handler.injected or "")
@@ -281,7 +327,14 @@ class ErrorInjectionCampaign:
         target = int(rng.integers(0, self.total_events))
         dst_seed = int(rng.integers(0, 1 << 16))
         bit_seed = int(rng.integers(0, 1 << 16))
-        return self.inject_once(target, dst_seed, bit_seed)
+        return self.inject_once(target, dst_seed, bit_seed,
+                                trace_path=self.trial_trace_path(index))
+
+    def trial_trace_path(self, index: int) -> Optional[str]:
+        if self.trace_dir is None:
+            return None
+        return os.path.join(self.trace_dir,
+                            f"seed{self.seed}-trial{index:05d}.rptrace")
 
     def run(self, num_injections: Optional[int] = None,
             jobs: int = 1) -> CampaignResult:
@@ -292,8 +345,11 @@ class ErrorInjectionCampaign:
                                                  "workload"))
         if total == 0:
             return result
+        if self.trace_dir is not None:
+            os.makedirs(self.trace_dir, exist_ok=True)
         if jobs > 1 and self.workload_name:
-            tasks = [(self.workload_name, self.seed, k, self.use_cache)
+            tasks = [(self.workload_name, self.seed, k, self.use_cache,
+                      self.trace_dir)
                      for k in range(count)]
             chunk = max(1, count // (4 * jobs))
             result.records.extend(
@@ -314,7 +370,9 @@ _WORKER_CAMPAIGNS: Dict[tuple, "ErrorInjectionCampaign"] = {}
 
 
 def _campaign_trial(task) -> InjectionRecord:
-    workload_name, seed, index, use_cache = task
+    # older callers may still ship 4-tuples without a trace_dir
+    workload_name, seed, index, use_cache = task[:4]
+    trace_dir = task[4] if len(task) > 4 else None
     key = (workload_name, use_cache)
     campaign = _WORKER_CAMPAIGNS.get(key)
     if campaign is None:
@@ -327,4 +385,5 @@ def _campaign_trial(task) -> InjectionRecord:
         campaign.profile()
         _WORKER_CAMPAIGNS[key] = campaign
     campaign.seed = seed
+    campaign.trace_dir = trace_dir
     return campaign.trial(index)

@@ -5,26 +5,40 @@ simulators.
 then be processed by separate tools.  For instance, a memory trace
 collected by SASSI can be used to drive a memory hierarchy simulator."
 
-The tracer records, per warp memory access: the instruction address, the
-access kind, and the coalesced 32-byte line addresses.  The
+The tracer streams, per warp memory access: the instruction address,
+the access kind, and the coalesced 32-byte line addresses.  Records go
+straight to a :class:`~repro.trace.io.TraceWriter` (bounded host
+memory, any trace length), so the resulting ``.rptrace`` file can also
+be fed to ``repro replay`` / :func:`repro.trace.replay`.  The
 ``examples/memtrace_cachesim.py`` example replays such a trace through
 the :mod:`repro.sim.cache` models offline.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
+import warnings
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.sassi import SassiRuntime, spec_from_flags
 from repro.sassi.handlers import SASSIContext
 from repro.sim.coalescer import OFFSET_BITS
 from repro.sim.memory import is_global
+from repro.trace.format import (
+    MEM_FLAG_ATOMIC,
+    MEM_FLAG_LOAD,
+    MEM_FLAG_STORE,
+    MemEvent,
+)
+from repro.trace.io import TraceReader, TraceWriter
 
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One warp-level memory access."""
+    """One warp-level memory access (host-side view of a
+    :class:`~repro.trace.format.MemEvent`)."""
 
     ins_addr: int
     is_load: bool
@@ -33,16 +47,36 @@ class TraceRecord:
 
 
 class MemoryTracer:
-    """Attachable trace collector (host-side buffer, as a CPU-side
+    """Attachable trace collector (streaming to disk, as a CPU-side
     trace consumer per the paper's heterogeneous-instrumentation
-    prototype)."""
+    prototype).
+
+    Pass *path* to keep the ``.rptrace`` file; otherwise records stream
+    to an unlinked-on-collection temp file.  Iterate with
+    :meth:`records` (constant memory) or replay directly with
+    :meth:`replay_through`.  The old grow-forever ``.trace`` list is
+    kept as a deprecated shim that materializes the file's records.
+    """
 
     FLAGS = "-sassi-inst-before=memory -sassi-before-args=mem-info"
 
-    def __init__(self, device, global_only: bool = True):
+    def __init__(self, device, global_only: bool = True,
+                 path: Optional[str] = None,
+                 buffer_bytes: int = 256 * 1024):
         self.device = device
         self.global_only = global_only
-        self.trace: List[TraceRecord] = []
+        if path is None:
+            fd, path = tempfile.mkstemp(suffix=".rptrace",
+                                        prefix="memtrace-")
+            os.close(fd)
+            self._owns_file = True
+        else:
+            self._owns_file = False
+        self.path = path
+        self._writer: Optional[TraceWriter] = TraceWriter(
+            path, buffer_bytes=buffer_bytes)
+        self._manifest = None
+        self._trace_cache: Optional[List[TraceRecord]] = None
         self.runtime = SassiRuntime(device)
         self.runtime.register_before_handler(self.handler)
         self.spec = spec_from_flags(self.FLAGS)
@@ -69,15 +103,77 @@ class MemoryTracer:
             if line not in seen:
                 seen.add(line)
                 lines.append(line)
-        self.trace.append(TraceRecord(
+        mp = ctx.mp
+        flags = 0
+        if mp.IsLoad():
+            flags |= MEM_FLAG_LOAD
+        if mp.IsStore():
+            flags |= MEM_FLAG_STORE
+        if mp.IsAtomic():
+            flags |= MEM_FLAG_ATOMIC
+        self._trace_cache = None
+        self._writer.write(MemEvent(
             ins_addr=ctx.bp.GetInsAddr(),
-            is_load=ctx.mp.IsLoad(),
-            line_addresses=tuple(lines),
+            flags=flags,
+            width=mp.GetWidth(),
             active_lanes=len(lanes),
+            line_addresses=tuple(lines),
         ))
+
+    # ------------------------------------------------------- host side
+
+    def flush(self):
+        """Finalize the trace file (idempotent).  Returns the
+        :class:`~repro.trace.format.TraceManifest`.  Recording more
+        accesses after this raises."""
+        if self._writer is not None:
+            self._manifest = self._writer.close()
+            self._writer = None
+        return self._manifest
+
+    def records(self) -> Iterator[TraceRecord]:
+        """Stream the collected accesses back (constant memory)."""
+        self.flush()
+        for event in TraceReader(self.path).events():
+            if isinstance(event, MemEvent):
+                yield TraceRecord(
+                    ins_addr=event.ins_addr,
+                    is_load=event.is_load,
+                    line_addresses=event.line_addresses,
+                    active_lanes=event.active_lanes,
+                )
+
+    @property
+    def trace(self) -> List[TraceRecord]:
+        """Deprecated: the whole trace as an in-memory list.
+
+        Use :meth:`records` (streaming) or :meth:`replay_through`
+        instead; this shim exists only for pre-``repro.trace`` callers
+        and materializes every record at once.
+        """
+        warnings.warn(
+            "MemoryTracer.trace materializes the full trace in memory; "
+            "use MemoryTracer.records() or replay_through() instead",
+            DeprecationWarning, stacklevel=2)
+        if self._trace_cache is None:
+            self._trace_cache = list(self.records())
+        return self._trace_cache
 
     def replay_through(self, cache) -> None:
         """Feed the collected line addresses to a cache model."""
-        for record in self.trace:
+        for record in self.records():
             for line in record.line_addresses:
                 cache.access(line)
+
+    def close(self) -> None:
+        """Finalize, and remove the backing file if we created it."""
+        self.flush()
+        if self._owns_file and os.path.exists(self.path):
+            os.unlink(self.path)
+            self._owns_file = False
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass

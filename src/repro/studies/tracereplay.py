@@ -1,0 +1,160 @@
+"""Record/replay driver: trace capture cost and replay-many payoff.
+
+The Section 9.4 pitch quantified: recording one fully instrumented run
+(every instruction site, memory and branch details marshaled) costs a
+one-time slowdown, after which every additional analysis — cache
+simulation, branch divergence, memory divergence, opcode histograms —
+runs from the trace at replay speed instead of re-executing the
+instrumented simulator.
+
+For each benchmark the study reports:
+
+* ``record`` — wall time of the capture run and its ratio over the
+  uninstrumented run (the record-overhead column);
+* ``live 4x`` — total wall time of the four live-instrumented runs the
+  replay replaces (one per analysis, the pre-``repro.trace`` workflow);
+* ``replay`` — one streaming pass feeding all four analyses, and the
+  resulting replay-vs-live speedup.
+
+Replay results are exactly equal to the live ones (the trace tests
+hold them bit-identical), so the speedup column is a true
+like-for-like comparison.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.backend import ptxas
+from repro.campaign.compile_cache import cached_ptxas, get_cache
+from repro.campaign.engine import map_workloads
+from repro.handlers.branch_profiler import BranchProfiler
+from repro.handlers.memory_divergence import MemoryDivergenceProfiler
+from repro.handlers.memtrace import MemoryTracer
+from repro.handlers.opcode_histogram import OpcodeHistogram
+from repro.sim import Device
+from repro.studies.report import table
+from repro.telemetry import span as telemetry_span
+from repro.trace.capture import capture_workload
+from repro.trace.replay import (
+    CacheSimAnalysis,
+    DivergenceAnalysis,
+    MemoryDivergenceAnalysis,
+    OpcodeHistogramAnalysis,
+    replay,
+)
+from repro.workloads import make
+
+#: benchmarks for the record/replay table (small, medium, divergent)
+BENCHMARKS = ("vectoradd", "parboil/sgemm(small)", "rodinia/pathfinder")
+
+#: the four live profilers one trace replaces
+_LIVE_PROFILERS = (OpcodeHistogram, BranchProfiler,
+                   MemoryDivergenceProfiler, MemoryTracer)
+
+
+@dataclass
+class ReplayRow:
+    benchmark: str
+    events: int
+    trace_bytes: int
+    baseline_wall: float
+    record_wall: float
+    live_wall: float     # four live-instrumented runs, summed
+    replay_wall: float   # one pass, all four analyses
+
+    @property
+    def record_overhead(self) -> float:
+        return self.record_wall / max(self.baseline_wall, 1e-9)
+
+    @property
+    def replay_speedup(self) -> float:
+        return self.live_wall / max(self.replay_wall, 1e-9)
+
+
+def measure_workload(name: str, use_cache: bool = True) -> ReplayRow:
+    cache = get_cache() if use_cache else None
+    with telemetry_span("tracereplay", workload=name):
+        workload = make(name)
+        device = Device()
+        ir = workload.build_ir()
+        kernel = cached_ptxas(ir, cache=cache) if use_cache else ptxas(ir)
+        start = time.perf_counter()
+        workload.execute(device, kernel)
+        baseline_wall = time.perf_counter() - start
+
+        fd, path = tempfile.mkstemp(suffix=".rptrace",
+                                    prefix="tracereplay-")
+        os.close(fd)
+        try:
+            manifest, _, record_wall = capture_workload(name, path,
+                                                        cache=cache)
+            trace_bytes = os.path.getsize(path)
+
+            live_wall = 0.0
+            for profiler_cls in _LIVE_PROFILERS:
+                live_workload = make(name)
+                live_device = Device()
+                profiler = profiler_cls(live_device)
+                live_kernel = profiler.compile(live_workload.build_ir(),
+                                               cache=cache)
+                start = time.perf_counter()
+                live_workload.execute(live_device, live_kernel)
+                live_wall += time.perf_counter() - start
+                if profiler_cls is MemoryTracer:
+                    profiler.close()
+
+            start = time.perf_counter()
+            replay(path, [CacheSimAnalysis(), DivergenceAnalysis(),
+                          MemoryDivergenceAnalysis(),
+                          OpcodeHistogramAnalysis()])
+            replay_wall = time.perf_counter() - start
+        finally:
+            if os.path.exists(path):
+                os.unlink(path)
+    return ReplayRow(benchmark=name, events=manifest.total_events,
+                     trace_bytes=trace_bytes,
+                     baseline_wall=baseline_wall,
+                     record_wall=record_wall, live_wall=live_wall,
+                     replay_wall=replay_wall)
+
+
+def run(benchmarks: Optional[Sequence[str]] = None, jobs: int = 1,
+        use_cache: bool = True) -> List[ReplayRow]:
+    names = list(benchmarks or BENCHMARKS)
+    return map_workloads("repro.studies.tracereplay", "measure_workload",
+                         names, jobs=jobs, use_cache=use_cache)
+
+
+def render(rows: List[ReplayRow]) -> str:
+    headers = ["Benchmark", "events", "trace KiB", "record",
+               "record ovh", "live 4x", "replay", "speedup"]
+    body = []
+    for row in rows:
+        body.append([
+            row.benchmark,
+            f"{row.events:,}",
+            f"{row.trace_bytes / 1024:.1f}",
+            f"{row.record_wall:.2f}s",
+            f"{row.record_overhead:.1f}x",
+            f"{row.live_wall:.2f}s",
+            f"{row.replay_wall:.3f}s",
+            f"{row.replay_speedup:.0f}x",
+        ])
+    return table(headers, body,
+                 title="Record/replay: capture overhead vs replaying "
+                       "four analyses from one trace (live 4x = four "
+                       "live-instrumented runs the replay replaces)")
+
+
+def main(benchmarks: Optional[Sequence[str]] = None, jobs: int = 1,
+         use_cache: bool = True) -> str:
+    return render(run(benchmarks, jobs=jobs, use_cache=use_cache))
+
+
+if __name__ == "__main__":
+    print(main())

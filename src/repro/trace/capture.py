@@ -1,0 +1,164 @@
+"""Trace capture: a SASSI before-handler that streams events to disk.
+
+:class:`TraceRecorder` rides the existing handler machinery — it is
+"just another handler" registered with a :class:`SassiRuntime`, exactly
+like the case-study profilers, plus launch/exit callbacks (the CUPTI
+analog) for kernel framing.  Every instrumented site emits an
+:class:`~repro.trace.format.InstrEvent`; memory sites add a
+:class:`~repro.trace.format.MemEvent` with coalesced 32-byte line
+addresses; conditional branches add a
+:class:`~repro.trace.format.BranchEvent`.  One recorded run therefore
+feeds *all* the replay analyses in :mod:`repro.trace.replay`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.isa.program import INSTRUCTION_BYTES
+from repro.sassi import SassiRuntime, spec_from_flags
+from repro.sassi.handlers import SASSIContext
+from repro.sim.coalescer import OFFSET_BITS
+from repro.sim.memory import is_global
+from repro.telemetry.collector import span as telemetry_span
+from repro.trace.format import (
+    BranchEvent,
+    InstrEvent,
+    KernelEndEvent,
+    LaunchEvent,
+    MEM_FLAG_ATOMIC,
+    MEM_FLAG_LOAD,
+    MEM_FLAG_STORE,
+    MemEvent,
+)
+from repro.trace.io import TraceWriter
+
+#: the capture spec: every instruction, with memory and branch details
+CAPTURE_FLAGS = ("-sassi-inst-before=all "
+                 "-sassi-before-args=mem-info,cond-branch-info")
+
+
+class TraceRecorder:
+    """Attachable trace capture (the record half of record/replay).
+
+    Pass an existing *runtime* to piggyback capture onto another
+    instrumentation (the error-injection campaign does this for its
+    per-trial trace sidecars); otherwise the recorder owns a fresh
+    :class:`SassiRuntime` and ``compile`` works like every other
+    attachable profiler in :mod:`repro.handlers`.
+    """
+
+    def __init__(self, device, writer: TraceWriter,
+                 runtime: Optional[SassiRuntime] = None,
+                 global_only: bool = True):
+        self.device = device
+        self.writer = writer
+        self.global_only = global_only
+        self.runtime = runtime or SassiRuntime(device)
+        self.runtime.register_before_handler(self.handler)
+        self.spec = spec_from_flags(CAPTURE_FLAGS)
+        self._launch_index = 0
+        device.on_kernel_launch(self._on_launch)
+        device.on_kernel_exit(self._on_exit)
+
+    def compile(self, kernel_ir, cache=None):
+        return self.runtime.compile(kernel_ir, self.spec, cache=cache)
+
+    # -------------------------------------------------------- framing
+
+    def _on_launch(self, device, kernel, grid, block) -> None:
+        self.writer.write(LaunchEvent(
+            kernel=kernel.name,
+            grid=(grid.x, grid.y, grid.z),
+            block=(block.x, block.y, block.z),
+            launch_index=self._launch_index))
+        self._launch_index += 1
+
+    def _on_exit(self, device, kernel, stats) -> None:
+        self.writer.write(KernelEndEvent(
+            warp_instructions=stats.warp_instructions))
+
+    # -------------------------------------------------------- handler
+
+    def handler(self, ctx: SASSIContext) -> None:
+        write = self.writer.write
+        bp = ctx.bp
+        # Record the instruction's address in the *original* (pre-
+        # injection) layout — GetInsAddr() would shift with the
+        # instrumentation spec, making traces from different specs
+        # incomparable under trace-diff.
+        ins_addr = bp.GetFnAddr() + bp.GetID() * INSTRUCTION_BYTES
+        mp = ctx.mp
+        width = mp.GetWidth() if mp is not None else 0
+        write(InstrEvent(ins_addr=ins_addr,
+                         opcode=bp.GetOpcode().value,
+                         lanes=len(ctx.lanes()),
+                         width=width))
+        if mp is not None:
+            self._record_mem(ctx, ins_addr, mp, width, write)
+        brp = ctx.brp
+        if brp is not None:
+            direction = brp.GetDirection()
+            active = ctx.mask
+            taken = int((direction & active).sum())
+            write(BranchEvent(ins_addr=ins_addr,
+                              active=int(active.sum()),
+                              taken=taken,
+                              not_taken=int((~direction & active).sum())))
+
+    def _record_mem(self, ctx, ins_addr, mp, width, write) -> None:
+        will_execute = ctx.bp.GetInstrWillExecute()
+        addresses = mp.GetAddress()
+        lanes = [lane for lane in ctx.lanes() if will_execute[lane]]
+        if self.global_only:
+            heap = self.device.heap_bytes
+            lanes = [lane for lane in lanes
+                     if is_global(int(addresses[lane]), heap)]
+        if not lanes:
+            return
+        lines = []
+        seen = set()
+        for lane in lanes:
+            line = (int(addresses[lane]) >> OFFSET_BITS) << OFFSET_BITS
+            if line not in seen:
+                seen.add(line)
+                lines.append(line)
+        flags = 0
+        if mp.IsLoad():
+            flags |= MEM_FLAG_LOAD
+        if mp.IsStore():
+            flags |= MEM_FLAG_STORE
+        if mp.IsAtomic():
+            flags |= MEM_FLAG_ATOMIC
+        write(MemEvent(ins_addr=ins_addr, flags=flags, width=width,
+                       active_lanes=len(lanes),
+                       line_addresses=tuple(lines)))
+
+
+def capture_workload(name: str, path: str, cache=None,
+                     global_only: bool = True):
+    """Record one workload's trace to *path*.
+
+    Returns ``(manifest, verified, wall_seconds)`` — the trace manifest,
+    whether the instrumented run still produced the right answer, and
+    the recorded run's wall time (the record-overhead numerator).
+    """
+    import time
+
+    from repro.sim import Device
+    from repro.workloads import make
+
+    workload = make(name)
+    device = Device()
+    with telemetry_span("trace.capture", workload=name):
+        with TraceWriter(path) as writer:
+            recorder = TraceRecorder(device, writer,
+                                     global_only=global_only)
+            kernel = recorder.compile(workload.build_ir(), cache=cache)
+            start = time.perf_counter()
+            output = workload.execute(device, kernel)
+            wall = time.perf_counter() - start
+            verified = workload.verify(output)
+        manifest = writer.close()
+    return manifest, verified, wall

@@ -1,0 +1,116 @@
+"""Trace comparison: find where two recorded runs first diverge.
+
+The error-injection use case: record a trace per injection trial, then
+``repro trace-diff golden.rptrace trial.rptrace`` pinpoints the first
+dynamic event where the fault became architecturally visible — without
+re-simulating anything.  Comparison is streaming (two lazy readers,
+constant memory) and exact: two events are equal iff every recorded
+field is equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import zip_longest
+from typing import List, Optional, Tuple
+
+from repro.trace.format import KIND_NAMES, LaunchEvent
+from repro.trace.io import TraceReader
+
+
+def _describe(event) -> str:
+    if event is None:
+        return "<end of trace>"
+    kind = KIND_NAMES[event.tag]
+    addr = getattr(event, "ins_addr", None)
+    if addr is not None:
+        return f"{kind} @0x{addr:x} {event}"
+    return f"{kind} {event}"
+
+
+@dataclass
+class TraceDiff:
+    """Outcome of comparing two traces."""
+
+    events_a: int
+    events_b: int
+    #: index (0-based, in event-stream order) of the first differing
+    #: event, or None when the traces are identical
+    first_divergence: Optional[int] = None
+    #: the differing pair at that index (either side may be None when
+    #: one trace simply ended first)
+    divergent_pair: Tuple[Optional[object], Optional[object]] = (None, None)
+    #: kernel frame (name, launch index) containing the divergence
+    kernel_frame: Optional[Tuple[str, int]] = None
+    #: total number of differing event slots (bounded by *max_deltas*)
+    deltas: int = 0
+    #: True when the delta count was cut off at *max_deltas*
+    deltas_truncated: bool = False
+
+    @property
+    def identical(self) -> bool:
+        return self.first_divergence is None
+
+    def report(self) -> str:
+        if self.identical:
+            return (f"traces identical: {self.events_a:,} events, "
+                    "0 deltas")
+        lines = [f"first divergence at event {self.first_divergence:,}"]
+        if self.kernel_frame is not None:
+            name, index = self.kernel_frame
+            lines[0] += f" (kernel {name!r}, launch {index})"
+        a, b = self.divergent_pair
+        lines.append(f"  a: {_describe(a)}")
+        lines.append(f"  b: {_describe(b)}")
+        deltas = f"{self.deltas:,}"
+        if self.deltas_truncated:
+            deltas += "+"
+        lines.append(f"{deltas} differing events "
+                     f"({self.events_a:,} vs {self.events_b:,} total)")
+        return "\n".join(lines)
+
+
+def diff_traces(path_a, path_b, max_deltas: int = 100_000) -> TraceDiff:
+    """Compare two traces event by event, streaming.
+
+    Counting every delta of two wildly different traces is pointless
+    work, so counting stops (and ``deltas_truncated`` is set) after
+    *max_deltas* differences; the first-divergence point is exact
+    regardless.
+    """
+    reader_a = TraceReader(path_a)
+    reader_b = TraceReader(path_b)
+    index = 0
+    first: Optional[int] = None
+    pair: Tuple[Optional[object], Optional[object]] = (None, None)
+    frame: Optional[Tuple[str, int]] = None
+    divergence_frame: Optional[Tuple[str, int]] = None
+    deltas = 0
+    truncated = False
+    count_a = count_b = 0
+    for event_a, event_b in zip_longest(reader_a.events(),
+                                        reader_b.events()):
+        if event_a is not None:
+            count_a += 1
+            if isinstance(event_a, LaunchEvent):
+                frame = (event_a.kernel, event_a.launch_index)
+        if event_b is not None:
+            count_b += 1
+        if event_a != event_b:
+            if first is None:
+                first = index
+                pair = (event_a, event_b)
+                divergence_frame = frame
+            deltas += 1
+            if deltas >= max_deltas:
+                truncated = True
+                break
+        index += 1
+    if truncated:
+        # re-scan for the full totals so the report stays meaningful
+        count_a = sum(1 for _ in reader_a.events())
+        count_b = sum(1 for _ in reader_b.events())
+    return TraceDiff(events_a=count_a, events_b=count_b,
+                     first_divergence=first, divergent_pair=pair,
+                     kernel_frame=divergence_frame, deltas=deltas,
+                     deltas_truncated=truncated)

@@ -1,0 +1,292 @@
+"""Streaming trace I/O: bounded-memory writer, lazy reader.
+
+:class:`TraceWriter` appends events to a file (or file object) through a
+bounded byte buffer — host-side memory stays O(buffer), never O(trace),
+no matter how many events the instrumented run produces.  Closing the
+writer publishes the manifest footer; a file without a valid footer is
+reported as torn by :class:`TraceReader`, which streams events lazily
+and verifies the CRC as it goes.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import IO, Iterator, Optional, Union
+
+from repro.telemetry.collector import TELEMETRY
+from repro.trace.format import (
+    EncoderState,
+    KIND_NAMES,
+    MAGIC,
+    TAG_END,
+    TRAILER_MAGIC,
+    TRAILER_SIZE,
+    TraceFormatError,
+    TraceManifest,
+    VERSION,
+    crc32,
+    decode_event,
+    decode_footer,
+    decode_varint,
+    encode_event,
+    encode_footer,
+    encode_varint,
+)
+
+#: flush the host-side buffer once it holds this many bytes
+DEFAULT_BUFFER_BYTES = 256 << 10
+#: reader chunk size
+READ_CHUNK = 256 << 10
+
+
+class TraceWriter:
+    """Writes a ``.rptrace`` stream with bounded host-side memory.
+
+    Accepts a path (the file is created/truncated and closed with the
+    writer) or a seekable binary file object (left open after
+    :meth:`close` so callers can read it back).  Usable as a context
+    manager; the footer is written exactly once, by ``close``.
+    """
+
+    def __init__(self, target: Union[str, os.PathLike, IO[bytes]],
+                 buffer_bytes: int = DEFAULT_BUFFER_BYTES):
+        if hasattr(target, "write"):
+            self._file: IO[bytes] = target
+            self._owns_file = False
+            self.path: Optional[str] = getattr(target, "name", None)
+        else:
+            self.path = os.fspath(target)
+            self._file = open(self.path, "wb")
+            self._owns_file = True
+        self._buffer = bytearray()
+        self._buffer_bytes = max(1, buffer_bytes)
+        self._state = EncoderState()
+        self._counts: dict = {}
+        self._total = 0
+        self._crc = 0
+        self._closed = False
+        self.bytes_written = 0
+        self._file.write(MAGIC + bytes([VERSION]))
+
+    # ------------------------------------------------------------ write
+
+    def write(self, event) -> None:
+        if self._closed:
+            raise ValueError("trace writer already closed")
+        encoded = encode_event(event, self._state)
+        self._buffer += encoded
+        self._crc = crc32(encoded, self._crc)
+        tag = event.tag
+        self._counts[tag] = self._counts.get(tag, 0) + 1
+        self._total += 1
+        if TELEMETRY.enabled:
+            TELEMETRY.incr("trace.events")
+            TELEMETRY.incr(f"trace.events.{KIND_NAMES[tag]}")
+        if len(self._buffer) >= self._buffer_bytes:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._buffer:
+            self._file.write(self._buffer)
+            self.bytes_written += len(self._buffer)
+            self._buffer.clear()
+
+    @property
+    def total_events(self) -> int:
+        return self._total
+
+    # ------------------------------------------------------------ close
+
+    def close(self) -> TraceManifest:
+        """Flush, publish the footer, and (for path targets) close the
+        file.  Idempotent."""
+        if self._closed:
+            return self._manifest()
+        end = encode_varint(TAG_END)
+        self._buffer += end
+        self._crc = crc32(end, self._crc)
+        manifest = self._manifest()
+        self._buffer += encode_footer(manifest)
+        self.flush()
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+        self._closed = True
+        if TELEMETRY.enabled:
+            TELEMETRY.incr("trace.bytes_written", self.bytes_written)
+        return manifest
+
+    def _manifest(self) -> TraceManifest:
+        return TraceManifest(
+            version=VERSION, total_events=self._total,
+            counts=tuple(sorted(self._counts.items())), checksum=self._crc)
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TraceReader:
+    """Lazy event iteration over a ``.rptrace`` file.
+
+    ``for event in reader`` decodes one event at a time from buffered
+    chunks; the whole trace is never resident.  The CRC accumulated
+    while streaming is checked against the footer when the end marker is
+    reached — a torn or bit-rotted file raises
+    :class:`~repro.trace.format.TraceFormatError` mid-iteration instead
+    of yielding silently wrong events.
+
+    Accepts a path (opened per iteration) or a seekable binary file
+    object (rewound per iteration, left open).
+    """
+
+    def __init__(self, target: Union[str, os.PathLike, IO[bytes]]):
+        if hasattr(target, "read"):
+            self._fileobj: Optional[IO[bytes]] = target
+            self.path = getattr(target, "name", None)
+        else:
+            self._fileobj = None
+            self.path = os.fspath(target)
+
+    def _open(self) -> IO[bytes]:
+        if self._fileobj is not None:
+            self._fileobj.seek(0)
+            return self._fileobj
+        try:
+            return open(self.path, "rb")
+        except OSError as exc:
+            raise TraceFormatError(
+                f"cannot open trace {self.path}: {exc.strerror or exc}")
+
+    def _check_header(self, handle: IO[bytes]) -> int:
+        header = handle.read(len(MAGIC) + 1)
+        if len(header) < len(MAGIC) + 1 or header[:len(MAGIC)] != MAGIC:
+            raise TraceFormatError(
+                f"{self._name()} is not a trace (bad magic)")
+        version = header[len(MAGIC)]
+        if version != VERSION:
+            raise TraceFormatError(
+                f"{self._name()}: unsupported trace version {version} "
+                f"(this reader speaks version {VERSION})")
+        return version
+
+    def _name(self) -> str:
+        return self.path or "<trace stream>"
+
+    # ---------------------------------------------------------- iterate
+
+    def __iter__(self) -> Iterator[object]:
+        return self.events()
+
+    def events(self) -> Iterator[object]:
+        """Yield events lazily; validates the footer checksum at EOF."""
+        handle = self._open()
+        owns = self._fileobj is None
+        try:
+            version = self._check_header(handle)
+            state = EncoderState()
+            buf = b""
+            pos = 0
+            crc = 0
+            total = 0
+            while True:
+                # top up the buffer so one maximal record always fits
+                if len(buf) - pos < READ_CHUNK // 2:
+                    chunk = handle.read(READ_CHUNK)
+                    if chunk:
+                        buf = buf[pos:] + chunk
+                        pos = 0
+                if pos >= len(buf):
+                    raise TraceFormatError(
+                        f"{self._name()}: truncated trace (no end "
+                        "marker — torn write?)")
+                start = pos
+                tag, pos = decode_varint(buf, pos)
+                if tag == TAG_END:
+                    crc = crc32(buf[start:pos], crc)
+                    footer = buf[pos:] + handle.read()
+                    self._check_footer(footer, version, crc, total)
+                    return
+                try:
+                    event, pos = decode_event(tag, buf, pos, state)
+                except TraceFormatError:
+                    # the record may just straddle the buffer boundary;
+                    # pull the rest of the file once, then re-raise
+                    rest = handle.read()
+                    if not rest:
+                        raise
+                    buf = buf + rest
+                    pos = start
+                    tag, pos = decode_varint(buf, pos)
+                    event, pos = decode_event(tag, buf, pos, state)
+                crc = crc32(buf[start:pos], crc)
+                total += 1
+                yield event
+        finally:
+            if owns:
+                handle.close()
+
+    def _check_footer(self, footer: bytes, version: int, crc: int,
+                      total: int) -> None:
+        manifest = _parse_footer_block(footer, version, self._name())
+        if manifest.checksum != crc:
+            raise TraceFormatError(
+                f"{self._name()}: checksum mismatch (trace corrupt: "
+                f"footer says {manifest.checksum:#010x}, stream is "
+                f"{crc:#010x})")
+        if manifest.total_events != total:
+            raise TraceFormatError(
+                f"{self._name()}: event count mismatch (footer says "
+                f"{manifest.total_events}, stream held {total})")
+
+    # ---------------------------------------------------------- summary
+
+    def manifest(self) -> TraceManifest:
+        """Read the footer without scanning events (uses the trailer)."""
+        handle = self._open()
+        owns = self._fileobj is None
+        try:
+            version = self._check_header(handle)
+            handle.seek(0, io.SEEK_END)
+            size = handle.tell()
+            if size < len(MAGIC) + 1 + TRAILER_SIZE:
+                raise TraceFormatError(
+                    f"{self._name()}: truncated trace (no footer — "
+                    "torn write?)")
+            handle.seek(size - TRAILER_SIZE)
+            trailer = handle.read(TRAILER_SIZE)
+            if trailer[4:] != TRAILER_MAGIC:
+                raise TraceFormatError(
+                    f"{self._name()}: missing footer trailer (torn "
+                    "write?)")
+            footer_len = int.from_bytes(trailer[:4], "little")
+            footer_at = size - TRAILER_SIZE - footer_len
+            if footer_len > size or footer_at < len(MAGIC) + 1:
+                raise TraceFormatError(
+                    f"{self._name()}: implausible footer length "
+                    f"{footer_len} (corrupt trace)")
+            handle.seek(footer_at)
+            return decode_footer(handle.read(footer_len), version)
+        finally:
+            if owns:
+                handle.close()
+
+
+def _parse_footer_block(footer: bytes, version: int,
+                        name: str) -> TraceManifest:
+    """Parse ``footer body + trailer`` bytes read off the event stream."""
+    if len(footer) < TRAILER_SIZE:
+        raise TraceFormatError(f"{name}: truncated footer (torn write?)")
+    trailer = footer[-TRAILER_SIZE:]
+    if trailer[4:] != TRAILER_MAGIC:
+        raise TraceFormatError(f"{name}: missing footer trailer "
+                               "(torn write?)")
+    footer_len = int.from_bytes(trailer[:4], "little")
+    body = footer[:-TRAILER_SIZE]
+    if footer_len != len(body):
+        raise TraceFormatError(f"{name}: footer length mismatch "
+                               "(corrupt trace)")
+    return decode_footer(body, version)

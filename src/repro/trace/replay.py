@@ -1,0 +1,296 @@
+"""Replay engine: run pluggable offline analyses over a recorded trace.
+
+Record once on the (slow) instrumented simulator; every question after
+that is answered at replay speed from the trace file.  Each analysis
+consumes the event stream through three hooks (``on_instr``/``on_mem``/
+``on_branch`` plus launch framing) and produces both a structured
+result (``result()``) and a human-readable ``report()``.
+
+The built-in analyses mirror the live instrumentation they replace, and
+tests hold them *exactly* equal to the live-instrumented results:
+
+* ``cachesim``   — the ``examples/memtrace_cachesim.py`` hierarchy sweep
+* ``divergence`` — Case Study I branch-divergence statistics
+* ``memdiv``     — Case Study II memory-address-divergence matrix/PMF
+* ``opcodes``    — the Figure 3 dynamic-instruction categorizer
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Type
+
+import numpy as np
+
+from repro.isa.opcodes import Opcode, OpClass, OPCODE_CLASSES
+from repro.sim.cache import Cache
+from repro.telemetry.collector import TELEMETRY, span as telemetry_span
+from repro.trace.format import (
+    BranchEvent,
+    InstrEvent,
+    KernelEndEvent,
+    LaunchEvent,
+    MemEvent,
+)
+from repro.trace.io import TraceReader
+
+
+class TraceAnalysis:
+    """Base class: override the hooks you care about."""
+
+    #: registry key (used by ``repro replay --analysis=...``)
+    name = "analysis"
+
+    def on_launch(self, event: LaunchEvent) -> None:
+        pass
+
+    def on_kernel_end(self, event: KernelEndEvent) -> None:
+        pass
+
+    def on_instr(self, event: InstrEvent) -> None:
+        pass
+
+    def on_mem(self, event: MemEvent) -> None:
+        pass
+
+    def on_branch(self, event: BranchEvent) -> None:
+        pass
+
+    def result(self) -> Dict:
+        return {}
+
+    def report(self) -> str:
+        return f"{self.name}: {self.result()}"
+
+
+class CacheSimAnalysis(TraceAnalysis):
+    """The memory-hierarchy simulator of ``examples/memtrace_cachesim``:
+    feed every coalesced line address through an L1/L2 model."""
+
+    name = "cachesim"
+
+    def __init__(self, l1_kib: int = 16, l1_ways: int = 4,
+                 l2_kib: int = 256, l2_ways: int = 16):
+        self.l2 = Cache(l2_kib << 10, ways=l2_ways, name="L2")
+        self.l1 = Cache(l1_kib << 10, ways=l1_ways, name="L1",
+                        next_level=self.l2)
+
+    def on_mem(self, event: MemEvent) -> None:
+        access = self.l1.access
+        for line in event.line_addresses:
+            access(line)
+
+    def result(self) -> Dict:
+        return {
+            "l1": {"accesses": self.l1.stats.accesses,
+                   "hits": self.l1.stats.hits,
+                   "misses": self.l1.stats.misses,
+                   "hit_rate": self.l1.stats.hit_rate},
+            "l2": {"accesses": self.l2.stats.accesses,
+                   "hits": self.l2.stats.hits,
+                   "misses": self.l2.stats.misses,
+                   "hit_rate": self.l2.stats.hit_rate},
+        }
+
+    def report(self) -> str:
+        r = self.result()
+        return (f"cachesim: L1 {100 * r['l1']['hit_rate']:5.1f}% hit "
+                f"({r['l1']['hits']:,}/{r['l1']['accesses']:,}), "
+                f"L2 {100 * r['l2']['hit_rate']:5.1f}% hit "
+                f"({r['l2']['hits']:,}/{r['l2']['accesses']:,})")
+
+
+class DivergenceAnalysis(TraceAnalysis):
+    """Case Study I offline: per-branch divergence statistics, equal to
+    a live :class:`~repro.handlers.branch_profiler.BranchProfiler` run."""
+
+    name = "divergence"
+
+    def __init__(self):
+        #: address -> [total, active, taken, not_taken, divergent]
+        self.table: Dict[int, List[int]] = {}
+
+    def on_branch(self, event: BranchEvent) -> None:
+        row = self.table.get(event.ins_addr)
+        if row is None:
+            row = self.table[event.ins_addr] = [0, 0, 0, 0, 0]
+        row[0] += 1
+        row[1] += event.active
+        row[2] += event.taken
+        row[3] += event.not_taken
+        if event.divergent:
+            row[4] += 1
+
+    def branches(self):
+        from repro.handlers.branch_profiler import BranchStats
+
+        rows = [BranchStats(address=addr, total=row[0],
+                            active_threads=row[1], taken_threads=row[2],
+                            not_taken_threads=row[3], divergent=row[4])
+                for addr, row in self.table.items()]
+        return sorted(rows, key=lambda b: -b.total)
+
+    def summary(self):
+        from repro.handlers.branch_profiler import DivergenceSummary
+
+        branches = self.branches()
+        return DivergenceSummary(
+            static_branches=len(branches),
+            static_divergent=sum(1 for b in branches if b.divergent),
+            dynamic_branches=sum(b.total for b in branches),
+            dynamic_divergent=sum(b.divergent for b in branches),
+        )
+
+    def result(self) -> Dict:
+        summary = self.summary()
+        return {
+            "static_branches": summary.static_branches,
+            "static_divergent": summary.static_divergent,
+            "dynamic_branches": summary.dynamic_branches,
+            "dynamic_divergent": summary.dynamic_divergent,
+        }
+
+    def report(self) -> str:
+        s = self.summary()
+        return (f"divergence: {s.dynamic_divergent:,} of "
+                f"{s.dynamic_branches:,} dynamic branches diverged "
+                f"({s.dynamic_pct:.1f}%); {s.static_divergent}/"
+                f"{s.static_branches} static branches ever diverged")
+
+
+class MemoryDivergenceAnalysis(TraceAnalysis):
+    """Case Study II offline: the 32×32 occupancy × unique-lines matrix,
+    equal to a live :class:`MemoryDivergenceProfiler` run."""
+
+    name = "memdiv"
+
+    def __init__(self):
+        self._matrix = np.zeros((32, 32), dtype=np.int64)
+
+    def on_mem(self, event: MemEvent) -> None:
+        self._matrix[event.active_lanes - 1,
+                     min(event.unique_lines, 32) - 1] += 1
+
+    def matrix(self) -> np.ndarray:
+        return self._matrix.copy()
+
+    def pmf(self) -> np.ndarray:
+        matrix = self._matrix.astype(np.float64)
+        occupancy = np.arange(1, 33, dtype=np.float64)[:, None]
+        weighted = matrix * occupancy
+        total = weighted.sum()
+        if total == 0:
+            return np.zeros(32)
+        return weighted.sum(axis=0) / total
+
+    def diverged_fraction(self) -> float:
+        total = self._matrix.sum()
+        return float(self._matrix[:, 1:].sum() / total) if total else 0.0
+
+    def result(self) -> Dict:
+        return {
+            "warp_accesses": int(self._matrix.sum()),
+            "diverged_fraction": self.diverged_fraction(),
+            "pmf": [float(p) for p in self.pmf()],
+        }
+
+    def report(self) -> str:
+        r = self.result()
+        return (f"memdiv: {r['warp_accesses']:,} warp accesses, "
+                f"{100 * r['diverged_fraction']:.1f}% touched more than "
+                "one 32B line")
+
+
+class OpcodeHistogramAnalysis(TraceAnalysis):
+    """The Figure 3 categorizer offline, equal to a live
+    :class:`~repro.handlers.opcode_histogram.OpcodeHistogram` run."""
+
+    name = "opcodes"
+
+    def __init__(self):
+        from repro.handlers.opcode_histogram import CATEGORIES
+
+        self.categories = CATEGORIES
+        self._totals = {name: 0 for name in CATEGORIES}
+
+    def on_instr(self, event: InstrEvent) -> None:
+        totals = self._totals
+        classes = OPCODE_CLASSES[Opcode(event.opcode)]
+        threads = event.lanes
+        if classes & OpClass.MEMORY:
+            totals["memory"] += threads
+            if event.width > 4:
+                totals["extended_memory"] += threads
+        if classes & OpClass.CONTROL:
+            totals["control_xfer"] += threads
+        if classes & OpClass.SYNC:
+            totals["sync"] += threads
+        if classes & OpClass.NUMERIC:
+            totals["numeric"] += threads
+        if classes & OpClass.TEXTURE:
+            totals["texture"] += threads
+        totals["total_executed"] += threads
+
+    def totals(self) -> Dict[str, int]:
+        return dict(self._totals)
+
+    def result(self) -> Dict:
+        return self.totals()
+
+    def report(self) -> str:
+        totals = self._totals
+        body = ", ".join(f"{name}={totals[name]:,}"
+                         for name in self.categories)
+        return f"opcodes: {body}"
+
+
+#: registry for the CLI's ``--analysis`` flag
+ANALYSES: Dict[str, Type[TraceAnalysis]] = {
+    CacheSimAnalysis.name: CacheSimAnalysis,
+    DivergenceAnalysis.name: DivergenceAnalysis,
+    MemoryDivergenceAnalysis.name: MemoryDivergenceAnalysis,
+    OpcodeHistogramAnalysis.name: OpcodeHistogramAnalysis,
+}
+
+
+def make_analysis(name: str) -> TraceAnalysis:
+    try:
+        return ANALYSES[name]()
+    except KeyError:
+        raise KeyError(f"unknown analysis {name!r} "
+                       f"(choose from {', '.join(sorted(ANALYSES))})")
+
+
+def replay(trace, analyses: Sequence[TraceAnalysis]
+           ) -> List[TraceAnalysis]:
+    """One streaming pass over *trace*, feeding every analysis.
+
+    *trace* is a path or a :class:`TraceReader`.  Returns the analyses
+    (now holding their results) for convenience.
+    """
+    reader = trace if isinstance(trace, TraceReader) else TraceReader(trace)
+    analyses = list(analyses)
+    with telemetry_span("trace.replay",
+                        trace=str(getattr(reader, "path", ""))):
+        hooks = [(a.on_launch, a.on_kernel_end, a.on_instr, a.on_mem,
+                  a.on_branch) for a in analyses]
+        events = 0
+        for event in reader.events():
+            events += 1
+            if isinstance(event, InstrEvent):
+                for _, _, on_instr, _, _ in hooks:
+                    on_instr(event)
+            elif isinstance(event, MemEvent):
+                for _, _, _, on_mem, _ in hooks:
+                    on_mem(event)
+            elif isinstance(event, BranchEvent):
+                for _, _, _, _, on_branch in hooks:
+                    on_branch(event)
+            elif isinstance(event, LaunchEvent):
+                for on_launch, _, _, _, _ in hooks:
+                    on_launch(event)
+            elif isinstance(event, KernelEndEvent):
+                for _, on_kernel_end, _, _, _ in hooks:
+                    on_kernel_end(event)
+        if TELEMETRY.enabled:
+            TELEMETRY.incr("trace.replay.events", events)
+    return analyses

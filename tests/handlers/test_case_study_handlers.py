@@ -190,11 +190,11 @@ class TestMemoryTracer:
         tracer = MemoryTracer(device)
         kernel = tracer.compile(build_vecadd())
         _, _, _, stats = run_vecadd(device, kernel, n=64, block=64)
-        traced_transactions = sum(len(r.line_addresses)
-                                  for r in tracer.trace)
+        records = list(tracer.records())
+        traced_transactions = sum(len(r.line_addresses) for r in records)
         # executor counted the same global accesses (plus none extra)
         assert traced_transactions == stats.global_transactions
-        assert len(tracer.trace) == stats.global_mem_instructions
+        assert len(records) == stats.global_mem_instructions
 
     def test_replay_through_cache(self):
         from repro.sim.cache import Cache
@@ -206,4 +206,41 @@ class TestMemoryTracer:
         cache = Cache(64 << 10, ways=8)
         tracer.replay_through(cache)
         assert cache.stats.accesses == sum(len(r.line_addresses)
-                                           for r in tracer.trace)
+                                           for r in tracer.records())
+
+    def test_deprecated_trace_list_shim(self):
+        import pytest
+
+        device = Device()
+        tracer = MemoryTracer(device)
+        kernel = tracer.compile(build_vecadd())
+        run_vecadd(device, kernel, n=64, block=64)
+        with pytest.warns(DeprecationWarning):
+            legacy = tracer.trace
+        assert legacy == list(tracer.records())
+
+    def test_streams_to_explicit_path(self, tmp_path):
+        from repro.trace import TraceReader
+
+        device = Device()
+        target = str(tmp_path / "mem.rptrace")
+        tracer = MemoryTracer(device, path=target)
+        kernel = tracer.compile(build_vecadd())
+        run_vecadd(device, kernel, n=64, block=64)
+        manifest = tracer.flush()
+        assert manifest.total_events == len(list(tracer.records()))
+        # the sidecar file is a first-class .rptrace, readable directly
+        events = list(TraceReader(target).events())
+        assert len(events) == manifest.total_events
+
+    def test_temp_file_removed_on_close(self):
+        import os
+
+        device = Device()
+        tracer = MemoryTracer(device)
+        kernel = tracer.compile(build_vecadd())
+        run_vecadd(device, kernel, n=32, block=32)
+        path = tracer.path
+        assert os.path.exists(path)
+        tracer.close()
+        assert not os.path.exists(path)

@@ -76,20 +76,20 @@ class TestErrorExits:
                      "--trace", "/no-such-dir-xyz/out.json"]) == 2
         assert "cannot write" in _one_line_error(capsys)
 
-    def test_trace_subcommand_on_missing_file(self, capsys):
-        assert main(["trace", "/no/such/trace.json"]) == 2
+    def test_timeline_subcommand_on_missing_file(self, capsys):
+        assert main(["timeline", "/no/such/trace.json"]) == 2
         assert "cannot read" in _one_line_error(capsys)
 
-    def test_trace_subcommand_on_invalid_json(self, tmp_path, capsys):
+    def test_timeline_subcommand_on_invalid_json(self, tmp_path, capsys):
         garbage = tmp_path / "garbage.json"
         garbage.write_text("{not json")
-        assert main(["trace", str(garbage)]) == 2
+        assert main(["timeline", str(garbage)]) == 2
         assert "not valid trace JSON" in _one_line_error(capsys)
 
-    def test_trace_subcommand_on_wrong_schema(self, tmp_path, capsys):
+    def test_timeline_subcommand_on_wrong_schema(self, tmp_path, capsys):
         wrong = tmp_path / "wrong.json"
         wrong.write_text("[1, 2, 3]")
-        assert main(["trace", str(wrong)]) == 2
+        assert main(["timeline", str(wrong)]) == 2
         assert "traceEvents" in _one_line_error(capsys)
 
 
@@ -135,13 +135,13 @@ class TestRunWithTelemetry:
         assert records[0]["workload"] == "vectoradd"
         assert any(record["type"] == "span" for record in records)
 
-    def test_trace_subcommand_reads_back_run_output(self, tmp_path,
-                                                    capsys):
+    def test_timeline_subcommand_reads_back_run_output(self, tmp_path,
+                                                       capsys):
         trace_path = tmp_path / "out.json"
         assert main(["run", "vectoradd", "--trace",
                      str(trace_path)]) == 0
         capsys.readouterr()
-        assert main(["trace", str(trace_path)]) == 0
+        assert main(["timeline", str(trace_path)]) == 0
         out = capsys.readouterr().out
         assert "spans" in out and "launch" in out
         assert "manifest:" in out

@@ -1,0 +1,127 @@
+"""CLI surface of the trace subsystem: capture/replay/trace-info/
+trace-diff, plus the `trace` → `timeline` rename."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def captured_trace(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("cli") / "v.rptrace")
+    assert main(["capture", "vectoradd", "-o", path]) == 0
+    return path
+
+
+class TestCapture:
+    def test_reports_manifest(self, captured_trace, capsys):
+        # the fixture already ran capture; run again to see its output
+        assert main(["capture", "vectoradd", "-o", captured_trace]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out
+        assert "verified" in out
+
+    def test_unknown_workload_is_cli_error(self, tmp_path, capsys):
+        assert main(["capture", "not-a-workload",
+                     "-o", str(tmp_path / "x.rptrace")]) == 2
+        assert "repro:" in capsys.readouterr().err
+
+    def test_unwritable_output_fails_fast(self, capsys):
+        assert main(["capture", "vectoradd",
+                     "-o", "/no/such/dir/x.rptrace"]) == 2
+        assert "cannot write" in capsys.readouterr().err
+
+
+class TestReplay:
+    def test_default_runs_all_analyses(self, captured_trace, capsys):
+        assert main(["replay", captured_trace]) == 0
+        out = capsys.readouterr().out
+        for name in ("cachesim:", "divergence:", "memdiv:", "opcodes:"):
+            assert name in out
+
+    def test_analysis_selection(self, captured_trace, capsys):
+        assert main(["replay", captured_trace,
+                     "--analysis=cachesim,opcodes"]) == 0
+        out = capsys.readouterr().out
+        assert "cachesim:" in out and "opcodes:" in out
+        assert "divergence:" not in out
+
+    def test_unknown_analysis(self, captured_trace, capsys):
+        assert main(["replay", captured_trace, "--analysis=nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown analysis" in err
+
+    def test_non_trace_input(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.rptrace"
+        bogus.write_bytes(b"this is not a trace")
+        assert main(["replay", str(bogus)]) == 2
+        assert "bad magic" in capsys.readouterr().err
+
+    def test_missing_input(self, tmp_path, capsys):
+        assert main(["replay", str(tmp_path / "gone.rptrace")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestTraceInfo:
+    def test_prints_manifest(self, captured_trace, capsys):
+        assert main(["trace-info", captured_trace]) == 0
+        out = capsys.readouterr().out
+        assert "rptrace v1" in out
+        assert "instr" in out and "launch" in out
+        assert "checksum" in out
+
+    def test_torn_trace(self, captured_trace, tmp_path, capsys):
+        data = open(captured_trace, "rb").read()
+        torn = tmp_path / "torn.rptrace"
+        torn.write_bytes(data[:len(data) // 2])
+        assert main(["trace-info", str(torn)]) == 2
+        assert "torn" in capsys.readouterr().err
+
+
+class TestTraceDiff:
+    def test_self_diff_exit_zero(self, captured_trace, capsys):
+        assert main(["trace-diff", captured_trace, captured_trace]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_different_traces_exit_one(self, captured_trace, tmp_path,
+                                       capsys):
+        other = str(tmp_path / "sgemm.rptrace")
+        assert main(["capture", "parboil/sgemm(small)",
+                     "-o", other]) == 0
+        capsys.readouterr()
+        assert main(["trace-diff", captured_trace, other]) == 1
+        assert "first divergence" in capsys.readouterr().out
+
+    def test_missing_operand(self, captured_trace, tmp_path, capsys):
+        assert main(["trace-diff", captured_trace,
+                     str(tmp_path / "gone.rptrace")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestTimelineRename:
+    @pytest.fixture
+    def chrome_trace(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({
+            "traceEvents": [
+                {"ph": "X", "name": "run", "dur": 1000, "tid": 1},
+            ],
+        }))
+        return str(path)
+
+    def test_timeline_summarizes(self, chrome_trace, capsys):
+        assert main(["timeline", chrome_trace]) == 0
+        captured = capsys.readouterr()
+        assert "1 spans" in captured.out
+        assert "deprecated" not in captured.err
+
+    def test_trace_alias_warns_but_works(self, chrome_trace, capsys):
+        assert main(["trace", chrome_trace]) == 0
+        captured = capsys.readouterr()
+        assert "1 spans" in captured.out
+        assert "deprecated" in captured.err
+        assert "timeline" in captured.err

@@ -1,0 +1,225 @@
+"""Format-level tests: header/footer framing, manifests, checksums,
+and torn-write detection for the ``.rptrace`` container."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.trace.format import (
+    BranchEvent,
+    EncoderState,
+    InstrEvent,
+    KernelEndEvent,
+    LaunchEvent,
+    MAGIC,
+    MemEvent,
+    TAG_BRANCH,
+    TAG_INSTR,
+    TAG_LAUNCH,
+    TAG_MEM,
+    TRAILER_MAGIC,
+    TRAILER_SIZE,
+    TraceFormatError,
+    VERSION,
+    decode_event,
+    decode_varint,
+    encode_event,
+    encode_varint,
+)
+from repro.trace.io import TraceReader, TraceWriter
+
+EVENTS = [
+    LaunchEvent(kernel="vecadd", grid=(4, 1, 1), block=(128, 1, 1),
+                launch_index=0),
+    InstrEvent(ins_addr=0x1000, opcode=7, lanes=32, width=0),
+    MemEvent(ins_addr=0x1010, flags=1, width=4, active_lanes=32,
+             line_addresses=(0x10000000, 0x10000020, 0x10000040)),
+    BranchEvent(ins_addr=0x1020, active=32, taken=5, not_taken=27),
+    InstrEvent(ins_addr=0x1030, opcode=9, lanes=17, width=8),
+    MemEvent(ins_addr=0x1030, flags=2, width=8, active_lanes=17,
+             line_addresses=(0x10000040,)),
+    KernelEndEvent(warp_instructions=1234),
+    LaunchEvent(kernel="vecadd", grid=(4, 1, 1), block=(128, 1, 1),
+                launch_index=1),
+    InstrEvent(ins_addr=0x1000, opcode=7, lanes=32, width=0),
+    KernelEndEvent(warp_instructions=99),
+]
+
+
+def write_trace(target, events=EVENTS):
+    with TraceWriter(target) as writer:
+        for event in events:
+            writer.write(event)
+    return writer.close()
+
+
+class TestCodec:
+    def test_single_event_roundtrip(self):
+        for event in EVENTS:
+            enc, dec = EncoderState(), EncoderState()
+            data = encode_event(event, enc)
+            tag, pos = decode_varint(data, 0)
+            decoded, pos = decode_event(tag, data, pos, dec)
+            assert decoded == event
+            assert pos == len(data)
+
+    def test_stream_roundtrip_preserves_delta_state(self):
+        enc, dec = EncoderState(), EncoderState()
+        blob = b"".join(encode_event(e, enc) for e in EVENTS)
+        pos, out = 0, []
+        while pos < len(blob):
+            tag, pos = decode_varint(blob, pos)
+            event, pos = decode_event(tag, blob, pos, dec)
+            out.append(event)
+        assert out == EVENTS
+
+    def test_launch_resets_delta_state(self):
+        # the second launch's first InstrEvent re-encodes its absolute
+        # address, so a kernel frame decodes without earlier context
+        enc = EncoderState()
+        for event in EVENTS[:7]:
+            encode_event(event, enc)
+        assert enc.prev_addr != 0
+        encode_event(EVENTS[7], enc)
+        assert enc.prev_addr == 0
+
+
+class TestContainer:
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "t.rptrace")
+        manifest = write_trace(path)
+        assert list(TraceReader(path).events()) == EVENTS
+        assert manifest.total_events == len(EVENTS)
+
+    def test_filelike_roundtrip(self):
+        buf = io.BytesIO()
+        write_trace(buf)
+        assert list(TraceReader(buf).events()) == EVENTS
+
+    def test_header_layout(self, tmp_path):
+        path = str(tmp_path / "t.rptrace")
+        write_trace(path)
+        with open(path, "rb") as handle:
+            head = handle.read(5)
+        assert head[:4] == MAGIC
+        assert head[4] == VERSION
+
+    def test_trailer_layout(self, tmp_path):
+        path = str(tmp_path / "t.rptrace")
+        write_trace(path)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        assert data[-4:] == TRAILER_MAGIC
+        footer_len = int.from_bytes(data[-8:-4], "little")
+        assert 0 < footer_len < len(data)
+
+    def test_manifest_matches_stream(self, tmp_path):
+        path = str(tmp_path / "t.rptrace")
+        written = write_trace(path)
+        manifest = TraceReader(path).manifest()
+        assert manifest == written
+        assert manifest.total_events == len(EVENTS)
+        assert manifest.count(TAG_LAUNCH) == 2
+        assert manifest.count(TAG_INSTR) == 3
+        assert manifest.count(TAG_MEM) == 2
+        assert manifest.count(TAG_BRANCH) == 1
+        assert manifest.kind_counts()["launch"] == 2
+
+    def test_empty_trace_is_valid(self, tmp_path):
+        path = str(tmp_path / "empty.rptrace")
+        manifest = write_trace(path, events=[])
+        assert manifest.total_events == 0
+        assert list(TraceReader(path).events()) == []
+
+    def test_writer_close_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "t.rptrace")
+        writer = TraceWriter(path)
+        writer.write(EVENTS[1])
+        first = writer.close()
+        assert writer.close() == first
+
+    def test_write_after_close_raises(self, tmp_path):
+        writer = TraceWriter(str(tmp_path / "t.rptrace"))
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.write(EVENTS[1])
+
+    def test_tiny_buffer_still_correct(self, tmp_path):
+        path = str(tmp_path / "t.rptrace")
+        with TraceWriter(path, buffer_bytes=1) as writer:
+            for event in EVENTS:
+                writer.write(event)
+        assert list(TraceReader(path).events()) == EVENTS
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path):
+        path = str(tmp_path / "bad.rptrace")
+        with open(path, "wb") as handle:
+            handle.write(b"NOPE" + b"\x00" * 64)
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            list(TraceReader(path).events())
+
+    def test_unsupported_version(self, tmp_path):
+        path = str(tmp_path / "v9.rptrace")
+        write_trace(path)
+        with open(path, "r+b") as handle:
+            handle.seek(4)
+            handle.write(bytes([VERSION + 1]))
+        with pytest.raises(TraceFormatError, match="version"):
+            list(TraceReader(path).events())
+        with pytest.raises(TraceFormatError, match="version"):
+            TraceReader(path).manifest()
+
+    def test_torn_write_detected(self, tmp_path):
+        # chop the footer + some events off: a crash mid-stream
+        path = str(tmp_path / "torn.rptrace")
+        write_trace(path)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[:len(data) // 2])
+        with pytest.raises(TraceFormatError):
+            list(TraceReader(path).events())
+        with pytest.raises(TraceFormatError, match="torn"):
+            TraceReader(path).manifest()
+
+    def test_bitflip_fails_checksum(self, tmp_path):
+        path = str(tmp_path / "flip.rptrace")
+        write_trace(path)
+        with open(path, "rb") as handle:
+            data = bytearray(handle.read())
+        # flip one bit inside the event stream (past the header, well
+        # before the footer)
+        data[10] ^= 0x40
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+        with pytest.raises(TraceFormatError):
+            list(TraceReader(path).events())
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="cannot open"):
+            list(TraceReader(str(tmp_path / "nope.rptrace")).events())
+
+    def test_manifest_on_headerless_garbage(self, tmp_path):
+        path = str(tmp_path / "garbage.rptrace")
+        with open(path, "wb") as handle:
+            handle.write(b"\x01\x02")
+        with pytest.raises(TraceFormatError):
+            TraceReader(path).manifest()
+
+
+def test_varint_rejects_negative():
+    with pytest.raises(ValueError):
+        encode_varint(-1)
+
+
+def test_varint_rejects_overlong():
+    with pytest.raises(TraceFormatError, match="too long"):
+        decode_varint(b"\xff" * 11 + b"\x01", 0)
+
+
+def test_trailer_size_constant():
+    assert TRAILER_SIZE == 8
