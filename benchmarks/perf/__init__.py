@@ -1,0 +1,13 @@
+"""Performance harness for the simulator's hot paths.
+
+Not collected by the tier-1 pytest run (``testpaths = ["tests"]``);
+invoke the modules directly:
+
+* ``python benchmarks/perf/micro.py`` — component microbenchmarks
+  (dispatch loop, load/store, coalescer, cache).
+* ``python benchmarks/perf/run.py --label after`` — whole-workload
+  timing, merged into ``BENCH_executor.json``.
+* ``python benchmarks/perf/check.py`` — CI smoke: re-measures two small
+  workloads and fails when throughput regresses more than the tolerance
+  against the committed baseline.
+"""

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""CI perf smoke: fail when executor throughput regresses.
+
+Re-measures a small set of workloads and compares against the
+committed numbers in ``BENCH_executor.json``.  Raw warp-instrs/sec
+do not transfer between machines (CI runners vary wildly), so the
+gate normalizes by machine speed: both the optimized executor and the
+de-optimized config (``fuse_blocks=False, vector_memory=False``) are
+timed in the same window, and the *ratio* is compared against the
+committed ``after / calibration`` ratio.  A drop of more than the
+tolerance (default 30%) fails the job — that is exactly what
+falling off the fused/vectorized fast path looks like (the ratio
+collapses to ~1), while absolute machine speed cancels out.
+
+    PYTHONPATH=src python benchmarks/perf/check.py \
+        --workloads rodinia/nn rodinia/pathfinder
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from run import load_results, measure, slow_config  # noqa: E402
+
+SMOKE_WORKLOADS = ["rodinia/nn", "rodinia/pathfinder"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workloads", nargs="*", default=SMOKE_WORKLOADS)
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional drop of the fast/slow "
+                             "ratio vs the committed baseline ratio")
+    parser.add_argument("--baseline", default=os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))), "BENCH_executor.json"))
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    reference = slow_config()
+    if reference is None:
+        print("perf smoke SKIP: this revision has no slow-config knobs")
+        return 0
+    data = load_results(args.baseline)
+    failures = []
+    for name in args.workloads:
+        entry = data["workloads"].get(name, {})
+        committed_after = entry.get("after")
+        committed_calibration = entry.get("calibration")
+        if not committed_after or not committed_calibration:
+            print(f"{name:28s} SKIP (no committed baseline)")
+            continue
+        committed_ratio = committed_after / committed_calibration
+        fast = measure(name, args.repeats)
+        slow = measure(name, args.repeats, config=reference)
+        ratio = fast / slow
+        floor = committed_ratio * (1.0 - args.tolerance)
+        verdict = "ok" if ratio >= floor else "REGRESSION"
+        print(f"{name:28s} fast {fast:10,.0f} wi/s  slow {slow:10,.0f} "
+              f"wi/s  ratio {ratio:.2f}x  (committed {committed_ratio:.2f}x,"
+              f" floor {floor:.2f}x) {verdict}")
+        if ratio < floor:
+            failures.append(name)
+    if failures:
+        print(f"perf smoke FAILED: {', '.join(failures)} fast/slow ratio "
+              f"below {(1 - args.tolerance) * 100:.0f}% of baseline")
+        return 1
+    print("perf smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

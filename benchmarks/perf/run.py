@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Whole-workload executor throughput, recorded in BENCH_executor.json.
+
+Measures warp-instructions per second of uninstrumented application
+runs (compile excluded, launch + execute included).  Each measurement
+is best-of-N over fresh ``Device``/workload instances so allocator and
+cache state cannot leak between repetitions.
+
+The script deliberately sticks to API that exists in every revision of
+the repo (``make`` / ``ptxas`` / ``Device`` / ``execute``), so the same
+file can be pointed at an old checkout via ``PYTHONPATH`` to produce
+honest "before" numbers:
+
+    PYTHONPATH=<seed>/src python benchmarks/perf/run.py --label before
+    PYTHONPATH=src        python benchmarks/perf/run.py --label after
+
+Results merge into ``BENCH_executor.json``::
+
+    {"schema": "bench_executor/v1",
+     "unit": "warp_instrs_per_sec",
+     "workloads": {"rodinia/nn": {"before": ..., "after": ...,
+                                  "speedup": ...}}}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+DEFAULT_WORKLOADS = [
+    "rodinia/nn",
+    "rodinia/pathfinder",
+    "rodinia/hotspot",
+    "parboil/sgemm(small)",
+    "parboil/spmv(small)",
+]
+
+SCHEMA = "bench_executor/v1"
+
+
+def slow_config():
+    """The de-optimized executor config (per-instruction dispatch,
+    scalar per-lane memory) — the in-tree calibration reference the CI
+    gate normalizes against.  Returns None on revisions that predate
+    the knobs."""
+    from repro.sim.executor import SimConfig
+
+    try:
+        return SimConfig(fuse_blocks=False, vector_memory=False)
+    except TypeError:
+        return None
+
+
+def measure(name: str, repeats: int = 3, config=None) -> float:
+    """Best-of-N warp-instructions/second for one workload.
+
+    Only time spent inside ``Device.launch`` counts — host-side input
+    generation and result verification are identical in every revision
+    and would otherwise dilute the executor's throughput."""
+    from repro.backend import ptxas
+    from repro.sim import Device
+    from repro.workloads import make
+
+    kernel = ptxas(make(name).build_ir())   # compile outside the timer
+    best = 0.0
+    for _ in range(repeats + 1):            # first rep doubles as warmup
+        workload = make(name)
+        device = Device(config=config)
+        launch_seconds = [0.0]
+        real_launch = device.launch
+
+        def timed_launch(*args, **kwargs):
+            t0 = time.perf_counter()
+            result = real_launch(*args, **kwargs)
+            launch_seconds[0] += time.perf_counter() - t0
+            return result
+
+        device.launch = timed_launch
+        workload.execute(device, kernel)
+        rate = workload.last_trace.warp_instructions / launch_seconds[0]
+        best = max(best, rate)
+    return best
+
+
+def load_results(path: str) -> dict:
+    if os.path.exists(path):
+        with open(path) as fh:
+            data = json.load(fh)
+        if data.get("schema") == SCHEMA:
+            return data
+    return {"schema": SCHEMA, "unit": "warp_instrs_per_sec",
+            "workloads": {}}
+
+
+def merge(data: dict, name: str, label: str, rate: float,
+          keep_best: bool = False) -> None:
+    entry = data["workloads"].setdefault(name, {})
+    if keep_best and entry.get(label):
+        rate = max(rate, entry[label])
+    entry[label] = round(rate, 1)
+    if entry.get("before") and entry.get("after"):
+        entry["speedup"] = round(entry["after"] / entry["before"], 2)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workloads", nargs="*", default=DEFAULT_WORKLOADS)
+    parser.add_argument("--label", choices=("before", "after"),
+                        default="after")
+    parser.add_argument("--keep-best", action="store_true",
+                        help="merge by max with any existing number — "
+                             "for interleaved before/after sessions "
+                             "(alternate the two labels over several "
+                             "rounds so both sides sample the same "
+                             "machine conditions)")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", default=os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))), "BENCH_executor.json"))
+    args = parser.parse_args(argv)
+
+    data = load_results(args.output)
+    for name in args.workloads:
+        rate = measure(name, args.repeats)
+        merge(data, name, args.label, rate, args.keep_best)
+        if args.label == "after" and slow_config() is not None:
+            # same-window slow-path rate: the machine-speed calibration
+            # reference for benchmarks/perf/check.py's ratio gate
+            calibration = measure(name, args.repeats,
+                                  config=slow_config())
+            merge(data, name, "calibration", calibration, args.keep_best)
+        entry = data["workloads"][name]
+        speedup = entry.get("speedup")
+        extra = f"  (speedup {speedup}x)" if speedup else ""
+        print(f"{name:28s} {args.label}: {rate:12,.0f} wi/s{extra}")
+    with open(args.output, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

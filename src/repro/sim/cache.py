@@ -13,7 +13,9 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
+
+import numpy as np
 
 
 @dataclass
@@ -50,9 +52,12 @@ class Cache:
     def access(self, line_addr: int) -> bool:
         """Access one line address; returns True on hit.  Misses are
         forwarded to the next level (if any)."""
+        line = line_addr // self.line_bytes
+        return self._access_line(line % self.num_sets,
+                                 line // self.num_sets, line_addr)
+
+    def _access_line(self, index: int, tag: int, line_addr: int) -> bool:
         self.stats.accesses += 1
-        index = (line_addr // self.line_bytes) % self.num_sets
-        tag = line_addr // self.line_bytes // self.num_sets
         ways = self._sets.setdefault(index, OrderedDict())
         if tag in ways:
             ways.move_to_end(tag)
@@ -66,6 +71,27 @@ class Cache:
             ways.popitem(last=False)
             self.stats.evictions += 1
         return False
+
+    def access_lines(self, line_addresses: Sequence[int]) -> int:
+        """Access a whole transaction vector (in order); returns the
+        number of misses at this level.
+
+        Equivalent to ``sum(not self.access(a) for a in line_addresses)``
+        — set indices and tags are derived with one vectorized pass, and
+        stats (including next-level forwarding and LRU state) are
+        identical to the one-at-a-time loop.
+        """
+        if len(line_addresses) == 0:
+            return 0
+        arr = np.asarray(line_addresses, dtype=np.int64) // self.line_bytes
+        indices = (arr % self.num_sets).tolist()
+        tags = (arr // self.num_sets).tolist()
+        misses = 0
+        access_line = self._access_line
+        for index, tag, line_addr in zip(indices, tags, line_addresses):
+            if not access_line(index, tag, line_addr):
+                misses += 1
+        return misses
 
     def reset(self) -> None:
         self.stats.reset()

@@ -36,6 +36,13 @@ L1_MISS_COST = 4
 L2_MISS_COST = 16
 
 
+def block_issue_cycles(opcodes) -> int:
+    """Total issue cost of a straight-line opcode sequence — precomputed
+    per superblock so the fused dispatch path adds one integer instead
+    of calling :meth:`CycleCounter.issue` per instruction."""
+    return sum(1 + _EXTRA_ISSUE.get(opcode, 0) for opcode in opcodes)
+
+
 @dataclass
 class CycleCounter:
     """Accumulates the simulated cycle count for one kernel launch."""

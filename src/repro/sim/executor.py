@@ -34,7 +34,7 @@ from repro.isa.program import SassKernel, SassProgram
 from repro.isa.registers import GPR, SpecialReg
 from repro.sim.cache import Cache
 from repro.sim.coalescer import coalesce
-from repro.sim.costmodel import CycleCounter
+from repro.sim.costmodel import CycleCounter, block_issue_cycles
 from repro.sim.errors import DeviceFault, HangDetected
 from repro.sim.memory import (
     GLOBAL_BASE,
@@ -43,9 +43,13 @@ from repro.sim.memory import (
     SHARED_BYTES,
     Memory,
 )
-from repro.sim.warp import WARP_SIZE, Warp
-from repro.telemetry.classify import OPCLASS_KEY, sassi_key
-from repro.telemetry.collector import TELEMETRY
+from repro.sim.warp import WARP_SIZE, Warp, mask_to_u32
+from repro.telemetry.classify import (
+    OPCLASS_KEY,
+    block_dispatch_counts,
+    sassi_key,
+)
+from repro.telemetry.collector import TELEMETRY, Telemetry
 
 #: Physical bytes of local memory actually backed per thread (the
 #: addressing window is larger; see repro.sim.memory).
@@ -82,6 +86,17 @@ class SimConfig:
     enable_caches: bool = False
     #: watchdog: abort the launch after this many warp instructions.
     max_warp_instructions: int = 200_000_000
+    #: fast path: execute straight-line superblocks with batched
+    #: stats/telemetry accumulation (see ``_Superblock``).  Disable to
+    #: force per-instruction dispatch — semantics and statistics are
+    #: identical either way (the fast-path differential suite enforces
+    #: this bit-exactly).
+    fuse_blocks: bool = True
+    #: fast path: serve single-space warp memory accesses with one
+    #: vectorized gather/scatter instead of a per-lane loop.  Mixed-space
+    #: generic accesses and faulting accesses always take the scalar
+    #: path regardless.
+    vector_memory: bool = True
 
 
 class CTAContext:
@@ -135,6 +150,9 @@ class Executor:
         self._decoded: Optional[_DecodedKernel] = None
         self._targets: List[Optional[int]] = []
         self._cta: Optional[CTAContext] = None
+        #: (bank, offset) -> uint32; const banks are immutable during a
+        #: launch, so reads are memoized and flushed at each run().
+        self._const_cache: dict = {}
 
     # ------------------------------------------------------------ launch
 
@@ -142,6 +160,7 @@ class Executor:
             shared_bytes: int = 0) -> KernelStats:
         self.stats = KernelStats(kernel=kernel.name)
         self._watchdog = 0
+        self._const_cache.clear()
         self._kernel = kernel
         self._decoded = decode_kernel(kernel)
         self._targets = self._decoded.targets
@@ -156,16 +175,6 @@ class Executor:
                                   shared_bytes, counter)
         self.stats.cycles = counter.cycles
         return self.stats
-
-    def _resolve_targets(self, kernel: SassKernel) -> List[Optional[int]]:
-        targets: List[Optional[int]] = []
-        for instr in kernel.instructions:
-            target: Optional[int] = None
-            for operand in (*instr.srcs, *instr.dsts):
-                if isinstance(operand, LabelRef):
-                    target = kernel.label_target(operand.name)
-            targets.append(target)
-        return targets
 
     def _run_cta(self, ctaid, grid, block, num_threads, shared_bytes,
                  counter) -> None:
@@ -222,20 +231,70 @@ class Executor:
             self._decoded = decoded
             self._targets = decoded.targets
         records = decoded.records
+        blocks = decoded.blocks if self.config.fuse_blocks else None
         limit = len(records)
         max_warp_instructions = self.config.max_warp_instructions
         execute = self._execute
+        execute_block = self._execute_block
         while not warp.done and not warp.at_barrier:
-            if not (0 <= warp.pc < limit):
+            pc = warp.pc
+            if not (0 <= pc < limit):
                 raise DeviceFault(
-                    f"{kernel.name}: PC 0x{kernel.pc_of(warp.pc):x} outside "
+                    f"{kernel.name}: PC 0x{kernel.pc_of(pc):x} outside "
                     "kernel body")
+            if blocks is not None:
+                block = blocks[pc]
+                if block is not None:
+                    execute_block(block, warp, cta, counter)
+                    continue
             self._watchdog += 1
             if self._watchdog > max_warp_instructions:
                 raise HangDetected(
                     f"{kernel.name}: watchdog after {self._watchdog} "
                     "warp instructions")
-            execute(records[warp.pc], warp, cta, counter)
+            execute(records[pc], warp, cta, counter)
+
+    def _execute_block(self, block: "_Superblock", warp: Warp,
+                       cta: CTAContext, counter: CycleCounter) -> None:
+        """Execute one fused superblock.
+
+        Every record is unconditional straight-line code, so the guard
+        of each instruction is the warp's active mask, which nothing in
+        the block can change — one uniformity read serves all records.
+        Watchdog, stack-depth, and the per-instruction stats/telemetry
+        increments collapse to per-block deltas (flushed at block exit);
+        the opcode handlers themselves run exactly as on the slow path.
+        """
+        length = block.length
+        self._watchdog += length
+        if self._watchdog > self.config.max_warp_instructions:
+            raise HangDetected(
+                f"{self._kernel.name}: watchdog after {self._watchdog} "
+                "warp instructions")
+        stats = self.stats
+        if warp.stack_depth > stats.max_stack_depth:
+            stats.max_stack_depth = warp.stack_depth
+        g = warp.active
+        lanes = int(np.count_nonzero(g))
+        for handler, dec in block.dispatch:
+            handler(self, warp, cta, dec, g, counter)
+        stats.warp_instructions += length
+        stats.thread_instructions += lanes * length
+        if block.n_sassi:
+            stats.sassi_warp_instructions += block.n_sassi
+            stats.sassi_thread_instructions += lanes * block.n_sassi
+        stats.opcode_counts.update(block.opcode_counts)
+        counter.cycles += block.issue_cycles
+        telem = TELEMETRY
+        if telem.enabled:
+            if type(telem).record_dispatch is Telemetry.record_dispatch:
+                telem.record_block(block.telemetry_counts)
+            else:
+                # a subclass wants per-site granularity: replay the
+                # per-instruction hook (guards are uniform, so
+                # lanes == active for every record)
+                for _, dec in block.dispatch:
+                    telem.record_dispatch(dec, lanes, lanes)
 
     def step(self, warp: Warp, cta: CTAContext, instr: Instruction,
              counter: CycleCounter) -> None:
@@ -288,8 +347,13 @@ class Executor:
         if isinstance(operand, Imm):
             return np.uint32(operand.value & 0xFFFFFFFF)
         if isinstance(operand, ConstRef):
-            return np.uint32(self.device.const_read(operand.bank,
-                                                    operand.offset))
+            key = (operand.bank, operand.offset)
+            cached = self._const_cache.get(key)
+            if cached is None:
+                cached = np.uint32(self.device.const_read(operand.bank,
+                                                          operand.offset))
+                self._const_cache[key] = cached
+            return cached
         raise DeviceFault(f"unreadable operand: {operand!r}")
 
     def _write(self, warp: Warp, operand, value, g: np.ndarray) -> None:
@@ -301,7 +365,7 @@ class Executor:
             raise DeviceFault(f"register R{operand.index} out of range")
         row = warp.regs[operand.index]
         if isinstance(value, np.ndarray):
-            row[g] = value.astype(np.uint32, copy=False)[g]
+            np.copyto(row, value, where=g, casting="unsafe")
         else:
             row[g] = np.uint32(value)
 
@@ -352,8 +416,8 @@ class Executor:
         return (lo | (hi << np.uint64(32))) + offset
 
     def _account_global(self, addrs, g, width, counter) -> None:
-        active = [int(a) for a in addrs[g]]
-        if not active:
+        active = addrs[g]
+        if active.size == 0:
             return
         result = coalesce(active, width)
         self.stats.global_mem_instructions += 1
@@ -362,8 +426,7 @@ class Executor:
         if self.l1 is not None:
             l2 = self.l1.next_level
             l2_before = l2.stats.misses if l2 is not None else 0
-            l1_misses = sum(0 if self.l1.access(line) else 1
-                            for line in result.line_addresses)
+            l1_misses = self.l1.access_lines(result.line_addresses)
             l2_misses = (l2.stats.misses - l2_before) if l2 is not None else 0
             counter.cache_misses(l1_misses, l2_misses)
 
@@ -422,10 +485,90 @@ class _Decoded:
         return repr(self.instr)
 
 
-class _DecodedKernel:
-    """The decode cache for one kernel: records plus branch targets."""
+#: Opcodes that terminate a superblock: control transfers, divergence
+#: stack operations, barriers, SASSI handler calls — everything whose
+#: handler may redirect ``pc``, change the active mask, park the warp,
+#: or observe mid-block statistics (S2R reads ``SR_CLOCK``).
+_BLOCK_TERMINATORS = frozenset({
+    Opcode.BRA, Opcode.JCAL, Opcode.CAL, Opcode.RET, Opcode.EXIT,
+    Opcode.SSY, Opcode.SYNC, Opcode.PBK, Opcode.BRK, Opcode.BAR,
+    Opcode.S2R,
+})
 
-    __slots__ = ("kernel", "records", "targets")
+
+def _is_fusable(dec: "_Decoded") -> bool:
+    """Whether a record may live inside a fused superblock: straight-line
+    (handler always advances ``pc`` by one), unconditional (the block's
+    single guard-uniformity test covers it), and a known opcode (illegal
+    instructions fault on the slow path with the precise record)."""
+    return (dec.handler is not None and dec.uncond
+            and dec.opcode not in _BLOCK_TERMINATORS)
+
+
+class _Superblock:
+    """A maximal run of fusable records starting at a block leader.
+
+    Everything the per-instruction dispatch loop accrues incrementally
+    is pre-aggregated here: the opcode histogram, the SASSI-injected
+    instruction count, the total issue-cycle cost, and the telemetry
+    dispatch-counter deltas.  ``dispatch`` pairs each record with its
+    handler so the fused loop does two tuple loads per instruction.
+    """
+
+    __slots__ = ("start", "length", "records", "dispatch", "opcode_counts",
+                 "n_sassi", "issue_cycles", "telemetry_counts")
+
+    def __init__(self, start: int, records: List["_Decoded"]):
+        self.start = start
+        self.records = records
+        self.length = len(records)
+        self.dispatch = [(dec.handler, dec) for dec in records]
+        counts: Counter = Counter()
+        for dec in records:
+            counts[dec.opcode] += 1
+        self.opcode_counts = dict(counts)
+        self.n_sassi = sum(1 for dec in records if dec.sassi)
+        self.issue_cycles = block_issue_cycles(
+            dec.opcode for dec in records)
+        self.telemetry_counts = block_dispatch_counts(records)
+
+
+def _partition_superblocks(records: List["_Decoded"],
+                           targets: List[Optional[int]]
+                           ) -> List[Optional[_Superblock]]:
+    """Split *records* into superblocks.
+
+    ``blocks[pc]`` is the superblock *starting* at ``pc`` (None when
+    ``pc`` is not a fused-block leader).  Branch targets always start a
+    new block so a warp can only ever enter a block at its head; blocks
+    shorter than two instructions stay on the per-instruction path
+    (fusing them would only add overhead).
+    """
+    limit = len(records)
+    leaders = {target for target in targets
+               if target is not None and 0 <= target < limit}
+    blocks: List[Optional[_Superblock]] = [None] * limit
+    start = 0
+    while start < limit:
+        if not _is_fusable(records[start]):
+            start += 1
+            continue
+        end = start + 1
+        while (end < limit and end not in leaders
+               and _is_fusable(records[end])):
+            end += 1
+        if end - start >= 2:
+            blocks[start] = _Superblock(start, records[start:end])
+        start = end
+
+    return blocks
+
+
+class _DecodedKernel:
+    """The decode cache for one kernel: records, branch targets, and the
+    superblock partition driving the fused dispatch fast path."""
+
+    __slots__ = ("kernel", "records", "targets", "blocks")
 
     def __init__(self, kernel: SassKernel):
         self.kernel = kernel
@@ -439,6 +582,7 @@ class _DecodedKernel:
         self.targets = targets
         self.records = [_Decoded(instr, target) for instr, target
                         in zip(kernel.instructions, targets)]
+        self.blocks = _partition_superblocks(self.records, targets)
 
 
 def decode_kernel(kernel: SassKernel) -> _DecodedKernel:
@@ -523,10 +667,7 @@ def _op_s2r(ex, warp, cta, instr, g, counter):
 
 
 def _mask_to_int(mask: np.ndarray) -> int:
-    value = 0
-    for lane in np.nonzero(mask)[0]:
-        value |= 1 << int(lane)
-    return value
+    return mask_to_u32(mask)
 
 
 def _op_p2r(ex, warp, cta, instr, g, counter):
@@ -585,43 +726,53 @@ def _binary_int(ex, warp, instr):
 
 
 def _op_iadd(ex, warp, cta, instr, g, counter):
+    mods = instr.mods
+    if "NEGB" not in mods and "X" not in mods and "CC" not in mods:
+        # hot path: uint32 wraparound add == 64-bit add masked to 32 bits
+        a = _broadcast(ex._read(warp, instr.srcs[0]))
+        b = _as_u32(ex._read(warp, instr.srcs[1]))
+        ex._write(warp, instr.dsts[0], a + b, g)
+        warp.pc += 1
+        return
     a, b = _binary_int(ex, warp, instr)
-    if "NEGB" in instr.mods:
-        b = (~_broadcast(b) + np.uint32(1))
-    if "X" in instr.mods:
-        total = a.astype(np.uint64) + _u64(b) \
-            + warp.carry.astype(np.uint64)
+    if "NEGB" in mods:
+        b = ~_as_u32(b) + np.uint32(1)
+    # carry chains in uint32: wraparound detection (sum < addend) gives
+    # exactly bit 32 of the 64-bit sum, without uint64 temporaries.
+    if "X" in mods:
+        partial = a + b
+        result = partial + warp.carry
+        carry = (partial < a) | (result < partial)
     else:
-        total = a.astype(np.uint64) + _u64(b)
-    result = (total & np.uint64(0xFFFFFFFF)).astype(np.uint32)
-    if "CC" in instr.mods:
-        warp.carry[g] = (total >> np.uint64(32)).astype(bool)[g]
+        result = a + b
+        carry = result < a
+    if "CC" in mods:
+        np.copyto(warp.carry, carry, where=g)
     ex._write(warp, instr.dsts[0], result, g)
     warp.pc += 1
 
 
 def _op_imul(ex, warp, cta, instr, g, counter):
     a, b = _binary_int(ex, warp, instr)
+    # a 32x32 product always fits uint64, so one widening multiply
+    # suffices; the uint64->uint32 cast is the & 0xFFFFFFFF truncation.
+    wide = np.multiply(a, b, dtype=np.uint64)
     if "WIDE" in instr.mods:
-        wide = a.astype(np.uint64) * _u64(b)
-        lo = (wide & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        lo = wide.astype(np.uint32)
         hi = (wide >> np.uint64(32)).astype(np.uint32)
         dst = instr.dsts[0]
         ex._write(warp, dst, lo, g)
         ex._write(warp, GPR(dst.index + 1), hi, g)
     else:
-        with np.errstate(over="ignore"):
-            result = (a.astype(np.uint64) * _u64(b)
-                      & np.uint64(0xFFFFFFFF)).astype(np.uint32)
-        ex._write(warp, instr.dsts[0], result, g)
+        ex._write(warp, instr.dsts[0], wide.astype(np.uint32), g)
     warp.pc += 1
 
 
 def _op_imad(ex, warp, cta, instr, g, counter):
-    a = _broadcast(ex._read(warp, instr.srcs[0])).astype(np.uint64)
-    b = _u64(_as_u32(ex._read(warp, instr.srcs[1])))
+    a = _broadcast(ex._read(warp, instr.srcs[0]))
+    b = _as_u32(ex._read(warp, instr.srcs[1]))
     c = _u64(_as_u32(ex._read(warp, instr.srcs[2])))
-    result = ((a * b + c) & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+    result = (np.multiply(a, b, dtype=np.uint64) + c).astype(np.uint32)
     ex._write(warp, instr.dsts[0], result, g)
     warp.pc += 1
 
@@ -723,10 +874,11 @@ def _op_popc(ex, warp, cta, instr, g, counter):
 
 def _op_flo(ex, warp, cta, instr, g, counter):
     a = _broadcast(ex._read(warp, instr.srcs[0]))
-    result = np.zeros(WARP_SIZE, dtype=np.uint32)
-    for lane in range(WARP_SIZE):
-        value = int(a[lane])
-        result[lane] = value.bit_length() - 1 if value else 0xFFFFFFFF
+    # bit_length via frexp: float64 holds any uint32 exactly, and frexp's
+    # exponent is exact (no log2 rounding hazard at powers of two).
+    _, exponent = np.frexp(a.astype(np.float64))
+    result = np.where(a == 0, np.uint32(0xFFFFFFFF),
+                      (exponent - 1).astype(np.uint32))
     ex._write(warp, instr.dsts[0], result, g)
     warp.pc += 1
 
@@ -872,25 +1024,93 @@ def _op_mov_advance(ex, warp, cta, instr, g, counter):
 _SIGNED_EXT = {"S8": (1, True), "U8": (1, False),
                "S16": (2, True), "U16": (2, False)}
 
+#: Opcode → fixed memory space of the vectorized classifier; generic
+#: LD/ST dispatch by window instead (same ladder as ``_resolve_space``).
+_GLOBAL_OPS = frozenset({Opcode.LDG, Opcode.STG, Opcode.ATOM, Opcode.RED,
+                         Opcode.TLD})
+_SHARED_OPS = frozenset({Opcode.LDS, Opcode.STS, Opcode.ATOMS})
+_LOCAL_OPS = frozenset({Opcode.LDL, Opcode.STL})
 
-def _local_fast_path(ex, warp, cta, instr, g, addrs, width):
-    """Vectorized LDL/STL when every active lane uses the same
-    (aligned) offset — the shape of all SASSI spill traffic."""
-    if instr.opcode not in (Opcode.LDL, Opcode.STL):
-        return None
-    if width not in (4, 8):
-        return None
+
+def _local_bounds_ok(offsets: np.ndarray, width: int) -> bool:
+    return (int(offsets.min()) >= 0
+            and int(offsets.max()) + width <= LOCAL_PHYS_BYTES)
+
+
+def _vector_plan(ex, warp, cta, instr, g, addrs, width):
+    """Classify every active lane of one warp memory access at once.
+
+    Returns ``(memory, offsets, local_tids)``: the single
+    :class:`Memory` serving all lanes plus per-lane int64 offsets, or —
+    for thread-local accesses (``local_tids`` not None) — offsets into
+    the CTA-wide local block, gathered 2-D by (thread, byte).  Returns
+    None when the access cannot be served by one vectorized
+    gather/scatter: no active lanes, lanes straddling spaces, unmapped
+    generic addresses, or any lane out of bounds — the scalar loop then
+    reproduces the exact per-lane classification and fault.
+    """
     active = addrs[g]
-    if len(active) == 0:
+    if active.size == 0:
         return None
-    offset = int(active[0])
-    if offset % 4 or offset + width > LOCAL_PHYS_BYTES or offset < 0:
+    offsets = active.astype(np.int64)
+    opcode = instr.opcode
+    if opcode in _GLOBAL_OPS:
+        mem = ex.device.global_mem
+        offsets -= GLOBAL_BASE
+    elif opcode in _SHARED_OPS:
+        mem = cta.shared
+    elif opcode is Opcode.LDC:
+        mem = ex.device.const_mem
+    elif opcode in _LOCAL_OPS:
+        if not _local_bounds_ok(offsets, width):
+            return None
+        return None, offsets, warp.lane_thread_ids[g]
+    else:  # generic LD/ST: the local window sits above the global heap
+        if bool((offsets >= LOCAL_BASE).all()):
+            offsets -= LOCAL_BASE
+            if not _local_bounds_ok(offsets, width):
+                return None
+            return None, offsets, warp.lane_thread_ids[g]
+        if bool(((offsets >= GLOBAL_BASE)
+                 & (offsets < LOCAL_BASE)).all()):
+            mem = ex.device.global_mem
+            offsets -= GLOBAL_BASE
+        elif bool(((offsets >= SHARED_BASE)
+                   & (offsets < SHARED_BASE + SHARED_BYTES)).all()):
+            mem = cta.shared
+            offsets -= SHARED_BASE
+        else:
+            return None          # mixed-space or unmapped
+    if not mem.lanes_in_bounds(offsets, width):
         return None
-    if not (active == active[0]).all():
-        return None
+    return mem, offsets, None
+
+
+def _local_lane_index(offsets: np.ndarray, width: int) -> np.ndarray:
+    return offsets.reshape(-1, 1) + np.arange(width, dtype=np.int64)
+
+
+def _local_read_lanes(cta, tids, offsets, width) -> np.ndarray:
     block = cta.local_block()
-    tids = warp.lane_thread_ids[g]
-    return block, tids, offset
+    raw = block[tids.reshape(-1, 1), _local_lane_index(offsets, width)]
+    return raw.view(np.uint32)
+
+
+def _local_write_lanes(cta, tids, offsets, width, words) -> None:
+    block = cta.local_block()
+    payload = np.ascontiguousarray(words, dtype=np.uint32).view(np.uint8)
+    block[tids.reshape(-1, 1), _local_lane_index(offsets, width)] = \
+        payload.reshape(len(offsets), width)
+
+
+def _scatter_is_disjoint(offsets: np.ndarray, width: int) -> bool:
+    """Whether the per-lane ranges ``[offset, offset+width)`` never
+    overlap — the precondition for a well-defined numpy scatter (on
+    overlap, lane order decides and the scalar loop is authoritative)."""
+    if len(offsets) < 2:
+        return True
+    ordered = np.sort(offsets)
+    return int((ordered[1:] - ordered[:-1]).min()) >= width
 
 
 def _op_load(ex, warp, cta, instr, g, counter):
@@ -900,15 +1120,17 @@ def _op_load(ex, warp, cta, instr, g, counter):
         ex._account_global(addrs, g, width, counter)
     dst = instr.dsts[0]
     narrow = instr.narrow
-    if narrow is None:
-        fast = _local_fast_path(ex, warp, cta, instr, g, addrs, width)
-        if fast is not None:
-            block, tids, offset = fast
-            raw = block[tids, offset:offset + width]
-            words = np.ascontiguousarray(raw).view(np.uint32) \
-                .reshape(len(tids), width // 4)
+    if narrow is None and width % 4 == 0 and ex.config.vector_memory:
+        plan = _vector_plan(ex, warp, cta, instr, g, addrs, width)
+        if plan is not None:
+            mem, offsets, tids = plan
+            if tids is None:
+                words = mem.read_lanes(offsets, width)
+            else:
+                words = _local_read_lanes(cta, tids, offsets, width)
+            regs = warp.regs
             for word in range(width // 4):
-                warp.regs[dst.index + word][g] = words[:, word]
+                regs[dst.index + word][g] = words[:, word]
             warp.pc += 1
             return
     for lane in np.nonzero(g)[0]:
@@ -936,16 +1158,23 @@ def _op_store(ex, warp, cta, instr, g, counter):
         ex._account_global(addrs, g, width, counter)
     data = instr.srcs[-1]
     narrow = instr.narrow
-    if narrow is None and isinstance(data, GPR) and not data.is_zero:
-        fast = _local_fast_path(ex, warp, cta, instr, g, addrs, width)
-        if fast is not None:
-            block, tids, offset = fast
-            words = np.empty((len(tids), width // 4), dtype=np.uint32)
-            for word in range(width // 4):
-                words[:, word] = warp.regs[data.index + word][g]
-            block[tids, offset:offset + width] = words.view(np.uint8)
-            warp.pc += 1
-            return
+    if (narrow is None and width % 4 == 0 and ex.config.vector_memory
+            and isinstance(data, GPR) and not data.is_zero):
+        plan = _vector_plan(ex, warp, cta, instr, g, addrs, width)
+        if plan is not None:
+            mem, offsets, tids = plan
+            # thread-local lanes write disjoint rows by construction
+            if tids is not None or _scatter_is_disjoint(offsets, width):
+                words = np.empty((len(offsets), width // 4), dtype=np.uint32)
+                regs = warp.regs
+                for word in range(width // 4):
+                    words[:, word] = regs[data.index + word][g]
+                if tids is None:
+                    mem.write_lanes(offsets, width, words)
+                else:
+                    _local_write_lanes(cta, tids, offsets, width, words)
+                warp.pc += 1
+                return
     for lane in np.nonzero(g)[0]:
         lane = int(lane)
         mem, offset, _ = ex._resolve_space(warp, cta, instr,
@@ -977,6 +1206,55 @@ _ATOM_FNS = {
 }
 
 
+def _atom_vectorized(ex, warp, cta, instr, g, addrs, op, signed,
+                     value_src, has_dst) -> bool:
+    """Serve a whole warp atomic with one gather/compute/scatter.
+
+    Only when every active lane targets a distinct word — conflicting
+    lanes serialize in lane order, which the scalar loop is
+    authoritative for.  Returns False to send the access down the
+    scalar path.
+    """
+    plan = _vector_plan(ex, warp, cta, instr, g, addrs, 4)
+    if plan is None:
+        return False
+    mem, offsets, tids = plan
+    if tids is not None or not _scatter_is_disjoint(offsets, 4):
+        return False
+    old = mem.read_lanes(offsets, 4)[:, 0]
+    if isinstance(value_src, GPR):
+        val = warp.regs[value_src.index][g]
+    else:
+        val = np.full(len(offsets), value_src.value & 0xFFFFFFFF,
+                      dtype=np.uint32)
+    if op in ("MIN", "MAX"):
+        fn = np.minimum if op == "MIN" else np.maximum
+        if signed:
+            new = fn(old.view(np.int32), val.view(np.int32)).view(np.uint32)
+        else:
+            new = fn(old, val)
+    elif op == "EXCH":
+        new = val
+    elif op == "INC":
+        new = old + np.uint32(1)
+    elif op == "DEC":
+        new = old - np.uint32(1)
+    elif op == "AND":
+        new = old & val
+    elif op == "OR":
+        new = old | val
+    elif op == "XOR":
+        new = old ^ val
+    elif op == "ADD":
+        new = old + val
+    else:
+        return False
+    mem.write_lanes(offsets, 4, new.reshape(-1, 1))
+    if has_dst:
+        warp.regs[instr.dsts[0].index][g] = old
+    return True
+
+
 def _op_atom(ex, warp, cta, instr, g, counter):
     addrs = ex.lane_addresses(warp, instr)
     if instr.opcode in (Opcode.ATOM, Opcode.RED):
@@ -985,6 +1263,10 @@ def _op_atom(ex, warp, cta, instr, g, counter):
     signed = "S32" in instr.mods
     value_src = instr.srcs[-1]
     has_dst = bool(instr.dsts)
+    if ex.config.vector_memory and _atom_vectorized(
+            ex, warp, cta, instr, g, addrs, op, signed, value_src, has_dst):
+        warp.pc += 1
+        return
     for lane in np.nonzero(g)[0]:
         lane = int(lane)
         mem, offset, _ = ex._resolve_space(warp, cta, instr,

@@ -79,6 +79,38 @@ class Memory:
         self.data[addr:addr + width] = np.frombuffer(
             value.to_bytes(width, "little"), dtype=np.uint8)
 
+    # ------------------------------------------------- vectorized lanes
+
+    def lanes_in_bounds(self, offsets: np.ndarray, width: int) -> bool:
+        """Whether every per-lane access ``[offset, offset+width)`` fits."""
+        if offsets.size == 0:
+            return True
+        lo = int(offsets.min())
+        return lo >= 0 and int(offsets.max()) + width <= self.size
+
+    def read_lanes(self, offsets: np.ndarray, width: int) -> np.ndarray:
+        """Gather *width*-byte accesses at *offsets* (one per lane).
+
+        Returns a ``(len(offsets), width // 4)`` uint32 array of the
+        little-endian words of each access — the shape the executor
+        scatters straight into register rows.  *width* must be a
+        multiple of 4; callers bounds-check with :meth:`lanes_in_bounds`
+        first (out-of-range lanes take the scalar path so faults carry
+        the per-lane address).
+        """
+        index = offsets.reshape(-1, 1) + np.arange(width, dtype=np.int64)
+        raw = self.data[index]
+        return raw.view(np.uint32)
+
+    def write_lanes(self, offsets: np.ndarray, width: int,
+                    words: np.ndarray) -> None:
+        """Scatter per-lane values: *words* is ``(len(offsets), width//4)``
+        uint32.  Lanes scatter in order, so on overlapping addresses the
+        highest lane wins — the same contract as the scalar loop."""
+        index = offsets.reshape(-1, 1) + np.arange(width, dtype=np.int64)
+        payload = np.ascontiguousarray(words, dtype=np.uint32).view(np.uint8)
+        self.data[index] = payload.reshape(len(offsets), width)
+
     def read_bytes(self, addr: int, count: int) -> bytes:
         self._check(addr, count)
         return self.data[addr:addr + count].tobytes()

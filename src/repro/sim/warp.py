@@ -32,6 +32,12 @@ from repro.sim.errors import DeviceFault
 WARP_SIZE = 32
 
 
+def mask_to_u32(mask: np.ndarray) -> int:
+    """Pack a 32-lane boolean mask into its ballot integer (lane 0 =
+    bit 0) with one vectorized pass."""
+    return int(np.packbits(mask[::-1]).view(">u4")[0])
+
+
 class TokenKind(enum.Enum):
     SYNC = "sync"   # pushed by SSY
     DIV = "div"     # pushed by a divergent branch
@@ -45,8 +51,7 @@ class Token:
     mask: np.ndarray           # lanes parked in (or owned by) this token
 
     def __repr__(self) -> str:
-        bits = int(np.packbits(self.mask[::-1]).view(">u4")[0]) \
-            if len(self.mask) == 32 else -1
+        bits = mask_to_u32(self.mask) if len(self.mask) == 32 else -1
         return f"<{self.kind.value} pc={self.pc} mask={bits:#010x}>"
 
 

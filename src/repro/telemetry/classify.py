@@ -16,7 +16,7 @@ decode cache) so the hot loop only does dictionary increments:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.isa.instruction import MemRef
 from repro.isa.opcodes import OpClass, Opcode, OPCODE_CLASSES
@@ -100,6 +100,24 @@ def _is_spill_slot(offset: int, P) -> bool:
         return True
     return P.BP_GPR_SPILL <= offset \
         < P.BP_GPR_SPILL + 4 * P.NUM_SPILL_SLOTS
+
+
+def block_dispatch_counts(records) -> Dict[str, int]:
+    """Aggregate the dispatch-counter keys of a fused superblock.
+
+    Resolved once at decode time so the executor's fast path folds one
+    small dict per block instead of touching the counters once per
+    instruction.  Input records carry ``opclass_key``/``sassi_key``
+    (the executor's ``_Decoded`` shape).
+    """
+    counts: Dict[str, int] = {}
+    for dec in records:
+        key = dec.opclass_key
+        counts[key] = counts.get(key, 0) + 1
+        key = dec.sassi_key
+        if key is not None:
+            counts[key] = counts.get(key, 0) + 1
+    return counts
 
 
 #: The save/restore bucket is the union of these counter keys.

@@ -149,6 +149,22 @@ class Telemetry:
         if key is not None:
             counters[key] = counters.get(key, 0) + 1
 
+    def record_block(self, counts: Dict[str, int]) -> None:
+        """Hot-loop hook: fold one fused superblock's predecoded
+        dispatch-counter deltas in a single pass.
+
+        *counts* aggregates ``opclass_key``/``sassi_key`` over the
+        block's records (see
+        :func:`repro.telemetry.classify.block_dispatch_counts`).  Blocks
+        are only fused when every instruction is unconditional, so no
+        ``divergence.partial_dispatch`` increment can arise — totals are
+        exactly what per-instruction :meth:`record_dispatch` calls would
+        have produced.
+        """
+        counters = self.counters
+        for key, value in counts.items():
+            counters[key] = counters.get(key, 0) + value
+
     # ------------------------------------------------------------ spans
 
     def push(self, name: str, meta: Optional[Dict[str, Any]] = None) -> Span:

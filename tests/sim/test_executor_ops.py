@@ -41,7 +41,6 @@ class TestWarpOps:
 """))
         executor = Executor(device)
         executor._kernel = kernel
-        executor._targets = executor._resolve_targets(kernel)
         warp = Warp(0, 8, 32, np.arange(32))
         executor._init_warp(warp, (0, 0, 0), Dim3(1), Dim3(32), 32)
         executor._run_warp(warp, CTAContext((0, 0, 0), 0), CycleCounter())
@@ -64,7 +63,6 @@ class TestWarpOps:
 """))
         executor = Executor(device)
         executor._kernel = kernel
-        executor._targets = executor._resolve_targets(kernel)
         warp = Warp(0, 8, 32, np.arange(32))
         executor._init_warp(warp, (0, 0, 0), Dim3(1), Dim3(32), 32)
         executor._run_warp(warp, CTAContext((0, 0, 0), 0), CycleCounter())
@@ -172,3 +170,28 @@ class TestCostModel:
                                  [data, stride]).cycles
 
         assert cycles_of(16) > cycles_of(1)
+
+
+class TestFlo:
+    def test_flo_edge_cases(self, device):
+        from repro.sim.costmodel import CycleCounter
+        from repro.sim.executor import CTAContext, Executor
+        from repro.sim.warp import Warp
+
+        kernel = device.load_kernel(parse_kernel("""
+.kernel flo
+        FLO R2, R3 ;
+        EXIT ;
+"""))
+        values = [0, 1, 0xFFFFFFFF, 0x80000000, 0x7FFFFFFF, 2, 3]
+        values += [1 << k for k in range(2, 27)]          # powers of two
+        assert len(values) == 32
+        executor = Executor(device)
+        executor._kernel = kernel
+        warp = Warp(0, 8, 32, np.arange(32))
+        executor._init_warp(warp, (0, 0, 0), Dim3(1), Dim3(32), 32)
+        warp.regs[3] = np.array(values, dtype=np.uint32)
+        executor._run_warp(warp, CTAContext((0, 0, 0), 0), CycleCounter())
+        expected = [0xFFFFFFFF if v == 0 else v.bit_length() - 1
+                    for v in values]
+        assert warp.regs[2].tolist() == expected

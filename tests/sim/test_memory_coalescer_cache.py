@@ -213,3 +213,98 @@ class TestWarpStack:
         warp = self.make_warp()
         with pytest.raises(DeviceFault):
             warp.sync()
+
+
+class TestLaneIO:
+    """The warp-vectorized ndarray view API (read_lanes/write_lanes)."""
+
+    def test_read_lanes_matches_scalar_reads(self):
+        mem = Memory(1024)
+        rng = np.random.default_rng(3)
+        mem.data[:] = rng.integers(0, 256, 1024, dtype=np.uint8)
+        for width in (4, 8, 16):
+            offsets = rng.integers(0, 1024 - width, 32).astype(np.int64)
+            words = mem.read_lanes(offsets, width)
+            assert words.shape == (32, width // 4)
+            for lane, offset in enumerate(offsets):
+                raw = mem.read(int(offset), width)
+                for word in range(width // 4):
+                    assert words[lane, word] == (raw >> (32 * word)) \
+                        & 0xFFFFFFFF
+
+    def test_write_lanes_roundtrip(self):
+        mem = Memory(4096)
+        rng = np.random.default_rng(4)
+        for width in (4, 8, 16):
+            offsets = (np.arange(32, dtype=np.int64) * width) + 64
+            words = rng.integers(0, 1 << 32, (32, width // 4),
+                                 dtype=np.uint64).astype(np.uint32)
+            mem.write_lanes(offsets, width, words)
+            assert np.array_equal(mem.read_lanes(offsets, width), words)
+            for lane, offset in enumerate(offsets):   # scalar agreement
+                raw = mem.read(int(offset), width)
+                for word in range(width // 4):
+                    assert (raw >> (32 * word)) & 0xFFFFFFFF \
+                        == words[lane, word]
+
+    def test_lanes_in_bounds(self):
+        mem = Memory(256)
+        ok = np.array([0, 100, 252], dtype=np.int64)
+        assert mem.lanes_in_bounds(ok, 4)
+        assert not mem.lanes_in_bounds(np.array([253], dtype=np.int64), 4)
+        assert not mem.lanes_in_bounds(np.array([-1], dtype=np.int64), 4)
+        assert mem.lanes_in_bounds(np.array([], dtype=np.int64), 4)
+
+
+class TestCoalesceEquivalence:
+    """The vectorized coalescer must agree with the scalar reference
+    walk bit-exactly — including line ordering, which feeds the cache
+    models and the binary trace bytes."""
+
+    @given(addrs=st.lists(st.integers(0, 1 << 33), min_size=1,
+                          max_size=32),
+           width=st.sampled_from([1, 2, 4, 8, 16, 32, 64]))
+    @settings(max_examples=300, deadline=None)
+    def test_matches_scalar_reference(self, addrs, width):
+        from repro.sim.coalescer import _coalesce_scalar
+
+        arr = np.asarray(addrs, dtype=np.uint64)
+        assert coalesce(arr, width) == _coalesce_scalar(arr, width)
+
+    def test_straddle_orders_both_lines(self):
+        addrs = [LINE_BYTES - 2, 5 * LINE_BYTES]
+        result = coalesce(addrs, 4)
+        assert result.line_addresses == (0, LINE_BYTES, 5 * LINE_BYTES)
+
+    def test_first_occurrence_order_preserved(self):
+        addrs = [3 * LINE_BYTES, LINE_BYTES, 3 * LINE_BYTES + 4, 0]
+        result = coalesce(addrs, 4)
+        assert result.line_addresses == (3 * LINE_BYTES, LINE_BYTES, 0)
+
+
+class TestAccessLinesEquivalence:
+    """Batched Cache.access_lines == the one-at-a-time access loop:
+    same miss count, same hit/miss/eviction stats, same LRU state, and
+    identical next-level forwarding."""
+
+    def test_matches_scalar_loop(self):
+        rng = np.random.default_rng(9)
+        batched = kepler_hierarchy()
+        scalar = kepler_hierarchy()
+        for _ in range(20):
+            lines = (rng.integers(0, 3000, rng.integers(1, 40))
+                     * LINE_BYTES).tolist()
+            misses = batched.access_lines(lines)
+            assert misses == sum(not scalar.access(a) for a in lines)
+        for a, b in ((batched, scalar),
+                     (batched.next_level, scalar.next_level)):
+            assert a.stats == b.stats
+            assert a._sets == b._sets
+
+    def test_empty_and_ndarray_inputs(self):
+        cache = Cache(1024, ways=2)
+        assert cache.access_lines([]) == 0
+        assert cache.access_lines(np.array([], dtype=np.int64)) == 0
+        arr = np.array([0, 32, 0, 64], dtype=np.int64)
+        assert cache.access_lines(arr) == 3
+        assert cache.stats.hits == 1

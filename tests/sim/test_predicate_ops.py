@@ -19,7 +19,6 @@ def run_snippet(body: str, setup):
     kernel = device.load_kernel(parse_kernel(f".kernel t\n{body}\nEXIT ;"))
     executor = Executor(device)
     executor._kernel = kernel
-    executor._targets = executor._resolve_targets(kernel)
     cta = CTAContext((0, 0, 0), 0)
     warp = Warp(0, 16, 32, np.arange(32))
     setup(warp)
