@@ -24,9 +24,22 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from run import load_results, measure, slow_config  # noqa: E402
+from run import (  # noqa: E402
+    instrumented_key,
+    instrumented_scalar_config,
+    load_results,
+    measure,
+    measure_instrumented,
+    slow_config,
+)
 
 SMOKE_WORKLOADS = ["rodinia/nn", "rodinia/pathfinder"]
+
+#: instrumented smoke: (handler, workload) pairs for the ratio gate
+INSTRUMENTED_SMOKE = [
+    ("branch_profiler", "rodinia/nn"),
+    ("opcode_histogram", "rodinia/nn"),
+]
 
 
 def main(argv=None) -> int:
@@ -65,6 +78,32 @@ def main(argv=None) -> int:
               f" floor {floor:.2f}x) {verdict}")
         if ratio < floor:
             failures.append(name)
+    if instrumented_scalar_config() is not None:
+        # instrumented ratio gate: the warp-wide handler fast lanes vs
+        # the per-lane scalar path, normalized the same way (machine
+        # speed cancels; falling off the site-plan path collapses the
+        # ratio toward 1)
+        for handler, name in INSTRUMENTED_SMOKE:
+            key = instrumented_key(handler, name)
+            entry = data["workloads"].get(key, {})
+            committed_after = entry.get("after")
+            committed_calibration = entry.get("calibration")
+            if not committed_after or not committed_calibration:
+                print(f"{key:44s} SKIP (no committed baseline)")
+                continue
+            committed_ratio = committed_after / committed_calibration
+            fast = measure_instrumented(name, handler, args.repeats)
+            slow = measure_instrumented(name, handler, args.repeats,
+                                        scalar=True)
+            ratio = fast / slow
+            floor = committed_ratio * (1.0 - args.tolerance)
+            verdict = "ok" if ratio >= floor else "REGRESSION"
+            print(f"{key:44s} fast {fast:10,.0f} wi/s  slow "
+                  f"{slow:10,.0f} wi/s  ratio {ratio:.2f}x  "
+                  f"(committed {committed_ratio:.2f}x, floor "
+                  f"{floor:.2f}x) {verdict}")
+            if ratio < floor:
+                failures.append(key)
     if failures:
         print(f"perf smoke FAILED: {', '.join(failures)} fast/slow ratio "
               f"below {(1 - args.tolerance) * 100:.0f}% of baseline")

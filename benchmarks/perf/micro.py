@@ -12,6 +12,9 @@ touched:
                    and scattered warp address patterns.
 * ``cache``      — ``Cache.access_lines()`` lines/sec on a mixed
                    hit/miss stream.
+* ``replay``     — trace-replay records/sec through every registered
+                   :mod:`repro.trace.replay` analysis (the baseline for
+                   future replay optimizations).
 
 Run: ``PYTHONPATH=src python benchmarks/perf/micro.py [--json out]``.
 """
@@ -113,11 +116,36 @@ def bench_cache(iterations: int = 2000) -> float:
     return iterations * len(lines) / (time.perf_counter() - t0)
 
 
+def bench_replay(iterations: int = 5) -> float:
+    """Replay records/sec through all registered trace analyses.
+
+    Captures one small workload trace, then times full streaming
+    replay passes (decode + every analysis hook) over it."""
+    import os
+    import tempfile
+
+    from repro.trace.capture import capture_workload
+    from repro.trace.replay import ANALYSES, make_analysis, replay
+
+    fd, path = tempfile.mkstemp(suffix=".rptrace", prefix="bench-replay-")
+    os.close(fd)
+    try:
+        manifest, _, _ = capture_workload("rodinia/nn", path)
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            replay(path, [make_analysis(name) for name in sorted(ANALYSES)])
+        elapsed = time.perf_counter() - t0
+        return iterations * manifest.total_events / elapsed
+    finally:
+        os.unlink(path)
+
+
 BENCHES = {
     "dispatch": bench_dispatch,
     "load_store": bench_load_store,
     "coalesce": bench_coalesce,
     "cache": bench_cache,
+    "replay": bench_replay,
 }
 
 

@@ -38,6 +38,17 @@ DEFAULT_WORKLOADS = [
     "parboil/spmv(small)",
 ]
 
+#: the five stock handlers of the instrumented-run benches
+INSTRUMENTED_HANDLERS = [
+    "branch_profiler",
+    "memory_divergence",
+    "opcode_histogram",
+    "value_profiler",
+    "memtrace",
+]
+
+DEFAULT_INSTRUMENTED_WORKLOADS = ["rodinia/nn", "rodinia/pathfinder"]
+
 SCHEMA = "bench_executor/v1"
 
 
@@ -85,6 +96,81 @@ def measure(name: str, repeats: int = 3, config=None) -> float:
     return best
 
 
+def instrumented_scalar_config():
+    """The fully de-vectorized instrumented config: per-instruction
+    dispatch, scalar memory, and no fused site plans.  Returns None on
+    revisions that predate the knobs."""
+    from repro.sim.executor import SimConfig
+
+    try:
+        return SimConfig(fuse_blocks=False, vector_memory=False,
+                         fuse_handler_calls=False)
+    except TypeError:
+        return None
+
+
+def make_profiler(handler: str, device, vectorized: bool = True):
+    """Construct one of the five stock profilers on *device*."""
+    if handler == "branch_profiler":
+        from repro.handlers.branch_profiler import BranchProfiler
+        return BranchProfiler(device, vectorized=vectorized)
+    if handler == "memory_divergence":
+        from repro.handlers.memory_divergence import MemoryDivergenceProfiler
+        return MemoryDivergenceProfiler(device, vectorized=vectorized)
+    if handler == "opcode_histogram":
+        from repro.handlers.opcode_histogram import OpcodeHistogram
+        return OpcodeHistogram(device, vectorized=vectorized)
+    if handler == "value_profiler":
+        from repro.handlers.value_profiler import ValueProfiler
+        return ValueProfiler(device, vectorized=vectorized)
+    if handler == "memtrace":
+        from repro.handlers.memtrace import MemoryTracer
+        return MemoryTracer(device, vectorized=vectorized)
+    raise KeyError(f"unknown handler {handler!r}")
+
+
+def measure_instrumented(name: str, handler: str, repeats: int = 3,
+                         scalar: bool = False) -> float:
+    """Best-of-N warp-instructions/second for one instrumented run.
+
+    ``scalar=True`` measures the full per-lane reference path (no site
+    plans, scalar contexts, scalar handler bodies) — the honest
+    "before" for the instrumented speedup and the calibration reference
+    for the CI ratio gate."""
+    from repro.sim import Device
+    from repro.workloads import make
+
+    config = instrumented_scalar_config() if scalar else None
+    best = 0.0
+    for _ in range(repeats + 1):            # first rep doubles as warmup
+        workload = make(name)
+        device = Device(config=config)
+        profiler = make_profiler(handler, device, vectorized=not scalar)
+        if scalar:
+            profiler.runtime.vectorize_contexts = False
+        kernel = profiler.compile(workload.build_ir())
+        launch_seconds = [0.0]
+        real_launch = device.launch
+
+        def timed_launch(*args, **kwargs):
+            t0 = time.perf_counter()
+            result = real_launch(*args, **kwargs)
+            launch_seconds[0] += time.perf_counter() - t0
+            return result
+
+        device.launch = timed_launch
+        workload.execute(device, kernel)
+        rate = workload.last_trace.warp_instructions / launch_seconds[0]
+        if hasattr(profiler, "close"):
+            profiler.close()
+        best = max(best, rate)
+    return best
+
+
+def instrumented_key(handler: str, name: str) -> str:
+    return f"instrumented/{handler}/{name}"
+
+
 def load_results(path: str) -> dict:
     if os.path.exists(path):
         with open(path) as fh:
@@ -117,12 +203,39 @@ def main(argv=None) -> int:
                              "rounds so both sides sample the same "
                              "machine conditions)")
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--instrumented", action="store_true",
+                        help="also measure the five stock handlers "
+                             "(fast vs per-lane scalar path) on the "
+                             "instrumented workloads")
+    parser.add_argument("--instrumented-workloads", nargs="*",
+                        default=DEFAULT_INSTRUMENTED_WORKLOADS)
+    parser.add_argument("--handlers", nargs="*",
+                        default=INSTRUMENTED_HANDLERS)
     parser.add_argument("--output", default=os.path.join(
         os.path.dirname(os.path.dirname(os.path.dirname(
             os.path.abspath(__file__)))), "BENCH_executor.json"))
     args = parser.parse_args(argv)
 
     data = load_results(args.output)
+    if args.instrumented:
+        if instrumented_scalar_config() is None:
+            print("instrumented benches SKIP: no scalar-config knobs")
+        else:
+            for handler in args.handlers:
+                for name in args.instrumented_workloads:
+                    key = instrumented_key(handler, name)
+                    fast = measure_instrumented(name, handler,
+                                                args.repeats)
+                    scalar = measure_instrumented(name, handler,
+                                                  args.repeats,
+                                                  scalar=True)
+                    merge(data, key, "after", fast, args.keep_best)
+                    merge(data, key, "before", scalar, args.keep_best)
+                    merge(data, key, "calibration", scalar,
+                          args.keep_best)
+                    entry = data["workloads"][key]
+                    print(f"{key:44s} after: {fast:12,.0f} wi/s  "
+                          f"(speedup {entry.get('speedup')}x)")
     for name in args.workloads:
         rate = measure(name, args.repeats)
         merge(data, name, args.label, rate, args.keep_best)

@@ -71,8 +71,9 @@ class BranchProfiler:
              "-sassi-before-args=cond-branch-info")
 
     def __init__(self, device, capacity: int = 2048,
-                 kind: str = "warp"):
+                 kind: str = "warp", vectorized: bool = True):
         self.device = device
+        self.vectorized = vectorized
         self.cupti = CuptiSubscription(device)
         self.table = DeviceHashTable(device, capacity=capacity,
                                      num_counters=5)
@@ -89,6 +90,25 @@ class BranchProfiler:
     def handler(self, ctx: SASSIContext) -> None:
         if ctx.brp is None:
             return
+        if not self.vectorized:
+            return self._handler_scalar(ctx)
+        # warp-wide fast lane: only taken-count needs a reduction — the
+        # fall-through count is its complement over the active lanes
+        direction = ctx.brp.GetDirection()
+        num_active = ctx.num_active
+        num_taken = int(np.count_nonzero(direction[ctx.lanes_idx]))
+        num_not_taken = num_active - num_taken
+        counters = self.table.find(ctx, ctx.bp.GetInsAddr())
+        ctx.atomic_add(self.table.counter_ptr(counters, TOTAL), 1)
+        ctx.atomic_add(self.table.counter_ptr(counters, ACTIVE), num_active)
+        ctx.atomic_add(self.table.counter_ptr(counters, TAKEN), num_taken)
+        ctx.atomic_add(self.table.counter_ptr(counters, NOT_TAKEN),
+                       num_not_taken)
+        if num_taken != num_active and num_not_taken != num_active:
+            ctx.atomic_add(self.table.counter_ptr(counters, DIVERGENT), 1)
+
+    def _handler_scalar(self, ctx: SASSIContext) -> None:
+        """Per-lane reference body (the differential baseline)."""
         direction = ctx.brp.GetDirection()
         active = ctx.mask
         taken = direction & active

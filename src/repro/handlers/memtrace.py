@@ -22,10 +22,12 @@ import warnings
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.sassi import SassiRuntime, spec_from_flags
 from repro.sassi.handlers import SASSIContext
 from repro.sim.coalescer import OFFSET_BITS
-from repro.sim.memory import is_global
+from repro.sim.memory import GLOBAL_BASE, is_global
 from repro.trace.format import (
     MEM_FLAG_ATOMIC,
     MEM_FLAG_LOAD,
@@ -62,9 +64,11 @@ class MemoryTracer:
 
     def __init__(self, device, global_only: bool = True,
                  path: Optional[str] = None,
-                 buffer_bytes: int = 256 * 1024):
+                 buffer_bytes: int = 256 * 1024,
+                 vectorized: bool = True):
         self.device = device
         self.global_only = global_only
+        self.vectorized = vectorized
         if path is None:
             fd, path = tempfile.mkstemp(suffix=".rptrace",
                                         prefix="memtrace-")
@@ -87,6 +91,41 @@ class MemoryTracer:
     def handler(self, ctx: SASSIContext) -> None:
         if ctx.mp is None:
             return
+        if not self.vectorized:
+            return self._handler_scalar(ctx)
+        # warp-wide fast lane: vector lane filter plus first-occurrence-
+        # ordered unique lines (identical bytes to the seen-set loop)
+        idx = ctx.lanes_idx
+        addresses = ctx.mp.GetAddress()[idx]
+        keep = ctx.bp.GetInstrWillExecute()[idx].astype(bool, copy=False)
+        if self.global_only:
+            heap_top = GLOBAL_BASE + self.device.heap_bytes
+            keep &= (addresses >= GLOBAL_BASE) & (addresses < heap_top)
+        num_lanes = int(np.count_nonzero(keep))
+        if not num_lanes:
+            return
+        line_vals = (addresses[keep] >> OFFSET_BITS) << OFFSET_BITS
+        _, first = np.unique(line_vals, return_index=True)
+        lines = tuple(int(line_vals[i]) for i in np.sort(first))
+        mp = ctx.mp
+        flags = 0
+        if mp.IsLoad():
+            flags |= MEM_FLAG_LOAD
+        if mp.IsStore():
+            flags |= MEM_FLAG_STORE
+        if mp.IsAtomic():
+            flags |= MEM_FLAG_ATOMIC
+        self._trace_cache = None
+        self._writer.write(MemEvent(
+            ins_addr=ctx.bp.GetInsAddr(),
+            flags=flags,
+            width=mp.GetWidth(),
+            active_lanes=num_lanes,
+            line_addresses=lines,
+        ))
+
+    def _handler_scalar(self, ctx: SASSIContext) -> None:
+        """Per-lane reference body (the differential baseline)."""
         will_execute = ctx.bp.GetInstrWillExecute()
         addresses = ctx.mp.GetAddress()
         lanes = [lane for lane in ctx.lanes() if will_execute[lane]]

@@ -40,19 +40,57 @@ class OpcodeHistogram:
 
     FLAGS = "-sassi-inst-before=all -sassi-before-args=mem-info"
 
-    def __init__(self, device, per_kernel: bool = True):
+    def __init__(self, device, per_kernel: bool = True,
+                 vectorized: bool = True):
         self.device = device
+        self.vectorized = vectorized
         self.cupti = CuptiSubscription(device)
         self.counters = CounterBuffer(self.cupti, len(CATEGORIES),
                                       per_kernel=per_kernel)
         self.runtime = SassiRuntime(device)
         self.runtime.register_before_handler(self.handler)
         self.spec = spec_from_flags(self.FLAGS)
+        #: (fn_addr, ins_offset) -> tuple of counter slots to bump;
+        #: the classification is static per site
+        self._site_slots: Dict[tuple, tuple] = {}
 
     def compile(self, kernel_ir, cache=None):
+        self._site_slots.clear()
         return self.runtime.compile(kernel_ir, self.spec, cache=cache)
 
     def handler(self, ctx: SASSIContext) -> None:
+        if not self.vectorized:
+            return self._handler_scalar(ctx)
+        bp = ctx.bp
+        threads = ctx.num_active
+        key = (bp.GetFnAddr(), bp.GetInsOffset())
+        slots = self._site_slots.get(key)
+        if slots is None:
+            slots = self._classify(bp, ctx.mp)
+            self._site_slots[key] = slots
+        for slot in slots:
+            ctx.atomic_add(self.counters.element_ptr(slot), threads)
+
+    @staticmethod
+    def _classify(bp, mp) -> tuple:
+        slots = []
+        if bp.IsMem():
+            slots.append(0)
+            if mp is not None and mp.GetWidth() > 4:
+                slots.append(1)
+        if bp.IsControlXfer():
+            slots.append(2)
+        if bp.IsSync():
+            slots.append(3)
+        if bp.IsNumeric():
+            slots.append(4)
+        if bp.IsTexture():
+            slots.append(5)
+        slots.append(6)
+        return tuple(slots)
+
+    def _handler_scalar(self, ctx: SASSIContext) -> None:
+        """Per-lane reference body (the differential baseline)."""
         threads = len(ctx.lanes())
         bp, mp = ctx.bp, ctx.mp
         if bp.IsMem():

@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.isa.instruction import (
     ConstRef,
     Imm,
@@ -42,7 +44,9 @@ from repro.isa.program import STACK_BASE_OFFSET
 from repro.isa.registers import GPR, PT, RZ, Pred
 from repro.sassi import params as P
 from repro.sassi.spec import InstrumentationSpec, What, Where
+from repro.sim.costmodel import block_issue_cycles
 from repro.sim.memory import SHARED_BASE
+from repro.telemetry.classify import SAVE_RESTORE_KEYS, block_dispatch_counts
 
 #: Caller-saved registers a ≤16-register handler may clobber (R1 is the
 #: stack pointer and is callee-preserved by construction).
@@ -333,3 +337,522 @@ def _emit_register_metadata(seq: List[Instruction], instr: Instruction,
     for index, reg in enumerate(dsts):
         emit(_mov_imm(GPR(6), reg))
         emit(_stl(base + P.RP_REG_NUMS + 4 * index, GPR(6)))
+
+
+# ---------------------------------------------------------------------
+# batched site execution: one array-op replay of a whole call sequence
+# ---------------------------------------------------------------------
+#
+# The injected sequences above are rigid by construction: straight-line
+# spills, immediate field initializers, one address computation, one
+# JCAL, and the mirrored restores.  ``compile_site_plan`` pattern-matches
+# a decoded instruction run back into that shape at decode time and
+# precomputes everything a per-instruction interpreter would rediscover
+# on every dynamic execution: the frame image's static bytes, the byte
+# columns every STL touches (one fancy-index scatter instead of ~20
+# ``Memory.write`` loops), the fill columns of the restores (one gather),
+# and the per-site stats/telemetry cost splits (spill / fill /
+# save_restore / param_marshal — identical to per-record
+# ``sassi_key`` classification, which tests enforce).
+#
+# Anything that does not match — predicated original sites beyond the
+# Figure 2 guard-flag pair, exotic register indices, out-of-frame stack
+# pointers at run time — falls back to the per-instruction path, which
+# stays authoritative.
+
+
+def _gpr_index(operand) -> Optional[int]:
+    """Register index of a non-RZ GPR operand (None otherwise)."""
+    if isinstance(operand, GPR) and not operand.is_zero:
+        return operand.index
+    return None
+
+
+def _is_rz(operand) -> bool:
+    return isinstance(operand, GPR) and operand.is_zero
+
+
+def _local_ref(operand) -> Optional[MemRef]:
+    """The ``[R1 + offset]`` local reference of an injected STL/LDL."""
+    if isinstance(operand, MemRef) and operand.space is MemSpace.LOCAL \
+            and isinstance(operand.base, GPR) and not operand.base.is_zero \
+            and operand.base.index == 1 and operand.offset >= 0:
+        return operand
+    return None
+
+
+class SiteSequencePlan:
+    """One instrumentation site's call sequence, compiled to array ops.
+
+    ``execute`` replays the whole sequence for the active lanes with a
+    handful of vectorized operations and invokes the handler binding
+    exactly as ``JCAL`` would.  It returns the number of
+    ``divergence.partial_dispatch`` telemetry increments the per-record
+    path would have made (guard-flag pairs at predicated sites), or
+    ``None`` when a run-time precondition fails and the caller must
+    fall back to per-instruction execution *before any state changed*.
+    """
+
+    __slots__ = ("start", "records", "frame", "jcal_addr", "jcal_index",
+                 "ops", "post_ops", "template", "store_cols", "fill_cols",
+                 "max_touch", "max_reg", "length", "n_pairs",
+                 "thread_weight", "opcode_counts", "issue_cycles",
+                 "telemetry_counts", "n_fills")
+
+    def __init__(self, start, records, frame, jcal_addr, jcal_index, ops,
+                 post_ops, template, store_cols, fill_cols, max_reg,
+                 n_pairs):
+        self.start = start
+        self.records = records
+        self.frame = frame
+        self.jcal_addr = jcal_addr
+        self.jcal_index = jcal_index
+        self.ops = ops
+        self.post_ops = post_ops
+        self.template = template
+        self.store_cols = store_cols
+        self.fill_cols = fill_cols
+        self.n_fills = fill_cols.size // 4
+        touch = [int(store_cols.max()) + 1] if store_cols.size else [0]
+        if fill_cols.size:
+            touch.append(int(fill_cols.max()) + 1)
+        self.max_touch = max(touch)
+        self.max_reg = max_reg
+        self.length = len(records)
+        self.n_pairs = n_pairs
+        # --- once-per-site cost accounting (stats + telemetry) -------
+        # A guard-flag pair's two complementary records together touch
+        # each active lane exactly once, so per-thread counts collapse
+        # to (length - n_pairs) * active_lanes.
+        self.thread_weight = self.length - n_pairs
+        counts: dict = {}
+        for dec in records:
+            counts[dec.opcode] = counts.get(dec.opcode, 0) + 1
+        self.opcode_counts = counts
+        self.issue_cycles = block_issue_cycles(dec.opcode for dec in records)
+        self.telemetry_counts = block_dispatch_counts(records)
+
+    def sassi_cost_split(self) -> dict:
+        """The site's injected-overhead split by telemetry bucket."""
+        return {key: value for key, value in self.telemetry_counts.items()
+                if key.startswith("sassi.")}
+
+    @property
+    def save_restore_instructions(self) -> int:
+        return sum(self.telemetry_counts.get(key, 0)
+                   for key in SAVE_RESTORE_KEYS)
+
+    # ----------------------------------------------------------- replay
+
+    def execute(self, ex, warp, cta, g, g_idx, counter) -> Optional[int]:
+        n = g_idx.size
+        if n == 0 or self.max_reg >= warp.num_regs \
+                or self.jcal_addr not in ex.device.handler_bindings:
+            return None
+        regs = warp.regs
+        r1 = regs[1][g_idx]
+        sp = r1.astype(np.int64) - self.frame
+        block = cta.local_block()
+        if int(sp.min()) < 0 or int(sp.max()) + self.max_touch > block.shape[1]:
+            return None
+        tids = warp.lane_thread_ids[g_idx]
+        # the opening IADD already lowered R1 as far as the rest of the
+        # sequence is concerned
+        env: dict = {1: (r1 - np.uint32(self.frame))}
+        cc = None
+        cc_dirty = False
+        partial = 0
+        payload = np.empty((n, self.template.size), dtype=np.uint8)
+        payload[:] = self.template
+
+        def read(reg):
+            value = env.get(reg)
+            if value is None:
+                return regs[reg][g_idx]
+            return value
+
+        for op in self.ops:
+            kind = op[0]
+            if kind == "st":
+                _, pos, src = op
+                payload[:, pos:pos + 4] = _le_bytes4(read(src), n)
+            elif kind == "st64":
+                _, pos, lo = op
+                payload[:, pos:pos + 4] = _le_bytes4(read(lo), n)
+                payload[:, pos + 4:pos + 8] = _le_bytes4(read(lo + 1), n)
+            elif kind == "add":
+                _, dst, src, imm = op
+                env[dst] = read(src) + np.uint32(imm)
+            elif kind == "imm":
+                _, dst, value = op
+                env[dst] = np.uint32(value)
+            elif kind == "addcc":
+                _, dst, src, imm = op
+                a = read(src) if src is not None \
+                    else np.zeros(n, dtype=np.uint32)
+                result = a + np.uint32(imm)
+                cc = result < a
+                cc_dirty = True
+                if dst is not None:
+                    env[dst] = result
+            elif kind == "addx":
+                _, dst, src = op
+                a = read(src) if src is not None \
+                    else np.zeros(n, dtype=np.uint32)
+                if cc is None:
+                    cc = warp.carry[g_idx]
+                env[dst] = a + cc.astype(np.uint32)
+            elif kind == "guard":
+                _, dst, pred_index, negated, v_pass, v_fail = op
+                row = warp.preds[pred_index][g_idx]
+                if negated:
+                    row = ~row
+                passing = int(np.count_nonzero(row))
+                if passing < n:
+                    partial += 1
+                if passing > 0:
+                    partial += 1
+                env[dst] = np.where(row, np.uint32(v_pass),
+                                    np.uint32(v_fail))
+            elif kind == "p2r":
+                _, dst, maskval = op
+                packed = np.zeros(n, dtype=np.uint32)
+                preds = warp.preds
+                for index in range(7):
+                    packed |= preds[index][g_idx].astype(np.uint32) \
+                        << np.uint32(index)
+                env[dst] = packed & np.uint32(maskval)
+            elif kind == "orc":
+                _, dst, src, cref = op
+                env[dst] = read(src) | ex._read(warp, cref)
+            else:  # "ori"
+                _, dst, src, imm = op
+                env[dst] = read(src) | np.uint32(imm)
+
+        # one scatter writes the whole frame image for every lane
+        block[tids[:, None], sp[:, None] + self.store_cols[None, :]] = payload
+        # architectural state at the call: R1 moved, argument regs live
+        for reg, value in env.items():
+            regs[reg][g_idx] = value
+        if cc_dirty:
+            warp.carry[g_idx] = cc
+
+        ex.stats.handler_calls += 1
+        warp.pc = self.jcal_index
+        ex.device.handler_bindings[self.jcal_addr](ex, warp, cta, g)
+
+        # restores: gather every fill slot back in one pass (the handler
+        # may have rewritten the frame — SetRegValue / write-back)
+        if self.fill_cols.size:
+            raw = block[tids[:, None], sp[:, None] + self.fill_cols[None, :]]
+            filled = np.ascontiguousarray(raw).view(np.uint32)
+        for op in self.post_ops:
+            kind = op[0]
+            if kind == "fill":
+                _, reg, slot = op
+                regs[reg][g_idx] = filled[:, slot]
+            elif kind == "r2p":
+                _, src, maskval = op
+                value = regs[src][g_idx]
+                for index in range(7):
+                    if maskval & (1 << index):
+                        warp.preds[index][g_idx] = \
+                            ((value >> np.uint32(index)) & 1).astype(bool)
+            else:  # "ccres": IADD RZ, Rcc, -1 (CC) — carry = value != 0
+                warp.carry[g_idx] = regs[op[1]][g_idx] != 0
+        regs[1][g_idx] = r1
+        warp.pc = self.start + self.length
+        return partial
+
+
+def _le_bytes4(value, n: int):
+    """A uint32 row (or scalar) as little-endian bytes, broadcastable to
+    a ``(n, 4)`` payload segment."""
+    if isinstance(value, np.ndarray):
+        return np.ascontiguousarray(value, dtype="<u4") \
+            .view(np.uint8).reshape(n, 4)
+    return np.frombuffer(np.uint32(value).tobytes(), dtype=np.uint8)
+
+
+def compile_site_plan(records, start: int, handler_base: int):
+    """Compile the injected run beginning at ``records[start]`` into a
+    :class:`SiteSequencePlan`, or return None when the run does not
+    match the shapes :func:`build_call_sequence` emits (the caller then
+    leaves those records on the per-instruction path)."""
+    limit = len(records)
+    first = records[start]
+    frame = _frame_alloc(first)
+    if frame is None:
+        return None
+
+    ops: list = []
+    post_ops: list = []
+    template = bytearray()
+    store_cols: List[int] = []
+    covered: Set[int] = set()
+    fill_cols: List[int] = []
+    consts: dict = {}
+    max_reg = 1
+    n_pairs = 0
+    jcal_addr = None
+    jcal_index = None
+    index = start + 1
+
+    def track(reg):
+        nonlocal max_reg
+        if reg is not None and reg > max_reg:
+            max_reg = reg
+
+    def add_store(offset, width):
+        nonlocal template, store_cols
+        span = range(offset, offset + width)
+        if covered.intersection(span) or offset + width > frame:
+            return None
+        covered.update(span)
+        pos = len(store_cols)
+        store_cols.extend(span)
+        template.extend(b"\x00" * width)
+        return pos
+
+    while index < limit:
+        dec = records[index]
+        if dec.tag != "sassi":
+            return None
+        opcode = dec.opcode
+        if jcal_index is None:
+            # ---------------- pre-call: spills, fields, arguments ----
+            if not dec.uncond:
+                pair = _match_guard_pair(records, index, limit)
+                if pair is None:
+                    return None
+                dst, pred_index, negated, v_pass, v_fail = pair
+                track(dst)
+                consts.pop(dst, None)
+                ops.append(("guard", dst, pred_index, negated,
+                            v_pass, v_fail))
+                n_pairs += 1
+                index += 2
+                continue
+            if opcode is Opcode.JCAL:
+                target = dec.srcs[0] if dec.srcs else None
+                if not isinstance(target, Imm):
+                    return None
+                address = target.value & 0xFFFFFFFF
+                if address < handler_base:
+                    return None
+                jcal_addr = address
+                jcal_index = index
+                index += 1
+                continue
+            if opcode is Opcode.STL:
+                ref = _local_ref(dec.srcs[0]) if dec.srcs else None
+                data = _gpr_index(dec.srcs[1]) if len(dec.srcs) > 1 else None
+                wide = "64" in dec.mods
+                if ref is None or data is None \
+                        or (dec.mods and dec.mods != ("64",)):
+                    return None
+                track(data + 1 if wide else data)
+                width = 8 if wide else 4
+                pos = add_store(ref.offset, width)
+                if pos is None:
+                    return None
+                if not wide and data in consts:
+                    template[pos:pos + 4] = \
+                        int(consts[data]).to_bytes(4, "little")
+                elif wide and data in consts and data + 1 in consts:
+                    template[pos:pos + 4] = \
+                        int(consts[data]).to_bytes(4, "little")
+                    template[pos + 4:pos + 8] = \
+                        int(consts[data + 1]).to_bytes(4, "little")
+                elif wide:
+                    ops.append(("st64", pos, data))
+                else:
+                    ops.append(("st", pos, data))
+            elif opcode in (Opcode.IADD, Opcode.IADD32I):
+                op = _match_iadd(dec, consts, track)
+                if op is None:
+                    return None
+                if op[0] != "nop":
+                    ops.append(op)
+            elif opcode is Opcode.MOV32I:
+                dst = _gpr_index(dec.dsts[0]) if dec.dsts else None
+                value = dec.srcs[0] if dec.srcs else None
+                if dst is None or not isinstance(value, Imm) or dec.mods:
+                    return None
+                track(dst)
+                consts[dst] = value.value & 0xFFFFFFFF
+                ops.append(("imm", dst, consts[dst]))
+            elif opcode is Opcode.P2R:
+                dst = _gpr_index(dec.dsts[0]) if dec.dsts else None
+                maskop = dec.srcs[-1] if dec.srcs else None
+                if dst is None or not isinstance(maskop, Imm) or dec.mods:
+                    return None
+                track(dst)
+                consts.pop(dst, None)
+                ops.append(("p2r", dst, maskop.value & 0xFFFFFFFF))
+            elif opcode in (Opcode.LOP, Opcode.LOP32I):
+                if dec.mods != ("OR",) or len(dec.srcs) != 2 or not dec.dsts:
+                    return None
+                dst = _gpr_index(dec.dsts[0])
+                src = _gpr_index(dec.srcs[0])
+                other = dec.srcs[1]
+                if dst is None or src is None or src in consts:
+                    return None
+                track(dst)
+                track(src)
+                consts.pop(dst, None)
+                if isinstance(other, ConstRef):
+                    ops.append(("orc", dst, src, other))
+                elif isinstance(other, Imm):
+                    ops.append(("ori", dst, src, other.value & 0xFFFFFFFF))
+                else:
+                    return None
+            else:
+                return None
+        else:
+            # ---------------- post-call: restores, stack release -----
+            if not dec.uncond:
+                return None
+            if opcode is Opcode.LDL:
+                dst = _gpr_index(dec.dsts[0]) if dec.dsts else None
+                ref = _local_ref(dec.srcs[0]) if dec.srcs else None
+                if dst is None or ref is None or dec.mods \
+                        or ref.offset + 4 > frame:
+                    return None
+                track(dst)
+                slot = len(fill_cols) // 4
+                fill_cols.extend(range(ref.offset, ref.offset + 4))
+                post_ops.append(("fill", dst, slot))
+            elif opcode is Opcode.R2P:
+                src = _gpr_index(dec.srcs[0]) if dec.srcs else None
+                maskop = dec.srcs[1] if len(dec.srcs) > 1 else None
+                if src is None or not isinstance(maskop, Imm) or dec.mods:
+                    return None
+                track(src)
+                post_ops.append(("r2p", src, maskop.value & 0xFFFFFFFF))
+            elif opcode in (Opcode.IADD, Opcode.IADD32I):
+                dst = dec.dsts[0] if dec.dsts else None
+                a = dec.srcs[0] if dec.srcs else None
+                b = dec.srcs[1] if len(dec.srcs) > 1 else None
+                if dec.mods == ("CC",) and _is_rz(dst) \
+                        and _gpr_index(a) is not None \
+                        and isinstance(b, Imm) and b.value == -1:
+                    track(a.index)
+                    post_ops.append(("ccres", a.index))
+                elif not dec.mods and isinstance(dst, GPR) \
+                        and not dst.is_zero and dst.index == 1 \
+                        and _gpr_index(a) == 1 and isinstance(b, Imm) \
+                        and b.value == frame:
+                    # stack release: the sequence is complete
+                    plan_records = records[start:index + 1]
+                    if any(not rec.sassi for rec in plan_records):
+                        return None
+                    return SiteSequencePlan(
+                        start, plan_records, frame, jcal_addr,
+                        jcal_index, ops, post_ops,
+                        np.frombuffer(bytes(template), dtype=np.uint8),
+                        np.asarray(store_cols, dtype=np.int64),
+                        np.asarray(fill_cols, dtype=np.int64),
+                        max_reg, n_pairs)
+                else:
+                    return None
+            else:
+                return None
+        index += 1
+    return None
+
+
+def _frame_alloc(dec) -> Optional[int]:
+    """The frame size of an opening ``IADD R1, R1, -frame`` (or None)."""
+    if dec.tag != "sassi" or not dec.uncond or dec.mods \
+            or dec.opcode not in (Opcode.IADD, Opcode.IADD32I):
+        return None
+    dst = dec.dsts[0] if dec.dsts else None
+    a = dec.srcs[0] if dec.srcs else None
+    b = dec.srcs[1] if len(dec.srcs) > 1 else None
+    if isinstance(dst, GPR) and not dst.is_zero and dst.index == 1 \
+            and _gpr_index(a) == 1 and isinstance(b, Imm) and b.value < 0:
+        return -b.value
+    return None
+
+
+def _match_guard_pair(records, index: int, limit: int):
+    """The Figure 2 ``@P IADD Rd, RZ, 1 / @!P IADD Rd, RZ, 0`` pair."""
+    if index + 1 >= limit:
+        return None
+    first, second = records[index], records[index + 1]
+    for dec in (first, second):
+        if dec.tag != "sassi" or dec.mods \
+                or dec.opcode not in (Opcode.IADD, Opcode.IADD32I) \
+                or not dec.dsts or _gpr_index(dec.dsts[0]) is None \
+                or len(dec.srcs) != 2 or not _is_rz(dec.srcs[0]) \
+                or not isinstance(dec.srcs[1], Imm):
+            return None
+    dst = first.dsts[0].index
+    if second.dsts[0].index != dst:
+        return None
+    if first.pred_index != second.pred_index \
+            or first.negated == second.negated or first.pred_index == 7:
+        return None
+    return (dst, first.pred_index, first.negated,
+            first.srcs[1].value & 0xFFFFFFFF,
+            second.srcs[1].value & 0xFFFFFFFF)
+
+
+def _match_iadd(dec, consts: dict, track):
+    """Compile one pre-call IADD form (see :func:`build_call_sequence`).
+
+    Returns an op tuple, ``("nop",)`` for a fully folded constant, or
+    None when the form is not one the injector emits.
+    """
+    dst_op = dec.dsts[0] if dec.dsts else None
+    a = dec.srcs[0] if dec.srcs else None
+    b = dec.srcs[1] if len(dec.srcs) > 1 else None
+    dst = _gpr_index(dst_op)
+    mods = dec.mods
+    if mods == ("X",):
+        # IADD.X d, a, RZ — consume the carry produced just above (or
+        # the architectural carry for the save-side RZ,RZ read)
+        if not _is_rz(b) or dst is None:
+            return None
+        src = _gpr_index(a)
+        if src is None and not _is_rz(a):
+            return None
+        if src is not None and src in consts:
+            return None
+        track(dst)
+        track(src)
+        consts.pop(dst, None)
+        return ("addx", dst, src)
+    if mods == ("CC",):
+        if not isinstance(b, Imm):
+            return None
+        src = _gpr_index(a)
+        if src is None and not _is_rz(a):
+            return None
+        if src is not None and src in consts:
+            return None
+        if dst is None and not _is_rz(dst_op):
+            return None
+        track(dst)
+        track(src)
+        if dst is not None:
+            consts.pop(dst, None)
+        return ("addcc", dst, src, b.value & 0xFFFFFFFF)
+    if mods:
+        return None
+    if dst is None or dst == 1 or not isinstance(b, Imm):
+        return None
+    track(dst)
+    if _is_rz(a):
+        consts[dst] = b.value & 0xFFFFFFFF
+        return ("imm", dst, consts[dst])
+    src = _gpr_index(a)
+    if src is None:
+        return None
+    track(src)
+    if src in consts:
+        consts[dst] = (consts[src] + b.value) & 0xFFFFFFFF
+        return ("imm", dst, consts[dst])
+    consts.pop(dst, None)
+    return ("add", dst, src, b.value & 0xFFFFFFFF)

@@ -42,6 +42,7 @@ from repro.sassi.params import (
 from repro.sassi.spec import InstrumentationSpec, What, Where
 from repro.sassi.threadsimt import ThreadHandlerError, run_warp_handler
 from repro.sim.memory import GLOBAL_BASE, LOCAL_BASE
+from repro.sim.warp import mask_to_u32
 from repro.telemetry.collector import TELEMETRY, span as telemetry_span
 
 POISON = 0xDEADBEEF
@@ -73,7 +74,8 @@ class SASSIContext:
     """
 
     def __init__(self, executor, warp, cta, mask, bp, mp=None, brp=None,
-                 rp=None, where: Where = Where.BEFORE):
+                 rp=None, where: Where = Where.BEFORE, lanes=None,
+                 vectorized: bool = True):
         self.executor = executor
         self.device = executor.device
         self.warp = warp
@@ -85,39 +87,65 @@ class SASSIContext:
         self.mp = mp
         self.brp = brp
         self.rp = rp
+        if lanes is None:
+            lanes = np.nonzero(mask)[0]
+        #: active-lane indices at the site (ndarray, ascending)
+        self.lanes_idx = lanes
+        #: number of active lanes at the site
+        self.num_active = int(lanes.size)
+        self._vectorized = vectorized
+        self._lanes_list = None
 
     # ---- warp intrinsics over the site mask ----
 
     def ballot(self, values) -> int:
         """``__ballot`` over the active lanes at the site."""
-        result = 0
         values = np.asarray(values)
-        for lane in np.nonzero(self.mask)[0]:
-            if values[lane] if values.shape else values:
-                result |= 1 << int(lane)
-        return result
+        if not self._vectorized:
+            # per-lane reference loop (the differential baseline the
+            # packed path must bit-match; see the hypothesis suite)
+            result = 0
+            for lane in np.nonzero(self.mask)[0]:
+                if values[lane] if values.shape else values:
+                    result |= 1 << int(lane)
+            return result
+        if values.shape:
+            voting = self.mask & (values != 0)
+        elif values:
+            voting = self.mask
+        else:
+            voting = np.zeros_like(self.mask)
+        return mask_to_u32(voting)
 
     def active_mask(self) -> int:
-        return self.ballot(np.ones(len(self.mask), dtype=bool))
+        if not self._vectorized:
+            return self.ballot(np.ones(len(self.mask), dtype=bool))
+        return mask_to_u32(self.mask)
 
     def all_(self, values) -> bool:
         values = np.asarray(values)
-        return bool(values[self.mask].all())
+        if values.shape:
+            return bool(values[self.lanes_idx].all())
+        return bool(values.all())
 
     def any_(self, values) -> bool:
         values = np.asarray(values)
-        return bool(values[self.mask].any())
+        if values.shape:
+            return bool(values[self.lanes_idx].any())
+        return bool(values.any())
 
     def shfl(self, values, src_lane: int):
         return np.asarray(values)[src_lane]
 
     def leader(self) -> int:
         """The first active lane (the ``__ffs(__ballot(1))-1`` idiom)."""
-        lanes = np.nonzero(self.mask)[0]
-        return int(lanes[0]) if len(lanes) else -1
+        idx = self.lanes_idx
+        return int(idx[0]) if idx.size else -1
 
     def lanes(self):
-        return [int(l) for l in np.nonzero(self.mask)[0]]
+        if self._lanes_list is None:
+            self._lanes_list = [int(l) for l in self.lanes_idx]
+        return list(self._lanes_list)
 
     # ---- device-memory access (handler-side atomics & loads) ----
 
@@ -203,12 +231,21 @@ class _LaneView:
 class SassiRuntime:
     """Registers handlers and produces the compiler's final pass."""
 
-    def __init__(self, device, poison_caller_saved: bool = True):
+    def __init__(self, device, poison_caller_saved: bool = True,
+                 vectorize_contexts: bool = True):
         self.device = device
         self.poison_caller_saved = poison_caller_saved
+        #: serve context/param reads with warp-wide gathers; False keeps
+        #: the per-lane scalar paths (the differential reference)
+        self.vectorize_contexts = vectorize_contexts
         self._registrations: Dict[str, _Registration] = {}
         self._spec: Optional[InstrumentationSpec] = None
         self.reports: List[InjectionReport] = []
+        #: (fn_addr, ins_offset, where) -> site decode: the Instruction
+        #: object and the frame layout, resolved once per site instead
+        #: of per invocation (cleared when a new spec is instrumented)
+        self._site_cache: dict = {}
+        self._poison_rows: dict = {}
 
     # ---------------------------------------------------- registration
 
@@ -261,6 +298,7 @@ class SassiRuntime:
                     f"{spec.handler_register_cap} (recompile the handler "
                     f"with -maxrregcount={spec.handler_register_cap})")
         self._spec = spec
+        self._site_cache.clear()
 
         def final_pass(kernel: SassKernel) -> SassKernel:
             report = InjectionReport()
@@ -319,11 +357,13 @@ class SassiRuntime:
 
             run_warp_handler(ctx.lanes(), make_gen, atomic)
 
+        invocations_key = f"handler.invocations.{registration.name}"
+
         def binding(executor, warp, cta, mask):
             ctx = self._build_context(executor, warp, cta, mask, where)
             telemetry = TELEMETRY
             if telemetry.enabled:
-                telemetry.incr(f"handler.invocations.{registration.name}")
+                telemetry.incr(invocations_key)
                 start = telemetry.clock()
                 try:
                     invoke(ctx)
@@ -344,28 +384,50 @@ class SassiRuntime:
         pointer = int(warp.regs[4, lane0]) \
             | (int(warp.regs[5, lane0]) << 32)
         base = pointer - LOCAL_BASE
+        vec = self.vectorize_contexts
         view_cls = SASSIAfterParams if where is Where.AFTER \
             else SASSIBeforeParams
-        bp = view_cls(executor, warp, cta, mask.copy(), base)
-        spec = self._spec or InstrumentationSpec()
-        instr = bp.GetInstruction()
+        shared_mask = mask.copy()
+        bp = view_cls(executor, warp, cta, shared_mask, base,
+                      lanes=lanes, vectorized=vec)
+        site_key = (bp.GetFnAddr(), bp.GetInsOffset(), where)
+        site = self._site_cache.get(site_key)
+        if site is None:
+            spec = self._spec or InstrumentationSpec()
+            instr = bp.GetInstruction()
+            if instr is not None and spec.what:
+                (memory_at, branch_at, regs_at, _), wm, wb, wr = \
+                    frame_parts(spec, instr, where)
+            else:
+                memory_at = branch_at = regs_at = None
+                wm = wb = wr = False
+            site = (instr, memory_at, branch_at, regs_at, wm, wb, wr)
+            self._site_cache[site_key] = site
+        instr, memory_at, branch_at, regs_at, wm, wb, wr = site
+        bp._instruction = instr
         mp = brp = rp = None
-        if instr is not None and spec.what:
-            (memory_at, branch_at, regs_at, _), wm, wb, wr = frame_parts(
-                spec, instr, where)
-            if wm:
-                mp = SASSIMemoryParams(executor, warp, cta, mask.copy(),
-                                       base + memory_at)
-            if wb:
-                brp = SASSICondBranchParams(executor, warp, cta, mask.copy(),
-                                            base + branch_at)
-            if wr:
-                rp = SASSIRegisterParams(executor, warp, cta, mask.copy(),
-                                         base + regs_at)
-        return SASSIContext(executor, warp, cta, mask.copy(), bp,
-                            mp=mp, brp=brp, rp=rp, where=where)
+        if wm:
+            mp = SASSIMemoryParams(executor, warp, cta, shared_mask,
+                                   base + memory_at, lanes=lanes,
+                                   vectorized=vec)
+        if wb:
+            brp = SASSICondBranchParams(executor, warp, cta, shared_mask,
+                                        base + branch_at, lanes=lanes,
+                                        vectorized=vec)
+        if wr:
+            rp = SASSIRegisterParams(executor, warp, cta, shared_mask,
+                                     base + regs_at, lanes=lanes,
+                                     vectorized=vec)
+        return SASSIContext(executor, warp, cta, shared_mask, bp,
+                            mp=mp, brp=brp, rp=rp, where=where,
+                            lanes=lanes, vectorized=vec)
 
     def _poison(self, warp, mask) -> None:
-        for reg in CALLER_SAVED:
-            if reg < warp.num_regs:
-                warp.regs[reg][mask] = POISON
+        rows = self._poison_rows.get(warp.num_regs)
+        if rows is None:
+            rows = np.asarray(
+                [reg for reg in sorted(CALLER_SAVED)
+                 if reg < warp.num_regs], dtype=np.int64)
+            self._poison_rows[warp.num_regs] = rows
+        if rows.size:
+            warp.regs[np.ix_(rows, mask)] = POISON

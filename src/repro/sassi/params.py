@@ -103,15 +103,37 @@ def frame_layout(with_memory: bool, with_branch: bool, with_regs: bool):
 
 
 class _View:
-    """Base accessor over per-lane objects in simulated local memory."""
+    """Base accessor over per-lane objects in simulated local memory.
 
-    def __init__(self, executor, warp, cta, mask: np.ndarray, base: int):
+    Row reads are served with one fancy-index gather over the CTA's
+    local byte block (all active lanes at once) and memoized for the
+    view's lifetime — a handler that asks for the same field twice pays
+    once.  ``vectorized=False`` keeps the original per-lane
+    ``Memory.read`` loop as the bit-exact differential reference; the
+    gather also falls back to it whenever an access would leave the
+    backed local window, so faults carry the per-lane address.
+    """
+
+    def __init__(self, executor, warp, cta, mask: np.ndarray, base: int,
+                 lanes: Optional[np.ndarray] = None,
+                 vectorized: bool = True):
         self._executor = executor
         self._warp = warp
         self._cta = cta
         self.mask = mask
         self._base = base
-        self._lanes = [int(l) for l in np.nonzero(mask)[0]]
+        if lanes is None:
+            lanes = np.nonzero(mask)[0]
+        self._lane_idx = lanes
+        self._lanes_list: Optional[List[int]] = None
+        self._vectorized = vectorized
+        self._row_cache: dict = {}
+
+    @property
+    def _lanes(self) -> List[int]:
+        if self._lanes_list is None:
+            self._lanes_list = [int(l) for l in self._lane_idx]
+        return self._lanes_list
 
     def _mem(self, lane: int):
         tid = int(self._warp.lane_thread_ids[lane])
@@ -122,18 +144,55 @@ class _View:
 
     def _write_lane(self, lane: int, offset: int, value: int,
                     width: int = 4) -> None:
+        self._row_cache.clear()
         self._mem(lane).write(self._base + offset, width, value)
 
     def _read_static(self, offset: int, width: int = 4) -> int:
-        if not self._lanes:
+        if self._lane_idx.size == 0:
             return 0
-        return self._read_lane(self._lanes[0], offset, width)
+        key = (offset, width)
+        value = self._row_cache.get(key)
+        if value is None:
+            value = self._read_lane(int(self._lane_idx[0]), offset, width)
+            self._row_cache[key] = value
+        return value
 
     def _read_row(self, offset: int, width: int = 4,
                   dtype=np.int64) -> np.ndarray:
+        key = (offset, width, np.dtype(dtype).str)
+        row = self._row_cache.get(key)
+        if row is None:
+            row = self._read_row_uncached(offset, width, dtype)
+            self._row_cache[key] = row
+        # handlers may mutate what they get back; the cache keeps its own
+        return row.copy()
+
+    def _read_row_uncached(self, offset: int, width: int,
+                           dtype) -> np.ndarray:
         row = np.zeros(WARP_SIZE, dtype=dtype)
-        for lane in self._lanes:
-            row[lane] = self._read_lane(lane, offset, width)
+        idx = self._lane_idx
+        if idx.size == 0:
+            return row
+        start = self._base + offset
+        block = self._cta.local_block()
+        if not self._vectorized or start < 0 \
+                or start + width > block.shape[1]:
+            for lane in self._lanes:
+                row[lane] = self._read_lane(lane, offset, width)
+            return row
+        tids = self._warp.lane_thread_ids[idx]
+        cols = start + np.arange(width, dtype=np.int64)
+        raw = np.ascontiguousarray(block[tids[:, None], cols[None, :]])
+        if width == 4:
+            words = raw.view("<u4")[:, 0]
+        elif width == 8:
+            words = raw.view("<u8")[:, 0]
+        else:
+            words = np.zeros(idx.size, dtype=np.uint64)
+            for byte in range(width):
+                words |= raw[:, byte].astype(np.uint64) \
+                    << np.uint64(8 * byte)
+        row[idx] = words.astype(dtype, copy=False)
         return row
 
 
@@ -201,14 +260,22 @@ class SASSIBeforeParams(_View):
         return bool(self._classes() & OpClass.TEXTURE)
 
     # convenience beyond the paper: the compile-time Instruction object
-    # (SASSI §9.4, "exploiting compile-time information").
+    # (SASSI §9.4, "exploiting compile-time information").  The runtime
+    # pre-seeds ``_instruction`` from its per-site cache so repeated
+    # invocations skip the program scan entirely.
     def GetInstruction(self):
+        cached = self.__dict__.get("_instruction", False)
+        if cached is not False:
+            return cached
+        result = None
         program = self._executor.device.program
         for kernel in program.kernels.values():
             if kernel.base_address == self.GetFnAddr():
-                return kernel.instructions[
+                result = kernel.instructions[
                     kernel.index_of_pc(self.GetInsAddr())]
-        return None
+                break
+        self._instruction = result
+        return result
 
 
 class SASSIAfterParams(SASSIBeforeParams):

@@ -97,6 +97,14 @@ class SimConfig:
     #: generic accesses and faulting accesses always take the scalar
     #: path regardless.
     vector_memory: bool = True
+    #: fast path: execute whole SASSI call sequences (spills, param
+    #: marshaling, JCAL, restores) as one precompiled array-op plan per
+    #: site (see ``repro.sassi.abi.SiteSequencePlan``), letting fused
+    #: dispatch flow *through* instrumented sites instead of falling to
+    #: per-instruction execution at every JCAL.  Disable to keep sites
+    #: on the per-instruction path — the scalar reference the
+    #: instrumented differential suite compares against bit-exactly.
+    fuse_handler_calls: bool = True
 
 
 class CTAContext:
@@ -153,6 +161,10 @@ class Executor:
         #: (bank, offset) -> uint32; const banks are immutable during a
         #: launch, so reads are memoized and flushed at each run().
         self._const_cache: dict = {}
+        #: active-lane indices of the guard mask currently being
+        #: dispatched — computed once per instruction (or once per fused
+        #: block) and consumed by the scalar per-lane memory loops.
+        self._active_lanes: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------ launch
 
@@ -231,11 +243,13 @@ class Executor:
             self._decoded = decoded
             self._targets = decoded.targets
         records = decoded.records
-        blocks = decoded.blocks if self.config.fuse_blocks else None
+        blocks = decoded.blocks_for(self.config.fuse_handler_calls) \
+            if self.config.fuse_blocks else None
         limit = len(records)
         max_warp_instructions = self.config.max_warp_instructions
         execute = self._execute
         execute_block = self._execute_block
+        execute_site = self._execute_site
         while not warp.done and not warp.at_barrier:
             pc = warp.pc
             if not (0 <= pc < limit):
@@ -245,7 +259,10 @@ class Executor:
             if blocks is not None:
                 block = blocks[pc]
                 if block is not None:
-                    execute_block(block, warp, cta, counter)
+                    if block.__class__ is _Superblock:
+                        execute_block(block, warp, cta, counter)
+                    else:
+                        execute_site(block, warp, cta, counter)
                     continue
             self._watchdog += 1
             if self._watchdog > max_warp_instructions:
@@ -275,7 +292,9 @@ class Executor:
         if warp.stack_depth > stats.max_stack_depth:
             stats.max_stack_depth = warp.stack_depth
         g = warp.active
-        lanes = int(np.count_nonzero(g))
+        g_idx = np.nonzero(g)[0]
+        self._active_lanes = g_idx
+        lanes = g_idx.size
         for handler, dec in block.dispatch:
             handler(self, warp, cta, dec, g, counter)
         stats.warp_instructions += length
@@ -295,6 +314,53 @@ class Executor:
                 # lanes == active for every record)
                 for _, dec in block.dispatch:
                     telem.record_dispatch(dec, lanes, lanes)
+
+    def _execute_site(self, plan, warp: Warp, cta: CTAContext,
+                      counter: CycleCounter) -> None:
+        """Execute one instrumentation site as a batched plan.
+
+        The per-instruction interpretation of the injected sequence is
+        authoritative: the plan bails (returning None, before touching
+        any state) on run-time preconditions it cannot batch — and a
+        telemetry subclass observing per-dispatch granularity also
+        forces the per-record path, exactly like ``_execute_block``.
+        """
+        length = plan.length
+        self._watchdog += length
+        if self._watchdog > self.config.max_warp_instructions:
+            raise HangDetected(
+                f"{self._kernel.name}: watchdog after {self._watchdog} "
+                "warp instructions")
+        stats = self.stats
+        if warp.stack_depth > stats.max_stack_depth:
+            stats.max_stack_depth = warp.stack_depth
+        g = warp.active
+        g_idx = np.nonzero(g)[0]
+        self._active_lanes = g_idx
+        telem = TELEMETRY
+        partial = None
+        if not telem.enabled \
+                or type(telem).record_dispatch is Telemetry.record_dispatch:
+            partial = plan.execute(self, warp, cta, g, g_idx, counter)
+        if partial is None:
+            end = plan.start + length
+            records = plan.records
+            start = plan.start
+            execute = self._execute
+            while warp.pc < end and not warp.done and not warp.at_barrier:
+                execute(records[warp.pc - start], warp, cta, counter)
+            return
+        lanes = g_idx.size
+        stats.warp_instructions += length
+        stats.thread_instructions += lanes * plan.thread_weight
+        stats.sassi_warp_instructions += length
+        stats.sassi_thread_instructions += lanes * plan.thread_weight
+        stats.opcode_counts.update(plan.opcode_counts)
+        counter.cycles += plan.issue_cycles
+        if telem.enabled:
+            telem.record_block(plan.telemetry_counts)
+            if partial:
+                telem.incr("divergence.partial_dispatch", partial)
 
     def step(self, warp: Warp, cta: CTAContext, instr: Instruction,
              counter: CycleCounter) -> None:
@@ -318,7 +384,9 @@ class Executor:
             g = warp.active
         else:
             g = warp.guard_mask(warp.preds[dec.pred_index], dec.negated)
-        lanes = int(np.count_nonzero(g))
+        g_idx = np.nonzero(g)[0]
+        self._active_lanes = g_idx
+        lanes = g_idx.size
         stats.thread_instructions += lanes
         stats.opcode_counts[dec.opcode] += 1
         if dec.sassi:
@@ -453,7 +521,7 @@ class _Decoded:
     __slots__ = ("instr", "opcode", "dsts", "srcs", "mods", "guard", "tag",
                  "uncond", "pred_index", "negated", "sassi", "handler",
                  "target", "mem_width", "mem_ref", "cmp_fn", "narrow",
-                 "atom_op", "opclass_key", "sassi_key")
+                 "atom_op", "opclass_key", "sassi_key", "jcal_addr")
 
     def __init__(self, instr: Instruction, target: Optional[int] = None):
         self.instr = instr
@@ -480,6 +548,9 @@ class _Decoded:
         self.atom_op = next(
             (m for m in instr.mods
              if m in _ATOM_FNS or m in ("MIN", "MAX")), "ADD")
+        self.jcal_addr = instr.srcs[0].value & 0xFFFFFFFF \
+            if (instr.opcode is Opcode.JCAL and instr.srcs
+                and isinstance(instr.srcs[0], Imm)) else None
 
     def __repr__(self) -> str:
         return repr(self.instr)
@@ -534,27 +605,54 @@ class _Superblock:
 
 
 def _partition_superblocks(records: List["_Decoded"],
-                           targets: List[Optional[int]]
-                           ) -> List[Optional[_Superblock]]:
-    """Split *records* into superblocks.
+                           targets: List[Optional[int]],
+                           fuse_handlers: bool = True):
+    """Split *records* into superblocks and (optionally) site plans.
 
-    ``blocks[pc]`` is the superblock *starting* at ``pc`` (None when
-    ``pc`` is not a fused-block leader).  Branch targets always start a
-    new block so a warp can only ever enter a block at its head; blocks
-    shorter than two instructions stay on the per-instruction path
-    (fusing them would only add overhead).
+    ``blocks[pc]`` is the dispatch unit *starting* at ``pc`` — a
+    :class:`_Superblock`, a ``SiteSequencePlan`` covering a whole SASSI
+    call sequence, or None when ``pc`` is not a fused leader.  Branch
+    targets always start a new block so a warp can only ever enter a
+    block at its head; blocks shorter than two instructions stay on the
+    per-instruction path (fusing them would only add overhead).
+
+    With *fuse_handlers*, a first pass compiles every recognizable
+    injected call sequence (``IADD R1, R1, -frame`` … ``JCAL`` … stack
+    release) into one plan; the superblock pass then flows around the
+    plans, so fused dispatch extends through instrumented sites instead
+    of degenerating to per-instruction execution at every ``JCAL``.
     """
     limit = len(records)
     leaders = {target for target in targets
                if target is not None and 0 <= target < limit}
-    blocks: List[Optional[_Superblock]] = [None] * limit
+    blocks: list = [None] * limit
+    covered = bytearray(limit)
+    if fuse_handlers:
+        from repro.sassi.abi import compile_site_plan
+
+        handler_base = SassProgram.HANDLER_BASE
+        pos = 0
+        while pos < limit:
+            rec = records[pos]
+            if rec.sassi and rec.uncond \
+                    and rec.opcode in (Opcode.IADD, Opcode.IADD32I):
+                plan = compile_site_plan(records, pos, handler_base)
+                if plan is not None and not any(
+                        pos < leader < pos + plan.length
+                        for leader in leaders):
+                    blocks[pos] = plan
+                    for index in range(pos, pos + plan.length):
+                        covered[index] = 1
+                    pos += plan.length
+                    continue
+            pos += 1
     start = 0
     while start < limit:
-        if not _is_fusable(records[start]):
+        if covered[start] or not _is_fusable(records[start]):
             start += 1
             continue
         end = start + 1
-        while (end < limit and end not in leaders
+        while (end < limit and end not in leaders and not covered[end]
                and _is_fusable(records[end])):
             end += 1
         if end - start >= 2:
@@ -566,9 +664,11 @@ def _partition_superblocks(records: List["_Decoded"],
 
 class _DecodedKernel:
     """The decode cache for one kernel: records, branch targets, and the
-    superblock partition driving the fused dispatch fast path."""
+    superblock/site-plan partitions driving the fused dispatch fast
+    path (one partition per ``fuse_handler_calls`` setting, built
+    lazily — uninstrumented kernels share a single partition)."""
 
-    __slots__ = ("kernel", "records", "targets", "blocks")
+    __slots__ = ("kernel", "records", "targets", "_partitions")
 
     def __init__(self, kernel: SassKernel):
         self.kernel = kernel
@@ -582,7 +682,19 @@ class _DecodedKernel:
         self.targets = targets
         self.records = [_Decoded(instr, target) for instr, target
                         in zip(kernel.instructions, targets)]
-        self.blocks = _partition_superblocks(self.records, targets)
+        self._partitions: Dict[bool, list] = {}
+
+    def blocks_for(self, fuse_handlers: bool) -> list:
+        blocks = self._partitions.get(fuse_handlers)
+        if blocks is None:
+            blocks = _partition_superblocks(self.records, self.targets,
+                                            fuse_handlers)
+            self._partitions[fuse_handlers] = blocks
+        return blocks
+
+    @property
+    def blocks(self) -> list:
+        return self.blocks_for(True)
 
 
 def decode_kernel(kernel: SassKernel) -> _DecodedKernel:
@@ -1113,6 +1225,19 @@ def _scatter_is_disjoint(offsets: np.ndarray, width: int) -> bool:
     return int((ordered[1:] - ordered[:-1]).min()) >= width
 
 
+def _lane_indices(ex, g):
+    """Active-lane indices of the guard mask being dispatched.
+
+    ``_execute``/``_execute_block``/``_execute_site`` compute the
+    nonzero scan once per dispatch and stash it on the executor; the
+    scalar per-lane loops reuse it instead of re-scanning *g* (they
+    always receive the dispatched guard unchanged)."""
+    idx = ex._active_lanes
+    if idx is None:
+        return np.nonzero(g)[0]
+    return idx
+
+
 def _op_load(ex, warp, cta, instr, g, counter):
     width = instr.mem_width
     addrs = ex.lane_addresses(warp, instr)
@@ -1133,7 +1258,7 @@ def _op_load(ex, warp, cta, instr, g, counter):
                 regs[dst.index + word][g] = words[:, word]
             warp.pc += 1
             return
-    for lane in np.nonzero(g)[0]:
+    for lane in _lane_indices(ex, g):
         lane = int(lane)
         mem, offset, _ = ex._resolve_space(warp, cta, instr,
                                            int(addrs[lane]), lane)
@@ -1175,7 +1300,7 @@ def _op_store(ex, warp, cta, instr, g, counter):
                     _local_write_lanes(cta, tids, offsets, width, words)
                 warp.pc += 1
                 return
-    for lane in np.nonzero(g)[0]:
+    for lane in _lane_indices(ex, g):
         lane = int(lane)
         mem, offset, _ = ex._resolve_space(warp, cta, instr,
                                            int(addrs[lane]), lane)
@@ -1267,7 +1392,7 @@ def _op_atom(ex, warp, cta, instr, g, counter):
             ex, warp, cta, instr, g, addrs, op, signed, value_src, has_dst):
         warp.pc += 1
         return
-    for lane in np.nonzero(g)[0]:
+    for lane in _lane_indices(ex, g):
         lane = int(lane)
         mem, offset, _ = ex._resolve_space(warp, cta, instr,
                                            int(addrs[lane]), lane)
@@ -1297,17 +1422,19 @@ def _op_bra(ex, warp, cta, instr, g, counter):
 
 
 def _op_jcal(ex, warp, cta, instr, g, counter):
-    target_op = instr.srcs[0]
-    if isinstance(target_op, Imm):
+    address = getattr(instr, "jcal_addr", None)
+    if address is None:
+        target_op = instr.srcs[0] if instr.srcs else None
+        if not isinstance(target_op, Imm):
+            raise DeviceFault(f"JCAL needs an absolute target: {instr!r}")
         address = target_op.value & 0xFFFFFFFF
-        binding = ex.device.handler_bindings.get(address)
-        if binding is not None:
-            ex.stats.handler_calls += 1
-            binding(ex, warp, cta, g)
-            warp.pc += 1
-            return
-        raise DeviceFault(f"JCAL to unbound address 0x{address:x}")
-    raise DeviceFault(f"JCAL needs an absolute target: {instr!r}")
+    binding = ex.device.handler_bindings.get(address)
+    if binding is not None:
+        ex.stats.handler_calls += 1
+        binding(ex, warp, cta, g)
+        warp.pc += 1
+        return
+    raise DeviceFault(f"JCAL to unbound address 0x{address:x}")
 
 
 def _op_cal(ex, warp, cta, instr, g, counter):

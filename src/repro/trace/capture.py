@@ -16,11 +16,13 @@ from __future__ import annotations
 import os
 from typing import Optional
 
+import numpy as np
+
 from repro.isa.program import INSTRUCTION_BYTES
 from repro.sassi import SassiRuntime, spec_from_flags
 from repro.sassi.handlers import SASSIContext
 from repro.sim.coalescer import OFFSET_BITS
-from repro.sim.memory import is_global
+from repro.sim.memory import GLOBAL_BASE, is_global
 from repro.telemetry.collector import span as telemetry_span
 from repro.trace.format import (
     BranchEvent,
@@ -51,10 +53,12 @@ class TraceRecorder:
 
     def __init__(self, device, writer: TraceWriter,
                  runtime: Optional[SassiRuntime] = None,
-                 global_only: bool = True):
+                 global_only: bool = True,
+                 vectorized: bool = True):
         self.device = device
         self.writer = writer
         self.global_only = global_only
+        self.vectorized = vectorized
         self.runtime = runtime or SassiRuntime(device)
         self.runtime.register_before_handler(self.handler)
         self.spec = spec_from_flags(CAPTURE_FLAGS)
@@ -82,7 +86,8 @@ class TraceRecorder:
     # -------------------------------------------------------- handler
 
     def handler(self, ctx: SASSIContext) -> None:
-        write = self.writer.write
+        if not self.vectorized:
+            return self._handler_scalar(ctx)
         bp = ctx.bp
         # Record the instruction's address in the *original* (pre-
         # injection) layout — GetInsAddr() would shift with the
@@ -91,12 +96,36 @@ class TraceRecorder:
         ins_addr = bp.GetFnAddr() + bp.GetID() * INSTRUCTION_BYTES
         mp = ctx.mp
         width = mp.GetWidth() if mp is not None else 0
+        events = [InstrEvent(ins_addr=ins_addr,
+                             opcode=bp.GetOpcode().value,
+                             lanes=ctx.num_active,
+                             width=width)]
+        if mp is not None:
+            self._record_mem(ctx, ins_addr, mp, width, events.append)
+        brp = ctx.brp
+        if brp is not None:
+            direction = brp.GetDirection()
+            num_active = ctx.num_active
+            taken = int(np.count_nonzero(direction[ctx.lanes_idx]))
+            events.append(BranchEvent(ins_addr=ins_addr,
+                                      active=num_active,
+                                      taken=taken,
+                                      not_taken=num_active - taken))
+        self.writer.write_batch(events)
+
+    def _handler_scalar(self, ctx: SASSIContext) -> None:
+        """Per-event reference body (the differential baseline)."""
+        write = self.writer.write
+        bp = ctx.bp
+        ins_addr = bp.GetFnAddr() + bp.GetID() * INSTRUCTION_BYTES
+        mp = ctx.mp
+        width = mp.GetWidth() if mp is not None else 0
         write(InstrEvent(ins_addr=ins_addr,
                          opcode=bp.GetOpcode().value,
                          lanes=len(ctx.lanes()),
                          width=width))
         if mp is not None:
-            self._record_mem(ctx, ins_addr, mp, width, write)
+            self._record_mem_scalar(ctx, ins_addr, mp, width, write)
         brp = ctx.brp
         if brp is not None:
             direction = brp.GetDirection()
@@ -108,6 +137,30 @@ class TraceRecorder:
                               not_taken=int((~direction & active).sum())))
 
     def _record_mem(self, ctx, ins_addr, mp, width, write) -> None:
+        idx = ctx.lanes_idx
+        addresses = mp.GetAddress()[idx]
+        keep = ctx.bp.GetInstrWillExecute()[idx].astype(bool, copy=False)
+        if self.global_only:
+            heap_top = GLOBAL_BASE + self.device.heap_bytes
+            keep &= (addresses >= GLOBAL_BASE) & (addresses < heap_top)
+        num_lanes = int(np.count_nonzero(keep))
+        if not num_lanes:
+            return
+        line_vals = (addresses[keep] >> OFFSET_BITS) << OFFSET_BITS
+        _, first = np.unique(line_vals, return_index=True)
+        lines = tuple(int(line_vals[i]) for i in np.sort(first))
+        flags = 0
+        if mp.IsLoad():
+            flags |= MEM_FLAG_LOAD
+        if mp.IsStore():
+            flags |= MEM_FLAG_STORE
+        if mp.IsAtomic():
+            flags |= MEM_FLAG_ATOMIC
+        write(MemEvent(ins_addr=ins_addr, flags=flags, width=width,
+                       active_lanes=num_lanes,
+                       line_addresses=lines))
+
+    def _record_mem_scalar(self, ctx, ins_addr, mp, width, write) -> None:
         will_execute = ctx.bp.GetInstrWillExecute()
         addresses = mp.GetAddress()
         lanes = [lane for lane in ctx.lanes() if will_execute[lane]]

@@ -1,0 +1,160 @@
+"""Instrumented fast/slow differential suite: the warp-wide handler
+fast lanes must be invisible.
+
+Each of the five stock handlers runs every workload twice:
+
+* **fast** — default config: fused site plans
+  (``fuse_handler_calls=True``), vectorized contexts, and the handler's
+  warp-wide body;
+* **scalar** — ``SimConfig(fuse_blocks=False, vector_memory=False,
+  fuse_handler_calls=False)``, ``SassiRuntime`` with
+  ``vectorize_contexts=False``, and the handler's per-lane reference
+  body (``vectorized=False``).
+
+Both paths must produce bit-identical workload outputs, handler
+results, :class:`KernelStats`, and telemetry counters; captured traces
+must be byte-identical files.
+"""
+
+from __future__ import annotations
+
+import filecmp
+
+import numpy as np
+import pytest
+
+from repro.handlers.branch_profiler import BranchProfiler
+from repro.handlers.memory_divergence import MemoryDivergenceProfiler
+from repro.handlers.memtrace import MemoryTracer
+from repro.handlers.opcode_histogram import OpcodeHistogram
+from repro.handlers.value_profiler import ValueProfiler
+from repro.sim import Device
+from repro.sim.executor import SimConfig
+from repro.telemetry.collector import TELEMETRY
+from repro.trace.capture import TraceRecorder
+from repro.trace.io import TraceWriter
+from repro.workloads import make
+
+WORKLOADS = [
+    "rodinia/nn",
+    "rodinia/pathfinder",
+    "parboil/sgemm(small)",
+]
+
+
+def _scalar_config() -> SimConfig:
+    return SimConfig(fuse_blocks=False, vector_memory=False,
+                     fuse_handler_calls=False)
+
+
+def _run_profiled(name, make_profiler, collect, scalar):
+    """Run *name* under a profiler; return
+    ``(output, handler_result, stats_list, telemetry_counters)``."""
+    workload = make(name)
+    device = Device(config=_scalar_config() if scalar else None)
+    profiler = make_profiler(device, vectorized=not scalar)
+    if scalar:
+        profiler.runtime.vectorize_contexts = False
+    stats_list = []
+    device.on_kernel_exit(lambda _d, _k, stats: stats_list.append(stats))
+    TELEMETRY.enable(reset=True)
+    try:
+        kernel = profiler.compile(workload.build_ir())
+        output = workload.execute(device, kernel)
+        counters = dict(TELEMETRY.counters)
+    finally:
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+    return output, collect(profiler), stats_list, counters
+
+
+def _assert_identical(name, fast, scalar, what):
+    fast_out, fast_result, fast_stats, fast_counters = fast
+    slow_out, slow_result, slow_stats, slow_counters = scalar
+    assert np.array_equal(fast_out, slow_out), \
+        f"{name}: workload output differs for {what}"
+    assert fast_result == slow_result, \
+        f"{name}: handler results differ for {what}:\n" \
+        f"  fast={fast_result}\n  scalar={slow_result}"
+    assert fast_stats == slow_stats, \
+        f"{name}: KernelStats differ for {what}"
+    assert fast_counters == slow_counters, \
+        f"{name}: telemetry counters differ for {what}"
+
+
+def _differential(name, make_profiler, collect, what):
+    fast = _run_profiled(name, make_profiler, collect, scalar=False)
+    scalar = _run_profiled(name, make_profiler, collect, scalar=True)
+    _assert_identical(name, fast, scalar, what)
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_branch_profiler_differential(name):
+    _differential(
+        name,
+        lambda device, vectorized: BranchProfiler(device,
+                                                  vectorized=vectorized),
+        lambda p: p.branches(),
+        "branch_profiler")
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_memory_divergence_differential(name):
+    _differential(
+        name,
+        lambda device, vectorized: MemoryDivergenceProfiler(
+            device, vectorized=vectorized),
+        lambda p: p.matrix().tolist(),
+        "memory_divergence")
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_opcode_histogram_differential(name):
+    _differential(
+        name,
+        lambda device, vectorized: OpcodeHistogram(device,
+                                                   vectorized=vectorized),
+        lambda p: p.totals(),
+        "opcode_histogram")
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_value_profiler_differential(name):
+    _differential(
+        name,
+        lambda device, vectorized: ValueProfiler(device,
+                                                 vectorized=vectorized),
+        lambda p: p.profiles(),
+        "value_profiler")
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_memtrace_differential(name, tmp_path):
+    def factory(device, vectorized):
+        label = "fast" if vectorized else "scalar"
+        return MemoryTracer(device, path=str(tmp_path / f"{label}.rptrace"),
+                            vectorized=vectorized)
+
+    _differential(name, factory, lambda p: list(p.records()), "memtrace")
+    assert filecmp.cmp(str(tmp_path / "fast.rptrace"),
+                       str(tmp_path / "scalar.rptrace"), shallow=False), \
+        f"{name}: memtrace files differ between fast and scalar paths"
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_trace_capture_differential(name, tmp_path):
+    paths = {}
+    for label, scalar in (("fast", False), ("scalar", True)):
+        workload = make(name)
+        device = Device(config=_scalar_config() if scalar else None)
+        path = str(tmp_path / f"{label}.rptrace")
+        with TraceWriter(path) as writer:
+            recorder = TraceRecorder(device, writer,
+                                     vectorized=not scalar)
+            if scalar:
+                recorder.runtime.vectorize_contexts = False
+            kernel = recorder.compile(workload.build_ir())
+            workload.execute(device, kernel)
+        paths[label] = path
+    assert filecmp.cmp(paths["fast"], paths["scalar"], shallow=False), \
+        f"{name}: captured traces differ between fast and scalar paths"
