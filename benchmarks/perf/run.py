@@ -167,8 +167,66 @@ def measure_instrumented(name: str, handler: str, repeats: int = 3,
     return best
 
 
+def measure_sampled(name: str, handler: str, n: int,
+                    repeats: int = 3) -> float:
+    """Best-of-N warp-instructions/second for an instrumented run
+    sampled at rate 1/*n* (every-Nth site firing; rate 1 is the exact
+    instrumented path through the same controller).  Returns 0.0 on
+    revisions that predate the adaptive runtime.
+
+    Unlike the other benches, the numerator is the *application's own*
+    (baseline) warp instructions: the injected instructions executed
+    shrink with the sampling rate, so total-instruction throughput
+    would fall as sampling gets cheaper.  Application instructions per
+    wall second rises as sampling sheds handler overhead — the curve
+    the EXPERIMENTS entry plots."""
+    from repro.sim import Device
+    from repro.workloads import make
+
+    try:
+        from repro.sassi.runtime import AdaptiveController, EveryNth
+    except ImportError:
+        return 0.0
+    best = 0.0
+    for _ in range(repeats + 1):            # first rep doubles as warmup
+        workload = make(name)
+        device = Device()
+        controller = AdaptiveController(sampling=EveryNth(n))
+        controller.install(device)
+        profiler = make_profiler(handler, device)
+        kernel = profiler.compile(workload.build_ir())
+        launch_seconds = [0.0]
+        real_launch = device.launch
+
+        def timed_launch(*args, **kwargs):
+            t0 = time.perf_counter()
+            result = real_launch(*args, **kwargs)
+            launch_seconds[0] += time.perf_counter() - t0
+            return result
+
+        device.launch = timed_launch
+        workload.execute(device, kernel)
+        trace = workload.last_trace
+        baseline = sum(getattr(stats, "baseline_warp_instructions", 0)
+                       for stats in trace.launches)
+        numerator = baseline or trace.warp_instructions
+        rate = numerator / launch_seconds[0]
+        if hasattr(profiler, "close"):
+            profiler.close()
+        best = max(best, rate)
+    return best
+
+
 def instrumented_key(handler: str, name: str) -> str:
     return f"instrumented/{handler}/{name}"
+
+
+def sampled_key(handler: str, name: str, n: int) -> str:
+    return f"sampled/{handler}/{name}@1/{n}"
+
+
+#: every-Nth rates swept by ``--sampled-sweep``
+SAMPLED_RATES = (1, 4, 16)
 
 
 def load_results(path: str) -> dict:
@@ -211,6 +269,11 @@ def main(argv=None) -> int:
                         default=DEFAULT_INSTRUMENTED_WORKLOADS)
     parser.add_argument("--handlers", nargs="*",
                         default=INSTRUMENTED_HANDLERS)
+    parser.add_argument("--sampled-sweep", action="store_true",
+                        help="measure opcode_histogram throughput at "
+                             "sampling rates 1/1, 1/4, 1/16 over the "
+                             "bench workloads (overhead vs rate)")
+    parser.add_argument("--sampled-handler", default="opcode_histogram")
     parser.add_argument("--output", default=os.path.join(
         os.path.dirname(os.path.dirname(os.path.dirname(
             os.path.abspath(__file__)))), "BENCH_executor.json"))
@@ -236,6 +299,24 @@ def main(argv=None) -> int:
                     entry = data["workloads"][key]
                     print(f"{key:44s} after: {fast:12,.0f} wi/s  "
                           f"(speedup {entry.get('speedup')}x)")
+    if args.sampled_sweep:
+        handler = args.sampled_handler
+        for name in args.workloads:
+            exact = None
+            for n in SAMPLED_RATES:
+                key = sampled_key(handler, name, n)
+                rate = measure_sampled(name, handler, n, args.repeats)
+                if rate == 0.0:
+                    print(f"{key:44s} SKIP: no adaptive runtime")
+                    continue
+                merge(data, key, "after", rate, args.keep_best)
+                if n == 1:
+                    exact = rate
+                entry = data["workloads"][key]
+                if exact:
+                    entry["speedup_vs_exact"] = round(rate / exact, 2)
+                print(f"{key:44s} after: {rate:12,.0f} wi/s  "
+                      f"({entry.get('speedup_vs_exact', 1.0)}x vs exact)")
     for name in args.workloads:
         rate = measure(name, args.repeats)
         merge(data, name, args.label, rate, args.keep_best)

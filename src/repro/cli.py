@@ -174,6 +174,102 @@ def _telemetry_outputs(args, manifest_extra):
         print(render_summary(TELEMETRY))
 
 
+#: --handler choices: name -> (profiler factory, estimate printer)
+RUN_HANDLERS = ("branch_profiler", "memory_divergence", "opcode_histogram",
+                "value_profiler", "memtrace")
+
+
+def _make_profiler(name: str, device):
+    if name == "branch_profiler":
+        from repro.handlers.branch_profiler import BranchProfiler
+        return BranchProfiler(device)
+    if name == "memory_divergence":
+        from repro.handlers.memory_divergence import MemoryDivergenceProfiler
+        return MemoryDivergenceProfiler(device)
+    if name == "opcode_histogram":
+        from repro.handlers.opcode_histogram import OpcodeHistogram
+        return OpcodeHistogram(device)
+    if name == "value_profiler":
+        from repro.handlers.value_profiler import ValueProfiler
+        return ValueProfiler(device)
+    if name == "memtrace":
+        from repro.handlers.memtrace import MemoryTracer
+        return MemoryTracer(device)
+    raise CliError(f"unknown handler {name!r}")
+
+
+def _print_estimates(name: str, profiler, rate: int) -> None:
+    from repro.studies.report import render_sampled_counters, sampling_ci
+
+    if name == "opcode_histogram":
+        totals = profiler.totals()
+        print(render_sampled_counters(list(totals), list(totals.values()),
+                                      rate))
+        return
+    if name == "branch_profiler":
+        summary = profiler.summary()
+        low, high = sampling_ci(summary.dynamic_branches // max(rate, 1),
+                                rate)
+        print(f"dynamic branches ~ {summary.dynamic_branches:,} "
+              f"CI [{low:,.0f}, {high:,.0f}]; "
+              f"divergent {summary.dynamic_pct:.1f}%")
+        return
+    if name == "memory_divergence":
+        print(f"warp accesses touching >1 line: "
+              f"{100 * profiler.diverged_fraction():.1f}% "
+              f"(estimates at rate 1/{rate})")
+        return
+    if name == "value_profiler":
+        summary = profiler.summary()
+        print(f"scalar writes {summary.dynamic_scalar_pct:.1f}%, "
+              f"constant bits {summary.dynamic_const_bits_pct:.1f}% "
+              f"(weights scaled at rate 1/{rate})")
+        return
+    if name == "memtrace":
+        events = sum(1 for _ in profiler.records())
+        # under --budget-ms the period varies; the CI uses the
+        # effective average rate the run actually achieved
+        effective = max(rate, round(profiler.weighted_events
+                                    / max(events, 1)))
+        low, high = sampling_ci(events, effective)
+        print(f"{events:,} trace events recorded; estimated exact count "
+              f"{profiler.weighted_events:,} CI [{low:,.0f}, {high:,.0f}]")
+
+
+def _build_controller(args):
+    """An AdaptiveController from --sample/--toggle/--budget-ms (or
+    None when none of them was given).  Returns (controller, rate)."""
+    from repro.sassi.runtime import (ActiveSiteMask, AdaptiveController,
+                                     TimeBudget, parse_sampling)
+
+    sample = getattr(args, "sample", None)
+    toggle = getattr(args, "toggle", None)
+    budget_ms = getattr(args, "budget_ms", None)
+    if not (sample or toggle or budget_ms):
+        return None, 1
+    if sample and budget_ms:
+        raise CliError("--sample and --budget-ms are mutually exclusive")
+    sampling = None
+    rate = 1
+    if sample:
+        try:
+            sampling = parse_sampling(sample)
+        except ValueError as exc:
+            raise CliError(str(exc))
+        rate = sampling.n if sampling is not None else 1
+    if budget_ms:
+        sampling = TimeBudget(budget_ms)
+    mask = ActiveSiteMask()
+    if toggle:
+        try:
+            disabled = [int(s, 0) for s in toggle.split(",") if s]
+        except ValueError:
+            raise CliError(f"bad --toggle value {toggle!r} "
+                           "(want comma-separated site ids)")
+        mask = mask.disable(disabled)
+    return AdaptiveController(mask=mask, sampling=sampling), rate
+
+
 def _cmd_run(args) -> int:
     from repro.backend import ptxas
     from repro.sim import Device
@@ -182,13 +278,23 @@ def _cmd_run(args) -> int:
     for path in (args.trace, args.jsonl):
         if path:
             _check_writable(path)
+    handler = getattr(args, "handler", None)
+    controller, rate = _build_controller(args)
+    if controller is not None and handler is None:
+        raise CliError("--sample/--toggle/--budget-ms require --handler")
     workload = _make_workload(args.name)
     TELEMETRY.enable(reset=True)
     try:
         device = Device()
+        if controller is not None:
+            controller.install(device)
+        profiler = _make_profiler(handler, device) if handler else None
         with span("run", workload=args.name):
             with span("compile", workload=args.name):
-                kernel = ptxas(workload.build_ir())
+                if profiler is not None:
+                    kernel = profiler.compile(workload.build_ir())
+                else:
+                    kernel = ptxas(workload.build_ir())
             with span("execute", workload=args.name):
                 output = workload.execute(device, kernel)
         ok = workload.verify(output)
@@ -196,6 +302,14 @@ def _cmd_run(args) -> int:
         print(f"{args.name}: {'ok' if ok else 'WRONG RESULT'} "
               f"({trace.warp_instructions:,} warp instructions, "
               f"{trace.kernel_launches} launches)")
+        if profiler is not None:
+            _print_estimates(handler, profiler, rate)
+        if controller is not None:
+            summary = controller.summary()
+            print(f"sites: {summary['fired']:,} fired, "
+                  f"{summary['skipped']:,} skipped "
+                  f"(estimated exact firings "
+                  f"{summary['estimated_firings']:,})")
         _telemetry_outputs(args, {"command": "run",
                                   "workload": args.name})
     finally:
@@ -422,6 +536,17 @@ def main(argv=None) -> int:
     run_parser = sub.add_parser(
         "run", help="run one workload with telemetry")
     run_parser.add_argument("name", help="workload name (see `workloads`)")
+    run_parser.add_argument("--handler", choices=RUN_HANDLERS, default=None,
+                            help="attach a stock SASSI handler")
+    run_parser.add_argument("--sample", default=None, metavar="KIND:N",
+                            help="sample instrumentation sites: nth:N"
+                                 "[,PHASE], warp:N[,SEED], cta:N[,SEED]")
+    run_parser.add_argument("--toggle", default=None, metavar="IDS",
+                            help="comma-separated site ids to disable "
+                                 "at runtime (no recompilation)")
+    run_parser.add_argument("--budget-ms", type=float, default=None,
+                            help="throttle instrumentation to a "
+                                 "wall-clock budget (milliseconds)")
     _add_telemetry_flags(run_parser, jsonl=True)
     run_parser.set_defaults(fn=_cmd_run)
 

@@ -98,14 +98,17 @@ class BranchProfiler:
         num_active = ctx.num_active
         num_taken = int(np.count_nonzero(direction[ctx.lanes_idx]))
         num_not_taken = num_active - num_taken
+        w = ctx.sample_rate
         counters = self.table.find(ctx, ctx.bp.GetInsAddr())
-        ctx.atomic_add(self.table.counter_ptr(counters, TOTAL), 1)
-        ctx.atomic_add(self.table.counter_ptr(counters, ACTIVE), num_active)
-        ctx.atomic_add(self.table.counter_ptr(counters, TAKEN), num_taken)
+        ctx.atomic_add(self.table.counter_ptr(counters, TOTAL), w)
+        ctx.atomic_add(self.table.counter_ptr(counters, ACTIVE),
+                       num_active * w)
+        ctx.atomic_add(self.table.counter_ptr(counters, TAKEN),
+                       num_taken * w)
         ctx.atomic_add(self.table.counter_ptr(counters, NOT_TAKEN),
-                       num_not_taken)
+                       num_not_taken * w)
         if num_taken != num_active and num_not_taken != num_active:
-            ctx.atomic_add(self.table.counter_ptr(counters, DIVERGENT), 1)
+            ctx.atomic_add(self.table.counter_ptr(counters, DIVERGENT), w)
 
     def _handler_scalar(self, ctx: SASSIContext) -> None:
         """Per-lane reference body (the differential baseline)."""
@@ -116,14 +119,17 @@ class BranchProfiler:
         num_active = int(active.sum())
         num_taken = int(taken.sum())
         num_not_taken = int(not_taken.sum())
+        w = ctx.sample_rate
         counters = self.table.find(ctx, ctx.bp.GetInsAddr())
-        ctx.atomic_add(self.table.counter_ptr(counters, TOTAL), 1)
-        ctx.atomic_add(self.table.counter_ptr(counters, ACTIVE), num_active)
-        ctx.atomic_add(self.table.counter_ptr(counters, TAKEN), num_taken)
+        ctx.atomic_add(self.table.counter_ptr(counters, TOTAL), w)
+        ctx.atomic_add(self.table.counter_ptr(counters, ACTIVE),
+                       num_active * w)
+        ctx.atomic_add(self.table.counter_ptr(counters, TAKEN),
+                       num_taken * w)
         ctx.atomic_add(self.table.counter_ptr(counters, NOT_TAKEN),
-                       num_not_taken)
+                       num_not_taken * w)
         if num_taken != num_active and num_not_taken != num_active:
-            ctx.atomic_add(self.table.counter_ptr(counters, DIVERGENT), 1)
+            ctx.atomic_add(self.table.counter_ptr(counters, DIVERGENT), w)
 
     # ---------------------------------------------------- thread level
 
@@ -138,17 +144,18 @@ class BranchProfiler:
         if ffs(active) - 1 == t.lane_id:
             # we cannot call table.find() from a generator (it reads
             # device memory synchronously), so resolve via the warp ctx
+            w = t.sample_rate
             counters = self.table.find(t._ctx, t.bp.GetInsAddr())
-            yield AtomicAdd(self.table.counter_ptr(counters, TOTAL), 1)
+            yield AtomicAdd(self.table.counter_ptr(counters, TOTAL), w)
             yield AtomicAdd(self.table.counter_ptr(counters, ACTIVE),
-                            num_active)
+                            num_active * w)
             yield AtomicAdd(self.table.counter_ptr(counters, TAKEN),
-                            num_taken)
+                            num_taken * w)
             yield AtomicAdd(self.table.counter_ptr(counters, NOT_TAKEN),
-                            num_not_taken)
+                            num_not_taken * w)
             if num_taken != num_active and num_not_taken != num_active:
                 yield AtomicAdd(
-                    self.table.counter_ptr(counters, DIVERGENT), 1)
+                    self.table.counter_ptr(counters, DIVERGENT), w)
 
     # ----------------------------------------------------- host report
 

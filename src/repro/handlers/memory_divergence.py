@@ -57,7 +57,7 @@ class MemoryDivergenceProfiler:
             return
         unique = int(np.unique(addresses[keep] >> OFFSET_BITS).size)
         index = (num_active - 1) * 32 + min(unique, 32) - 1
-        ctx.atomic_add(self.counters.element_ptr(index), 1)
+        ctx.atomic_add(self.counters.element_ptr(index), ctx.sample_rate)
 
     def _handler_scalar(self, ctx: SASSIContext) -> None:
         """Per-lane reference body (the differential baseline)."""
@@ -75,7 +75,7 @@ class MemoryDivergenceProfiler:
         num_active = len(participating)
         unique = len(lines)
         index = (num_active - 1) * 32 + min(unique, 32) - 1
-        ctx.atomic_add(self.counters.element_ptr(index), 1)
+        ctx.atomic_add(self.counters.element_ptr(index), ctx.sample_rate)
 
     # ----------------------------------------------------- host report
 

@@ -81,6 +81,11 @@ class MemoryTracer:
             path, buffer_bytes=buffer_bytes)
         self._manifest = None
         self._trace_cache: Optional[List[TraceRecord]] = None
+        #: sampling-weighted event count: each recorded event adds its
+        #: firing's sample rate, so under 1/N sampling this remains an
+        #: unbiased estimate of the exact event count (trace events
+        #: themselves are never scaled — the format is per-access).
+        self.weighted_events = 0
         self.runtime = SassiRuntime(device)
         self.runtime.register_before_handler(self.handler)
         self.spec = spec_from_flags(self.FLAGS)
@@ -116,6 +121,7 @@ class MemoryTracer:
         if mp.IsAtomic():
             flags |= MEM_FLAG_ATOMIC
         self._trace_cache = None
+        self.weighted_events += ctx.sample_rate
         self._writer.write(MemEvent(
             ins_addr=ctx.bp.GetInsAddr(),
             flags=flags,
@@ -151,6 +157,7 @@ class MemoryTracer:
         if mp.IsAtomic():
             flags |= MEM_FLAG_ATOMIC
         self._trace_cache = None
+        self.weighted_events += ctx.sample_rate
         self._writer.write(MemEvent(
             ins_addr=ctx.bp.GetInsAddr(),
             flags=flags,

@@ -62,7 +62,9 @@ class OpcodeHistogram:
         if not self.vectorized:
             return self._handler_scalar(ctx)
         bp = ctx.bp
-        threads = ctx.num_active
+        # sampled firings stand in for sample_rate firings: the scaled
+        # increment keeps the counters unbiased estimators (×1 when exact)
+        threads = ctx.num_active * ctx.sample_rate
         key = (bp.GetFnAddr(), bp.GetInsOffset())
         slots = self._site_slots.get(key)
         if slots is None:
@@ -91,7 +93,7 @@ class OpcodeHistogram:
 
     def _handler_scalar(self, ctx: SASSIContext) -> None:
         """Per-lane reference body (the differential baseline)."""
-        threads = len(ctx.lanes())
+        threads = len(ctx.lanes()) * ctx.sample_rate
         bp, mp = ctx.bp, ctx.mp
         if bp.IsMem():
             ctx.atomic_add(self.counters.element_ptr(0), threads)

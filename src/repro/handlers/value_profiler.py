@@ -112,7 +112,9 @@ class ValueProfiler:
                 ctx.write_device(ptr(_dst_slot(dst, 1)), 0xFFFFFFFF, 8)
                 ctx.write_device(ptr(_dst_slot(dst, 2)), 0xFFFFFFFF, 8)
                 ctx.write_device(ptr(_dst_slot(dst, 3)), 1, 8)
-        ctx.atomic_add(ptr(WEIGHT), 1)
+        # WEIGHT is the only additive counter here; the AND-accumulators
+        # and the isScalar flag are idempotent and must not be scaled
+        ctx.atomic_add(ptr(WEIGHT), ctx.sample_rate)
 
         if self.vectorized:
             # warp-wide fast lane: AND-reduce the active values and

@@ -21,9 +21,18 @@ The pieces mirror the paper's Section 3:
   use (``__ballot``, ``__popc``, ``__ffs``, ``__shfl``, ``atomicAdd``...).
 * :mod:`repro.sassi.cupti` — launch/exit callbacks and device↔host
   counter marshaling (paper Section 3.3).
+* :mod:`repro.sassi.runtime` — runtime-adaptable instrumentation:
+  active-site masks, sampling policies, the adaptive controller, and
+  mid-run re-spec campaigns (no recompilation involved).
 """
 
-from repro.sassi.spec import InstClass, InstrumentationSpec, What, Where
+from repro.sassi.spec import (
+    InstClass,
+    InstrumentationSpec,
+    SpecDelta,
+    What,
+    Where,
+)
 from repro.sassi.flags import spec_from_flags
 from repro.sassi.handlers import SassiRuntime, ThreadHandlerError
 from repro.sassi.inject import instrument_kernel
@@ -31,6 +40,7 @@ from repro.sassi.inject import instrument_kernel
 __all__ = [
     "InstClass",
     "InstrumentationSpec",
+    "SpecDelta",
     "What",
     "Where",
     "spec_from_flags",

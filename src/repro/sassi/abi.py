@@ -397,12 +397,16 @@ class SiteSequencePlan:
                  "ops", "post_ops", "template", "store_cols", "fill_cols",
                  "max_touch", "max_reg", "length", "n_pairs",
                  "thread_weight", "opcode_counts", "issue_cycles",
-                 "telemetry_counts", "n_fills")
+                 "telemetry_counts", "n_fills", "site_id")
 
     def __init__(self, start, records, frame, jcal_addr, jcal_index, ops,
                  post_ops, template, store_cols, fill_cols, max_reg,
-                 n_pairs):
+                 n_pairs, site_id=None):
         self.start = start
+        #: the injector's stable site id (the original instruction index,
+        #: recovered from the ``bp.id`` constant baked into the frame
+        #: template); None when the sequence carried no recognizable id.
+        self.site_id = site_id
         self.records = records
         self.frame = frame
         self.jcal_addr = jcal_addr
@@ -596,6 +600,7 @@ def compile_site_plan(records, start: int, handler_base: int):
     n_pairs = 0
     jcal_addr = None
     jcal_index = None
+    site_id = None
     index = start + 1
 
     def track(reg):
@@ -659,6 +664,8 @@ def compile_site_plan(records, start: int, handler_base: int):
                 if not wide and data in consts:
                     template[pos:pos + 4] = \
                         int(consts[data]).to_bytes(4, "little")
+                    if ref.offset == P.BP_ID:
+                        site_id = consts[data]
                 elif wide and data in consts and data + 1 in consts:
                     template[pos:pos + 4] = \
                         int(consts[data]).to_bytes(4, "little")
@@ -753,7 +760,7 @@ def compile_site_plan(records, start: int, handler_base: int):
                         np.frombuffer(bytes(template), dtype=np.uint8),
                         np.asarray(store_cols, dtype=np.int64),
                         np.asarray(fill_cols, dtype=np.int64),
-                        max_reg, n_pairs)
+                        max_reg, n_pairs, site_id)
                 else:
                     return None
             else:

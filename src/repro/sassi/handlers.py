@@ -95,6 +95,11 @@ class SASSIContext:
         self.num_active = int(lanes.size)
         self._vectorized = vectorized
         self._lanes_list = None
+        #: sampling weight of this firing (1 = exact).  When the site is
+        #: sampled at rate 1/N the executor sets this to N; handlers
+        #: multiply additive counter increments by it so their device
+        #: buffers hold unbiased estimates of the exact counts.
+        self.sample_rate = getattr(executor, "_sample_rate", 1)
 
     # ---- warp intrinsics over the site mask ----
 
@@ -199,6 +204,7 @@ class SASSIThreadContext:
     def __init__(self, warp_ctx: SASSIContext, lane: int):
         self._ctx = warp_ctx
         self.lane_id = lane
+        self.sample_rate = warp_ctx.sample_rate
         self.thread_idx = int(warp_ctx.warp.lane_thread_ids[lane])
         self.bp = _LaneView(warp_ctx.bp, lane)
         self.ap = _LaneView(warp_ctx.bp, lane) \

@@ -19,7 +19,7 @@ The pass also:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.isa.analysis import compute_liveness
@@ -48,6 +48,10 @@ class InjectionReport:
     max_frame_bytes: int = 0
     spills_emitted: int = 0
     spills_skipped: int = 0
+    #: stable site ids, in emission order (the original instruction index
+    #: of each site — the cross-spec numbering invariant re-spec relies on)
+    before_site_ids: List[int] = field(default_factory=list)
+    after_site_ids: List[int] = field(default_factory=list)
 
 
 def instrument_kernel(
@@ -80,7 +84,6 @@ def instrument_kernel(
     new_labels: Dict[str, int] = {}
     #: original index -> index of the original instruction in the new list
     position_of: Dict[int, int] = {}
-    site_id = 0
     spilled_valid: Set[int] = set()
 
     before_addr = resolve_handler(spec.before_handler) if spec.before else 0
@@ -97,6 +100,7 @@ def instrument_kernel(
                                  liveness.gpr_in[index], before_addr,
                                  fn_addr, label_ids, spilled_valid, report)
             report.before_sites += 1
+            report.before_site_ids.append(index)
             new_instructions.extend(seq)
 
         position_of[index] = len(new_instructions)
@@ -111,6 +115,7 @@ def instrument_kernel(
                                  liveness.gpr_out[index], after_addr,
                                  fn_addr, label_ids, spilled_valid, report)
             report.after_sites += 1
+            report.after_site_ids.append(index)
             new_instructions.extend(seq)
 
     for name, index in kernel.labels.items():

@@ -103,3 +103,34 @@ class InstrumentationSpec:
         if instr.opcode in (Opcode.SSY, Opcode.PBK, Opcode.NOP, Opcode.BPT):
             return False
         return any(c.matches(instr) for c in self.after)
+
+
+@dataclass(frozen=True)
+class SpecDelta:
+    """An incremental edit to an :class:`InstrumentationSpec`.
+
+    A campaign that re-specs mid-run ships a delta rather than a whole
+    new spec: ``apply`` produces the edited spec, and because the result
+    is content-addressed the same way as any other spec, the compile
+    cache is exercised with deltas (hit on the re-specced kernel the
+    second time it is seen) instead of treating every re-spec as a brand
+    new compilation universe.  Removals are applied after additions, so
+    a class named in both is removed.
+    """
+
+    before_add: FrozenSet[InstClass] = frozenset()
+    before_remove: FrozenSet[InstClass] = frozenset()
+    after_add: FrozenSet[InstClass] = frozenset()
+    after_remove: FrozenSet[InstClass] = frozenset()
+    what_add: FrozenSet[What] = frozenset()
+    what_remove: FrozenSet[What] = frozenset()
+
+    def apply(self, spec: InstrumentationSpec) -> InstrumentationSpec:
+        from dataclasses import replace
+
+        return replace(
+            spec,
+            before=(spec.before | self.before_add) - self.before_remove,
+            after=(spec.after | self.after_add) - self.after_remove,
+            what=(spec.what | self.what_add) - self.what_remove,
+        )

@@ -49,6 +49,9 @@ class Device:
         self._launch_callbacks: List[LaunchCallback] = []
         self._exit_callbacks: List[ExitCallback] = []
         self.last_stats: Optional[KernelStats] = None
+        #: optional repro.sassi.runtime.AdaptiveController gating
+        #: compiled instrumentation sites at launch time
+        self.adaptive = None
         # the generic local window base, read by injected code from
         # c[0x0][0x24] exactly as in the paper's Figure 2.
         self.const_mem.write(STACK_BASE_OFFSET, 4, LOCAL_BASE)

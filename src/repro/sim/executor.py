@@ -15,6 +15,7 @@ paper's Figure 1 flow.
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -165,6 +166,13 @@ class Executor:
         #: dispatched — computed once per instruction (or once per fused
         #: block) and consumed by the scalar per-lane memory loops.
         self._active_lanes: Optional[np.ndarray] = None
+        #: sampling weight of the site currently firing (1 = exact);
+        #: handler contexts read it so sampled counters can be scaled
+        #: into unbiased estimates.
+        self._sample_rate: int = 1
+        #: the device's AdaptiveController, if one is installed
+        #: (``repro.sassi.runtime``); gates compiled site plans.
+        self._adaptive = getattr(device, "adaptive", None)
 
     # ------------------------------------------------------------ launch
 
@@ -176,6 +184,10 @@ class Executor:
         self._kernel = kernel
         self._decoded = decode_kernel(kernel)
         self._targets = self._decoded.targets
+        self._sample_rate = 1
+        self._adaptive = ctrl = getattr(self.device, "adaptive", None)
+        if ctrl is not None:
+            ctrl.begin_launch(kernel)
         counter = CycleCounter()
         num_threads = block.x * block.y * block.z
         if num_threads == 0 or num_threads > 1024:
@@ -324,7 +336,40 @@ class Executor:
         any state) on run-time preconditions it cannot batch — and a
         telemetry subclass observing per-dispatch granularity also
         forces the per-record path, exactly like ``_execute_block``.
+
+        When an :class:`~repro.sassi.runtime.AdaptiveController` is
+        installed, it gates every firing first.  Weight 0 skips the
+        whole site (the injected sequence is architecturally invisible,
+        so jumping ``warp.pc`` over it is exact) — the skipped
+        instructions are accounted under the ``sassi.sampled_skipped``
+        telemetry counter so overhead attribution still sums.  A weight
+        of N > 1 runs the site with ``_sample_rate = N`` so the handler
+        context can scale its counters into unbiased estimates.
         """
+        ctrl = self._adaptive
+        if ctrl is not None:
+            weight = ctrl.decide(plan, warp, cta)
+            if weight == 0:
+                warp.pc = plan.start + plan.length
+                telem = TELEMETRY
+                if telem.enabled:
+                    telem.incr("sassi.sampled_skipped", plan.length)
+                return
+            if weight != 1 or ctrl.wants_timing:
+                timing = ctrl.wants_timing
+                t0 = time.perf_counter() if timing else 0.0
+                self._sample_rate = weight
+                try:
+                    self._site_body(plan, warp, cta, counter)
+                finally:
+                    self._sample_rate = 1
+                    if timing:
+                        ctrl.observe_fire(time.perf_counter() - t0)
+                return
+        self._site_body(plan, warp, cta, counter)
+
+    def _site_body(self, plan, warp: Warp, cta: CTAContext,
+                   counter: CycleCounter) -> None:
         length = plan.length
         self._watchdog += length
         if self._watchdog > self.config.max_warp_instructions:

@@ -97,3 +97,45 @@ def heatmap(matrix: np.ndarray, title: str = "") -> str:
     lines.append("    +" + "-" * 32)
     lines.append("     occupancy 1..32 ->")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------- sampled counters
+
+def scaled_estimate(count, rate: int) -> int:
+    """The unbiased estimate a sampled counter stands for.
+
+    Handlers already multiply their increments by the firing's sample
+    rate, so counters read back from the device *are* scaled estimates
+    and ``rate`` here is 1; use this helper when aggregating raw
+    (unscaled) event counts, e.g. trace-event tallies.
+    """
+    return int(count) * int(rate)
+
+
+def sampling_ci(count, rate: int, z: float = 1.96):
+    """A normal-approximation confidence interval for a 1/``rate``
+    sampled counter whose *scaled* estimate is ``count * rate``.
+
+    Each retained firing contributes ``rate`` to the estimate; modeling
+    retained firings as Poisson with the observed mean gives a standard
+    error of ``rate * sqrt(count)``.  Returns ``(low, high)`` clamped at
+    zero.  At rate 1 the interval collapses onto the exact count.
+    """
+    count = int(count)
+    rate = int(rate)
+    estimate = count * rate
+    if rate <= 1:
+        return float(estimate), float(estimate)
+    half = z * rate * float(np.sqrt(count))
+    return max(0.0, estimate - half), estimate + half
+
+
+def render_sampled_counters(names: Sequence[str], counts: Sequence[int],
+                            rate: int, z: float = 1.96) -> str:
+    """An ASCII table of scaled estimates with confidence intervals."""
+    rows = []
+    for name, count in zip(names, counts):
+        low, high = sampling_ci(count // max(rate, 1), rate, z=z)
+        rows.append([name, int(count), f"[{low:,.0f}, {high:,.0f}]"])
+    return table(["counter", f"estimate (x{rate})", f"{z:.2f}-sigma CI"],
+                 rows, title=f"sampled counters at rate 1/{rate}")

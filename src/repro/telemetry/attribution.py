@@ -17,6 +17,18 @@ counters).  The buckets therefore sum to the instrumented wall-clock
 exactly, and the instruction counts cross-check against
 :mod:`repro.studies.overhead`'s ``I`` ratios and the executor's
 ``KernelStats`` ground truth.
+
+When sites are sampled (:mod:`repro.sassi.runtime`), skipped firings
+execute no injected instructions and consume no wall time — but they
+must not vanish from the accounting, or the I-ratio cross-check would
+silently under-report.  They appear as the ``sampled_skipped`` bucket:
+zero wall seconds, and an instruction count equal to the injected
+instructions that *would* have executed, so
+
+    executed sassi.* instructions + sampled_skipped
+        == the full-rate run's sassi.* instructions
+
+holds exactly for deterministic sampling.
 """
 
 from __future__ import annotations
@@ -28,7 +40,8 @@ from typing import Dict, Optional
 from repro.telemetry.classify import SAVE_RESTORE_KEYS
 from repro.telemetry.collector import TELEMETRY, span
 
-BUCKETS = ("baseline", "save_restore", "param_marshal", "handler_body")
+BUCKETS = ("baseline", "save_restore", "param_marshal", "handler_body",
+           "sampled_skipped")
 
 
 @dataclass
@@ -92,13 +105,21 @@ def split_wall(instrumented_wall: float,
     buckets = {name: remaining * weight / total
                for name, weight in weights.items()}
     buckets["handler_body"] = handler_body
+    # skipped sampled firings executed nothing: zero wall by definition
+    # (they exist so the instruction-level accounting still sums)
+    buckets["sampled_skipped"] = 0.0
     return buckets
 
 
 def attribute_workload(name: str, case: str = "memory",
-                       use_cache: bool = False) -> AttributionReport:
+                       use_cache: bool = False,
+                       controller=None) -> AttributionReport:
     """Run *name* uninstrumented and instrumented (per the overhead
-    study's *case* configuration) and attribute the difference."""
+    study's *case* configuration) and attribute the difference.
+
+    Pass an :class:`~repro.sassi.runtime.AdaptiveController` as
+    *controller* to attribute a toggled/sampled run; skipped firings
+    show up in the ``sampled_skipped`` bucket."""
     from repro.backend import ptxas
     from repro.sim import Device
     from repro.studies.overhead import _handler_for
@@ -117,6 +138,8 @@ def attribute_workload(name: str, case: str = "memory",
     telemetry.enable()
     mark = telemetry.mark()
     instrumented_device = Device()
+    if controller is not None:
+        controller.install(instrumented_device)
     profiler = _handler_for(case, instrumented_device)
     with span("attribution", workload=name, case=case):
         with span("compile"):
@@ -145,6 +168,8 @@ def attribute_workload(name: str, case: str = "memory",
             "baseline": baseline_instructions,
             "save_restore": save_restore,
             "param_marshal": delta.counters.get("sassi.param_marshal", 0),
+            "sampled_skipped": delta.counters.get("sassi.sampled_skipped",
+                                                  0),
         },
     )
     return report

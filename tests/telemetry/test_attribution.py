@@ -81,3 +81,49 @@ class TestAttributeWorkload:
         assert not TELEMETRY.enabled
         attribute_workload("rodinia/nn", case="memory")
         assert not TELEMETRY.enabled
+
+
+class TestSampledAttribution:
+    """Bucket accounting must stay exact when sites are sampled."""
+
+    def test_sampled_buckets_still_sum_exactly(self):
+        from repro.sassi.runtime import AdaptiveController, EveryNth
+
+        controller = AdaptiveController(sampling=EveryNth(4))
+        report = attribute_workload("rodinia/nn", case="memory",
+                                    controller=controller)
+        assert set(report.wall_buckets) == set(BUCKETS)
+        total = sum(report.wall_buckets.values())
+        assert total == pytest.approx(report.instrumented_wall, rel=0.01)
+        # skipped firings execute nothing: zero wall, nonzero instrs
+        assert report.wall_buckets["sampled_skipped"] == 0.0
+        assert report.instruction_buckets["sampled_skipped"] > 0
+
+    def test_skipped_plus_executed_equals_full_rate(self):
+        """The ``sampled_skipped`` fix: instruction-level accounting
+        must not lose the skipped firings.  Executed injected
+        instructions plus the skipped bucket equal the full-rate run's
+        injected instructions exactly."""
+        from repro.sassi.runtime import AdaptiveController, EveryNth
+
+        def injected(report):
+            return (report.instruction_buckets["save_restore"]
+                    + report.instruction_buckets["param_marshal"])
+
+        full = attribute_workload("rodinia/nn", case="memory")
+        controller = AdaptiveController(sampling=EveryNth(4))
+        sampled = attribute_workload("rodinia/nn", case="memory",
+                                     controller=controller)
+        assert full.instruction_buckets["sampled_skipped"] == 0
+        assert injected(sampled) \
+            + sampled.instruction_buckets["sampled_skipped"] \
+            == injected(full)
+
+    def test_full_rate_controller_changes_nothing(self):
+        from repro.sassi.runtime import AdaptiveController
+
+        plain = attribute_workload("rodinia/nn", case="memory")
+        controlled = attribute_workload(
+            "rodinia/nn", case="memory",
+            controller=AdaptiveController())
+        assert plain.instruction_buckets == controlled.instruction_buckets
