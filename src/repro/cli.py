@@ -10,6 +10,8 @@ Subcommands::
     python -m repro.cli timeline trace.json   # inspect a Chrome trace
     python -m repro.cli capture  NAME [-o FILE] [--all-spaces]
     python -m repro.cli replay   trace.rptrace [--analysis a,b,...]
+    python -m repro.cli trace    summary|iters trace.rptrace
+                                 [--policy gto|lrr] [--top N]
     python -m repro.cli trace-info trace.rptrace
     python -m repro.cli trace-diff a.rptrace b.rptrace [--max-deltas N]
     python -m repro.cli study    table1|figure7|table2|table3|figure10
@@ -28,12 +30,17 @@ the output is inspectable), and prints/writes the SASS listing.
 a Chrome ``trace_event`` JSON (open in ``chrome://tracing``/Perfetto),
 ``--jsonl`` a flat event stream, ``--metrics`` prints the span/counter
 summary.  ``timeline`` summarizes a previously written Chrome trace
-(``trace`` is kept as a deprecated alias for one release).
+(the deprecated ``trace`` alias from the rename is retired; ``trace``
+is now the timing-analytics group below).
 
-``capture``/``replay``/``trace-info``/``trace-diff`` drive the binary
-event-trace subsystem (:mod:`repro.trace`): record one instrumented run
-to an ``.rptrace`` file, then answer many questions offline —
-``trace-diff`` exits 1 when the traces differ, like ``diff``.
+``capture``/``replay``/``trace``/``trace-info``/``trace-diff`` drive
+the binary event-trace subsystem (:mod:`repro.trace`): record one
+instrumented run to an ``.rptrace`` file, then answer many questions
+offline — ``trace summary`` runs the cycle-stepped warp scheduler over
+the trace and reports per-kernel cycles, hotspot instructions, bubble
+regions, and divergence-serialized spans; ``trace iters`` reports
+per-launch cycles and the iteration spread; ``trace-diff`` exits 1
+when the traces differ, like ``diff``.
 
 Usage errors (unknown workload, malformed flags, unwritable paths) exit
 with status 2 and a one-line ``repro: ...`` message — never a traceback.
@@ -320,10 +327,6 @@ def _cmd_run(args) -> int:
 def _cmd_timeline(args) -> int:
     import json
 
-    if args.command == "trace":
-        print("repro: `trace` is deprecated; use `repro timeline` "
-              "(the name now refers to binary event traces — see "
-              "`repro capture`)", file=sys.stderr)
     try:
         with open(args.input) as handle:
             doc = json.load(handle)
@@ -413,6 +416,35 @@ def _cmd_replay(args) -> int:
     return 0
 
 
+def _timing_report(args):
+    """Replay *args.input* through the timing analysis; returns the
+    scheduled :class:`~repro.trace.timing.TimingReport`."""
+    from repro.trace import TraceFormatError, replay
+    from repro.trace.timing import TimingAnalysis
+
+    reader = _open_trace_or_die(args.input)
+    analysis = TimingAnalysis(policy=args.policy)
+    try:
+        replay(reader, [analysis])
+    except TraceFormatError as exc:
+        raise CliError(f"{args.input}: {exc}")
+    return analysis.model.schedule(args.policy)
+
+
+def _cmd_trace_summary(args) -> int:
+    from repro.trace.timing import render_summary
+
+    print(render_summary(_timing_report(args), top=args.top))
+    return 0
+
+
+def _cmd_trace_iters(args) -> int:
+    from repro.trace.timing import render_iters
+
+    print(render_iters(_timing_report(args)))
+    return 0
+
+
 def _cmd_trace_info(args) -> int:
     from repro.trace import TraceFormatError
 
@@ -452,6 +484,7 @@ _STUDIES = {
     "table3": ("repro.studies.overhead", "main"),
     "figure10": ("repro.studies.casestudy4", "main"),
     "tracereplay": ("repro.studies.tracereplay", "main"),
+    "schedpolicy": ("repro.studies.schedpolicy", "main"),
 }
 
 
@@ -551,8 +584,7 @@ def main(argv=None) -> int:
     run_parser.set_defaults(fn=_cmd_run)
 
     timeline_parser = sub.add_parser(
-        "timeline", aliases=["trace"],
-        help="summarize a Chrome trace file (`trace` alias deprecated)")
+        "timeline", help="summarize a Chrome trace file")
     timeline_parser.add_argument("input")
     timeline_parser.set_defaults(fn=_cmd_timeline)
 
@@ -577,6 +609,28 @@ def main(argv=None) -> int:
                                help="comma-separated analyses "
                                     "(default: all registered)")
     replay_parser.set_defaults(fn=_cmd_replay)
+
+    trace_parser = sub.add_parser(
+        "trace", help="timing analytics over a recorded trace")
+    trace_sub = trace_parser.add_subparsers(dest="trace_command",
+                                            required=True)
+    summary_parser = trace_sub.add_parser(
+        "summary", help="per-kernel cycles, hotspots, bubbles, "
+                        "divergence spans")
+    summary_parser.add_argument("input", help=".rptrace file")
+    summary_parser.add_argument("--policy", choices=["gto", "lrr"],
+                                default="gto",
+                                help="warp issue policy (default gto)")
+    summary_parser.add_argument("--top", type=int, default=5,
+                                help="rows per hotspot/bubble/span list")
+    summary_parser.set_defaults(fn=_cmd_trace_summary)
+    iters_parser = trace_sub.add_parser(
+        "iters", help="per-launch cycles and iteration spread")
+    iters_parser.add_argument("input", help=".rptrace file")
+    iters_parser.add_argument("--policy", choices=["gto", "lrr"],
+                              default="gto",
+                              help="warp issue policy (default gto)")
+    iters_parser.set_defaults(fn=_cmd_trace_iters)
 
     info_parser = sub.add_parser(
         "trace-info", help="print a trace's manifest (no replay)")

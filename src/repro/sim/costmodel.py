@@ -1,15 +1,20 @@
-"""Cycle cost model.
+"""Flat cycle cost model (compatibility shim over the scheduler table).
 
-A deliberately simple issue-cost model: every warp instruction costs its
-opcode's issue latency; memory instructions additionally pay one issue
-slot per extra coalesced transaction (address-diverged accesses serialize,
-the effect the paper's Case Study II quantifies); cache misses add a
-miss penalty when the cache models are enabled.
+The stall-accurate timing model lives in :mod:`repro.sim.scheduler`;
+this module keeps the original flat accounting that the functional
+fast path accumulates inline: every warp instruction costs its
+opcode's issue-port occupancy, memory instructions additionally pay
+one issue slot per extra coalesced transaction (address-diverged
+accesses serialize, the effect the paper's Case Study II quantifies),
+and cache misses add a flat miss penalty when the cache models are
+enabled.
 
-The model's purpose is Table 3: *relative* kernel-time overheads of
-instrumented vs. uninstrumented runs.  The injected instrumentation
-executes real extra instructions (spills, parameter-object stores, the
-call), so instrumented kernels accumulate proportionally more cycles.
+The issue costs are *derived* from the scheduler's exhaustive
+:data:`~repro.sim.scheduler.LATENCY_TABLE` — one source of truth — and
+reproduce the retired ``_EXTRA_ISSUE`` values exactly, so the golden
+cycle snapshots and the Table 3 relative overheads (instrumented vs.
+uninstrumented) are unchanged.  Deriving the dict here also means this
+module fails at import when an opcode lacks a timing entry.
 """
 
 from __future__ import annotations
@@ -17,20 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.isa.opcodes import Opcode
+from repro.sim.scheduler import LATENCY_TABLE, TRANSACTION_CYCLES
 
-#: Extra issue cost (beyond 1) for slow opcodes.
-_EXTRA_ISSUE = {
-    Opcode.MUFU: 3,
-    Opcode.IMUL: 1,
-    Opcode.IMAD: 1,
-    Opcode.BAR: 2,
-    Opcode.ATOM: 4,
-    Opcode.ATOMS: 2,
-    Opcode.RED: 4,
-}
+#: Issue-port occupancy per opcode (flat cost), from the scheduler table.
+_ISSUE = {opcode: LATENCY_TABLE[opcode].issue for opcode in Opcode}
 
 #: Issue slots charged per coalesced memory transaction beyond the first.
-TRANSACTION_COST = 2
+TRANSACTION_COST = TRANSACTION_CYCLES
 #: Extra cycles per L1 miss / L2 miss when cache simulation is on.
 L1_MISS_COST = 4
 L2_MISS_COST = 16
@@ -40,7 +38,8 @@ def block_issue_cycles(opcodes) -> int:
     """Total issue cost of a straight-line opcode sequence — precomputed
     per superblock so the fused dispatch path adds one integer instead
     of calling :meth:`CycleCounter.issue` per instruction."""
-    return sum(1 + _EXTRA_ISSUE.get(opcode, 0) for opcode in opcodes)
+    issue = _ISSUE
+    return sum(issue[opcode] for opcode in opcodes)
 
 
 @dataclass
@@ -50,7 +49,7 @@ class CycleCounter:
     cycles: int = 0
 
     def issue(self, opcode: Opcode) -> None:
-        self.cycles += 1 + _EXTRA_ISSUE.get(opcode, 0)
+        self.cycles += _ISSUE[opcode]
 
     def memory_transactions(self, count: int) -> None:
         if count > 1:

@@ -1,0 +1,468 @@
+"""Cycle-stepped warp scheduler: the stall-accurate timing model.
+
+The flat model in :mod:`repro.sim.costmodel` answers *how many* issue
+slots a kernel consumed; this module answers *where the time went*.  It
+replays per-warp instruction streams (rebuilt from a recorded trace by
+:mod:`repro.trace.timing`) through a single-issue scheduler in the
+fixed-latency stall-count + scoreboard-barrier style of SASSI-era
+hardware models:
+
+* every opcode has an explicit :class:`LatencyEntry` — issue-port
+  occupancy (identical to the flat model's cost, so Table 3 ratios are
+  unchanged), a stall count before the same warp may issue again, and a
+  result latency;
+* variable-latency producers (memory, MUFU, atomics) allocate one of
+  ``scoreboard_slots`` wait barriers; the warp's instruction
+  ``dep_distance`` slots later waits on it (the compiler-scheduled
+  consumer-distance approximation), and running out of slots is a
+  structural stall;
+* memory latency is graded by the coalescer/cache accounting carried on
+  each :class:`WarpInstr` — L1 hit, L2 hit, or DRAM — and extra
+  coalesced transactions serialize through the issue port exactly as
+  the flat model charged them;
+* the issue policy is configurable: ``gto`` (greedy-then-oldest) or
+  ``lrr`` (loose round-robin).
+
+Whenever the issue port sits idle because no warp is ready, the gap is
+recorded as a :class:`Bubble` classified by the binding constraint of
+the earliest-ready warp (``mem_dep``, ``exec_dep``, or ``scoreboard``)
+and attributed to the producing instruction — the raw material for the
+``repro trace summary`` hotspot and idle-gap reports.
+
+Everything is integer arithmetic over deterministic orderings, so a
+schedule is bit-reproducible across runs and platforms, and
+``cycles == busy_cycles + bubble cycles`` holds exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.isa.opcodes import OpClass, OPCODE_CLASSES, Opcode
+
+#: issue-port cycles per coalesced memory transaction beyond the first
+#: (kept equal to the flat model's ``TRANSACTION_COST``)
+TRANSACTION_CYCLES = 2
+
+#: graded global-memory result latencies (cycles), selected by the
+#: cache outcome recorded on the instruction
+L1_HIT_LATENCY = 36
+L2_HIT_LATENCY = 120
+DRAM_LATENCY = 350
+
+#: scheduler-wide defaults
+SCOREBOARD_SLOTS = 6
+DEP_DISTANCE = 2
+
+#: issue policies understood by :class:`SchedulerConfig`
+POLICIES = ("gto", "lrr")
+
+#: bubble / stall classification
+REASON_EXEC = "exec_dep"      # fixed-latency producer still in flight
+REASON_MEM = "mem_dep"        # scoreboard barrier set by a memory op
+REASON_SCOREBOARD = "scoreboard"  # all wait-barrier slots busy
+REASONS = (REASON_EXEC, REASON_MEM, REASON_SCOREBOARD)
+
+
+@dataclass(frozen=True)
+class LatencyEntry:
+    """Timing of one opcode.
+
+    ``issue``   — issue-port occupancy (the flat model's cost).
+    ``stall``   — min cycles before the same warp issues again (the
+                  SASS control-word stall count).
+    ``latency`` — result latency; only waited on (via a scoreboard
+                  barrier) when ``barrier`` is set.
+    """
+
+    issue: int
+    stall: int
+    latency: int
+    barrier: bool = False
+
+
+_MOVE = LatencyEntry(1, 2, 2)
+_IALU = LatencyEntry(1, 4, 4)
+_ISLOW = LatencyEntry(1, 5, 5)
+_FALU = LatencyEntry(1, 5, 5)
+_CTRL = LatencyEntry(1, 2, 2)
+_NOPL = LatencyEntry(1, 1, 1)
+_GMEM = LatencyEntry(1, 2, L1_HIT_LATENCY, barrier=True)
+
+#: Exhaustive per-opcode timing table.  Every :class:`Opcode` member
+#: MUST have an entry (``missing_entries`` + a unit test enforce it,
+#: and :mod:`repro.sim.costmodel` fails at import otherwise).  The
+#: ``issue`` fields reproduce the retired flat ``_EXTRA_ISSUE`` costs
+#: exactly so golden cycle counts and Table 3 ratios are unchanged.
+LATENCY_TABLE: Dict[Opcode, LatencyEntry] = {
+    # moves / selections / special registers
+    Opcode.MOV: _MOVE,
+    Opcode.MOV32I: _MOVE,
+    Opcode.SEL: _MOVE,
+    Opcode.S2R: _MOVE,
+    Opcode.P2R: _MOVE,
+    Opcode.R2P: _MOVE,
+    Opcode.PSETP: _MOVE,
+    # integer arithmetic and logic
+    Opcode.IADD: _IALU,
+    Opcode.IADD32I: _IALU,
+    Opcode.IMUL: LatencyEntry(2, 5, 5),
+    Opcode.IMAD: LatencyEntry(2, 5, 5),
+    Opcode.ISCADD: _IALU,
+    Opcode.ISETP: _IALU,
+    Opcode.IMNMX: _IALU,
+    Opcode.LOP: _IALU,
+    Opcode.LOP32I: _IALU,
+    Opcode.SHL: _IALU,
+    Opcode.SHR: _IALU,
+    Opcode.POPC: _ISLOW,
+    Opcode.FLO: _ISLOW,
+    Opcode.BFE: _IALU,
+    Opcode.BFI: _IALU,
+    Opcode.IABS: _IALU,
+    # floating point
+    Opcode.FADD: _FALU,
+    Opcode.FMUL: _FALU,
+    Opcode.FFMA: _FALU,
+    Opcode.FSETP: _FALU,
+    Opcode.FMNMX: _FALU,
+    Opcode.MUFU: LatencyEntry(4, 4, 18, barrier=True),
+    Opcode.F2I: _FALU,
+    Opcode.I2F: _FALU,
+    Opcode.F2F: _FALU,
+    # memory (global latencies are graded by the cache outcome)
+    Opcode.LD: _GMEM,
+    Opcode.ST: _GMEM,
+    Opcode.LDG: _GMEM,
+    Opcode.STG: _GMEM,
+    Opcode.LDS: LatencyEntry(1, 2, 28, barrier=True),
+    Opcode.STS: LatencyEntry(1, 2, 28, barrier=True),
+    Opcode.LDL: LatencyEntry(1, 2, L1_HIT_LATENCY, barrier=True),
+    Opcode.STL: LatencyEntry(1, 2, L1_HIT_LATENCY, barrier=True),
+    Opcode.LDC: LatencyEntry(1, 2, 20, barrier=True),
+    Opcode.ATOM: LatencyEntry(5, 2, 330, barrier=True),
+    Opcode.ATOMS: LatencyEntry(3, 2, 60, barrier=True),
+    Opcode.RED: LatencyEntry(5, 2, 330, barrier=True),
+    Opcode.TLD: LatencyEntry(1, 2, 60, barrier=True),
+    Opcode.MEMBAR: LatencyEntry(1, 6, 6),
+    # control flow
+    Opcode.BRA: _CTRL,
+    Opcode.JCAL: _CTRL,
+    Opcode.CAL: _CTRL,
+    Opcode.RET: _CTRL,
+    Opcode.EXIT: _NOPL,
+    Opcode.SSY: _NOPL,
+    Opcode.SYNC: _CTRL,
+    Opcode.BAR: LatencyEntry(3, 1, 1),
+    Opcode.BPT: _NOPL,
+    Opcode.NOP: _NOPL,
+    Opcode.PBK: _NOPL,
+    Opcode.BRK: _CTRL,
+    # warp-wide
+    Opcode.VOTE: _IALU,
+    Opcode.SHFL: _IALU,
+}
+
+
+def missing_entries(table: Optional[Dict[Opcode, LatencyEntry]] = None
+                    ) -> List[Opcode]:
+    """Opcodes lacking a timing entry (must be empty; tested)."""
+    if table is None:
+        table = LATENCY_TABLE
+    return [op for op in Opcode if op not in table]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs of the cycle-stepped scheduler."""
+
+    policy: str = "gto"
+    scoreboard_slots: int = SCOREBOARD_SLOTS
+    dep_distance: int = DEP_DISTANCE
+
+    def __post_init__(self):
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown issue policy {self.policy!r} "
+                             f"(choose from {', '.join(POLICIES)})")
+
+
+@dataclass(slots=True)
+class WarpInstr:
+    """One dynamic warp instruction of a rebuilt stream.
+
+    ``transactions``/``l1_misses``/``l2_misses`` carry the coalescer
+    and cache outcome of a recorded memory access (zero when the
+    instruction made none); ``divergent`` marks instructions executed
+    with fewer active lanes than the warp's reconverged width.
+    """
+
+    addr: int
+    opcode: Opcode
+    lanes: int
+    transactions: int = 0
+    l1_misses: int = 0
+    l2_misses: int = 0
+    divergent: bool = False
+
+
+@dataclass
+class WarpStream:
+    """The in-order instruction stream of one warp within one CTA."""
+
+    warp: int
+    instrs: List[WarpInstr] = field(default_factory=list)
+
+
+@dataclass
+class Bubble:
+    """An idle-gap region: the issue port had nothing to do."""
+
+    cta: int
+    start: int        # launch-relative cycle the port went idle
+    cycles: int
+    reason: str       # one of REASONS
+    addr: int         # producing instruction the gap waited on
+    opcode: Opcode
+
+
+@dataclass
+class Hotspot:
+    """Per-static-instruction issue and blame accounting."""
+
+    addr: int
+    opcode: Opcode
+    issues: int = 0
+    issue_cycles: int = 0
+    stall_cycles: int = 0
+
+    @property
+    def cost(self) -> int:
+        return self.issue_cycles + self.stall_cycles
+
+
+@dataclass
+class LaunchSchedule:
+    """The scheduled timing of one kernel launch (CTAs sequential)."""
+
+    policy: str
+    cycles: int = 0
+    busy_cycles: int = 0
+    issued: int = 0
+    barrier_releases: int = 0
+    divergent_instrs: int = 0
+    stall_cycles: Dict[str, int] = field(
+        default_factory=lambda: {reason: 0 for reason in REASONS})
+    bubbles: List[Bubble] = field(default_factory=list)
+    hotspots: Dict[int, Hotspot] = field(default_factory=dict)
+
+    @property
+    def bubble_cycles(self) -> int:
+        return self.cycles - self.busy_cycles
+
+    def top_hotspots(self, n: int = 5) -> List[Hotspot]:
+        rows = sorted(self.hotspots.values(),
+                      key=lambda h: (-h.cost, h.addr))
+        return rows[:n]
+
+    def top_bubbles(self, n: int = 5) -> List[Bubble]:
+        rows = sorted(self.bubbles,
+                      key=lambda b: (-b.cycles, b.cta, b.start))
+        return rows[:n]
+
+    # -- accumulation helpers used by the per-CTA stepper ------------
+
+    def _issue(self, instr: WarpInstr, occupancy: int) -> None:
+        spot = self.hotspots.get(instr.addr)
+        if spot is None:
+            spot = self.hotspots[instr.addr] = Hotspot(
+                addr=instr.addr, opcode=instr.opcode)
+        spot.issues += 1
+        spot.issue_cycles += occupancy
+        self.issued += 1
+        self.busy_cycles += occupancy
+        if instr.divergent:
+            self.divergent_instrs += 1
+
+    def _bubble(self, cta: int, start: int, cycles: int, reason: str,
+                addr: int, opcode: Opcode) -> None:
+        self.bubbles.append(Bubble(cta=cta, start=start, cycles=cycles,
+                                   reason=reason, addr=addr,
+                                   opcode=opcode))
+        self.stall_cycles[reason] += cycles
+        spot = self.hotspots.get(addr)
+        if spot is None:
+            spot = self.hotspots[addr] = Hotspot(addr=addr, opcode=opcode)
+        spot.stall_cycles += cycles
+
+
+def _memory_latency(entry: LatencyEntry, instr: WarpInstr) -> int:
+    """Result latency of a barrier-setting instruction, graded by the
+    recorded cache outcome for global accesses."""
+    if not (OPCODE_CLASSES[instr.opcode] & OpClass.MEMORY):
+        return entry.latency
+    if instr.l2_misses > 0:
+        latency = DRAM_LATENCY
+    elif instr.l1_misses > 0:
+        latency = L2_HIT_LATENCY
+    elif instr.transactions > 0:
+        latency = L1_HIT_LATENCY
+    else:
+        # no recorded access (shared/local space, or predicated away)
+        return entry.latency
+    return max(latency, entry.latency)
+
+
+class _WarpState:
+    """Scheduler-side runtime state of one warp."""
+
+    __slots__ = ("idx", "instrs", "pos", "resume", "parked", "done",
+                 "barriers", "last_addr", "last_op")
+
+    def __init__(self, idx: int, stream: WarpStream):
+        self.idx = idx
+        self.instrs = stream.instrs
+        self.pos = 0
+        self.resume = 0          # earliest next-issue cycle (stall count)
+        self.parked = False
+        self.done = not self.instrs
+        #: outstanding scoreboard barriers: (pos, completion, reason,
+        #: addr, opcode) in allocation order
+        self.barriers: List[Tuple[int, int, str, int, Opcode]] = []
+        self.last_addr = 0
+        self.last_op = Opcode.NOP
+
+    def ready(self, config: SchedulerConfig
+              ) -> Tuple[int, str, int, Opcode]:
+        """``(cycle, reason, blocker_addr, blocker_op)`` — earliest
+        issue time of the next instruction and, if it must wait, the
+        producing instruction to blame."""
+        when = self.resume
+        reason = REASON_EXEC
+        addr, op = self.last_addr, self.last_op
+        dep_limit = self.pos - config.dep_distance
+        for bpos, completion, kind, baddr, bop in self.barriers:
+            if bpos <= dep_limit and completion > when:
+                when, reason, addr, op = completion, kind, baddr, bop
+        entry = LATENCY_TABLE[self.instrs[self.pos].opcode]
+        if entry.barrier and len(self.barriers) >= config.scoreboard_slots:
+            # a free slot appears when the k-th oldest completion passes
+            completions = sorted(b[1] for b in self.barriers)
+            freed = completions[len(completions) - config.scoreboard_slots]
+            if freed > when:
+                oldest = min(self.barriers, key=lambda b: b[1])
+                when, reason = freed, REASON_SCOREBOARD
+                addr, op = oldest[3], oldest[4]
+        return when, reason, addr, op
+
+    def issue(self, cycle: int, config: SchedulerConfig
+              ) -> Tuple[WarpInstr, int]:
+        """Issue the next instruction at *cycle*; returns it and its
+        issue-port occupancy."""
+        instr = self.instrs[self.pos]
+        entry = LATENCY_TABLE[instr.opcode]
+        occupancy = entry.issue
+        if instr.transactions > 1:
+            occupancy += TRANSACTION_CYCLES * (instr.transactions - 1)
+        if self.barriers:
+            self.barriers = [b for b in self.barriers if b[1] > cycle]
+        if entry.barrier:
+            completion = cycle + _memory_latency(entry, instr)
+            kind = (REASON_MEM
+                    if OPCODE_CLASSES[instr.opcode] & OpClass.MEMORY
+                    else REASON_EXEC)
+            self.barriers.append((self.pos, completion, kind,
+                                  instr.addr, instr.opcode))
+        self.resume = cycle + max(entry.stall, occupancy)
+        self.last_addr, self.last_op = instr.addr, instr.opcode
+        self.pos += 1
+        if self.pos >= len(self.instrs):
+            self.done = True
+        elif instr.opcode is Opcode.BAR:
+            self.parked = True
+        return instr, occupancy
+
+
+def _pick(candidates: List[_WarpState], n_warps: int, last: int,
+          policy: str) -> _WarpState:
+    if policy == "gto":
+        for warp in candidates:
+            if warp.idx == last:
+                return warp          # greedy: stick with the last warp
+        return min(candidates, key=lambda w: w.idx)   # then oldest
+    by_idx = {w.idx: w for w in candidates}
+    for step in range(1, n_warps + 1):               # loose round-robin
+        warp = by_idx.get((last + step) % n_warps)
+        if warp is not None:
+            return warp
+    raise AssertionError("no candidate warp")
+
+
+def _schedule_cta(streams: Sequence[WarpStream], config: SchedulerConfig,
+                  acc: LaunchSchedule, cta: int, base_cycle: int) -> int:
+    """Step one CTA through the scheduler; returns its cycle count."""
+    warps = [_WarpState(i, s) for i, s in enumerate(streams)]
+    n_warps = len(warps)
+    port_free = 0
+    last = 0
+    while True:
+        live = [w for w in warps if not w.done]
+        if not live:
+            break
+        runnable = [w for w in live if not w.parked]
+        if not runnable:
+            # every live warp is parked at the CTA barrier: release
+            for warp in live:
+                warp.parked = False
+            acc.barrier_releases += 1
+            continue
+        states = [(w.ready(config), w) for w in runnable]
+        (when, reason, baddr, bop), _ = min(
+            states, key=lambda item: (item[0][0], item[1].idx))
+        issue_at = max(when, port_free)
+        if when > port_free:
+            acc._bubble(cta, base_cycle + port_free, when - port_free,
+                        reason, baddr, bop)
+        candidates = [w for (t, _, _, _), w in states if t <= issue_at]
+        warp = _pick(candidates, n_warps, last, config.policy)
+        instr, occupancy = warp.issue(issue_at, config)
+        acc._issue(instr, occupancy)
+        port_free = issue_at + occupancy
+        last = warp.idx
+    return port_free
+
+
+def schedule_launch(ctas: Sequence[Sequence[WarpStream]],
+                    config: Optional[SchedulerConfig] = None
+                    ) -> LaunchSchedule:
+    """Schedule one launch: CTAs run back to back (the executor is
+    sequential across CTAs), warps within a CTA compete for the single
+    issue port under ``config.policy``."""
+    config = config or SchedulerConfig()
+    acc = LaunchSchedule(policy=config.policy)
+    base = 0
+    for cta_index, streams in enumerate(ctas):
+        base += _schedule_cta(streams, config, acc, cta_index, base)
+    acc.cycles = base
+    return acc
+
+
+def divergence_spans(stream: WarpStream
+                     ) -> List[Tuple[int, int, int]]:
+    """Maximal runs of divergence-serialized instructions in *stream*
+    as ``(start_addr, length, min_lanes)`` tuples."""
+    spans = []
+    start = length = 0
+    min_lanes = 0
+    for instr in stream.instrs:
+        if instr.divergent:
+            if length == 0:
+                start, min_lanes = instr.addr, instr.lanes
+            length += 1
+            min_lanes = min(min_lanes, instr.lanes)
+        elif length:
+            spans.append((start, length, min_lanes))
+            length = 0
+    if length:
+        spans.append((start, length, min_lanes))
+    return spans

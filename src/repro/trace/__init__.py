@@ -44,6 +44,16 @@ from repro.trace.replay import (
     replay,
 )
 from repro.trace.diff import TraceDiff, diff_traces
+from repro.trace.timing import (
+    TeeWriter,
+    TimingAnalysis,
+    TimingModel,
+    TimingReport,
+    TimingSink,
+    live_timing,
+    render_iters,
+    render_summary,
+)
 
 __all__ = [
     "BranchEvent", "InstrEvent", "KernelEndEvent", "LaunchEvent",
@@ -54,4 +64,6 @@ __all__ = [
     "MemoryDivergenceAnalysis", "OpcodeHistogramAnalysis",
     "TraceAnalysis", "make_analysis", "replay",
     "TraceDiff", "diff_traces",
+    "TeeWriter", "TimingAnalysis", "TimingModel", "TimingReport",
+    "TimingSink", "live_timing", "render_iters", "render_summary",
 ]

@@ -1,0 +1,536 @@
+"""Trace-driven timing: warp-stream reconstruction + scheduled replay.
+
+The ``timing`` analysis rebuilds per-warp instruction streams from a
+recorded event stream and runs them through the cycle-stepped scheduler
+in :mod:`repro.sim.scheduler`, entirely off the functional fast path:
+the executor's inline accounting stays the flat model, and the
+stall-accurate numbers come from replaying a trace (or from tee-ing a
+live capture through :class:`TimingSink`, which by construction gives
+bit-identical results — both paths feed the same pure
+:meth:`TimingModel.feed`).
+
+**Warp segmentation.**  Trace events carry no warp IDs (the format is
+unchanged), so streams are rebuilt from the executor's deterministic
+scheduling contract: CTAs run sequentially; within a CTA, warps run in
+index order, each to its next barrier or exit; when every live warp is
+parked the barrier releases and the pass restarts at the lowest live
+index.  Under that contract each event extends the *current* warp, and
+only three opcodes can hand off:
+
+* ``BAR`` always parks (the executor parks unconditionally) and will
+  resume at the next instruction;
+* ``EXIT``/``RET`` are terminal only when the *next* event does not
+  continue this warp — the lookahead address decides: ``addr + 8``
+  means surviving lanes fell through; the computed start address of
+  the next schedulable warp means this warp retired; anything else is
+  a divergence-stack unwind within the same warp.
+
+The two candidate addresses cannot collide (the entry address precedes
+any exit fall-through, and a barrier-resume address equal to the exit
+fall-through would need a BAR and an EXIT at the same address), so the
+reconstruction is exact for programs the executor can produce.
+
+**Divergence spans.**  An instruction is divergence-serialized when it
+executes with fewer active lanes than the warp's reconverged width;
+the width rebases after partial exits and self-heals upward at
+reconvergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.isa.opcodes import Opcode
+from repro.isa.program import INSTRUCTION_BYTES
+from repro.sim.cache import Cache
+from repro.sim.scheduler import (
+    LaunchSchedule,
+    SchedulerConfig,
+    WarpInstr,
+    WarpStream,
+    divergence_spans,
+    schedule_launch,
+)
+from repro.sim.warp import WARP_SIZE
+from repro.trace.format import (
+    BranchEvent,
+    InstrEvent,
+    KernelEndEvent,
+    LaunchEvent,
+    MemEvent,
+)
+from repro.trace.replay import ANALYSES, TraceAnalysis
+
+
+class _LaunchBuilder:
+    """Segments one launch's event stream into per-CTA warp streams."""
+
+    def __init__(self, event: LaunchEvent):
+        self.kernel = event.kernel
+        self.launch_index = event.launch_index
+        self.grid = event.grid
+        self.block = event.block
+        bx, by, bz = event.block
+        gx, gy, gz = event.grid
+        self.threads = max(1, bx * by * bz)
+        self.warps_per_cta = -(-self.threads // WARP_SIZE)
+        self.num_ctas = max(1, gx * gy * gz)
+        self.entry_addr: Optional[int] = None
+        self.instr_count = 0
+        self.warp_instructions = 0   # from the KernelEndEvent
+        self.desyncs = 0             # events after the model saw the end
+        self.ctas: List[List[WarpStream]] = []
+        self._start_cta()
+
+    def _start_cta(self) -> None:
+        n = self.warps_per_cta
+        self.streams = [WarpStream(warp=i) for i in range(n)]
+        self.alive = [True] * n
+        self.parked = [False] * n
+        self.started = [False] * n
+        self.resume = [0] * n
+        self.rebase = [False] * n
+        self.committed = [
+            min(WARP_SIZE, self.threads - i * WARP_SIZE) for i in range(n)]
+        self.current = 0
+        self.started[0] = True
+
+    # ---------------------------------------------------- scheduling
+
+    def _select_next(self, current_dead: bool):
+        """What runs after the current warp hands off: ``("warp", index,
+        start_addr, release)``, ``("cta", ...)``, or ``("end", ...)``
+        — computed without mutating (also used as EXIT lookahead)."""
+        alive = self.alive
+        skip = self.current if current_dead else -1
+        for i in range(self.current + 1, self.warps_per_cta):
+            if i != skip and alive[i] and not self.parked[i]:
+                addr = self.resume[i] if self.started[i] else self.entry_addr
+                return ("warp", i, addr, False)
+        for i in range(self.warps_per_cta):
+            if i != skip and alive[i]:
+                # end of pass; every survivor is parked at the barrier
+                return ("warp", i, self.resume[i], True)
+        if len(self.ctas) + 1 < self.num_ctas:
+            return ("cta", 0, self.entry_addr, False)
+        return ("end", None, None, False)
+
+    def _advance(self, current_dead: bool) -> None:
+        if current_dead:
+            self.alive[self.current] = False
+        kind, index, _, release = self._select_next(current_dead=False)
+        if kind == "warp":
+            if release:
+                for i in range(self.warps_per_cta):
+                    self.parked[i] = False
+            self.current = index
+            self.started[index] = True
+        elif kind == "cta":
+            self.ctas.append(self.streams)
+            self._start_cta()
+        # "end": nothing left; stray events count as desyncs in add()
+
+    # ------------------------------------------------------- events
+
+    def add(self, rec: WarpInstr, next_addr: Optional[int]) -> None:
+        """Assign *rec* to the current warp; *next_addr* is the
+        one-event lookahead (None at launch end)."""
+        if self.entry_addr is None:
+            self.entry_addr = rec.addr
+        w = self.current
+        if not self.alive[w]:
+            self.desyncs += 1        # model mismatch: keep appending
+        if self.rebase[w]:
+            self.committed[w] = max(rec.lanes, 1)
+            self.rebase[w] = False
+        if rec.lanes > self.committed[w]:
+            self.committed[w] = rec.lanes    # reconvergence self-heal
+        rec.divergent = 0 < rec.lanes < self.committed[w]
+        self.streams[w].instrs.append(rec)
+        self.instr_count += 1
+        opcode = rec.opcode
+        if opcode is Opcode.BAR:
+            self.parked[w] = True
+            self.resume[w] = rec.addr + INSTRUCTION_BYTES
+            self._advance(current_dead=False)
+        elif opcode is Opcode.EXIT or opcode is Opcode.RET:
+            self.rebase[w] = True    # survivors re-base the warp width
+            if next_addr is None:
+                self._advance(current_dead=True)
+            elif next_addr == rec.addr + INSTRUCTION_BYTES:
+                pass                 # surviving lanes fell through
+            else:
+                kind, _, cand, _ = self._select_next(current_dead=True)
+                if kind != "end" and next_addr == cand:
+                    self._advance(current_dead=True)
+                # else: divergence-stack unwind within this warp
+
+    def finalize(self) -> None:
+        if any(stream.instrs for stream in self.streams):
+            self.ctas.append(self.streams)
+        self.streams = []
+
+
+@dataclass
+class LaunchTiming:
+    """One launch's scheduled timing plus its divergence geometry."""
+
+    kernel: str
+    launch_index: int
+    grid: Tuple[int, int, int]
+    block: Tuple[int, int, int]
+    ctas: int
+    warps: int
+    instructions: int
+    schedule: LaunchSchedule
+    #: (start_addr, length, min_lanes), longest first
+    spans: List[Tuple[int, int, int]]
+
+    @property
+    def cycles(self) -> int:
+        return self.schedule.cycles
+
+    @property
+    def bubble_pct(self) -> float:
+        cycles = self.schedule.cycles
+        return 100.0 * self.schedule.bubble_cycles / cycles if cycles else 0.0
+
+
+@dataclass
+class TimingReport:
+    """All launches of one trace under one issue policy."""
+
+    policy: str
+    launches: List[LaunchTiming]
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(launch.cycles for launch in self.launches)
+
+    def kernels(self) -> Dict[str, List[LaunchTiming]]:
+        """Launches grouped by kernel, in first-seen order."""
+        grouped: Dict[str, List[LaunchTiming]] = {}
+        for launch in self.launches:
+            grouped.setdefault(launch.kernel, []).append(launch)
+        return grouped
+
+
+class TimingModel:
+    """Feed trace events in order; schedule afterwards.
+
+    ``feed`` is a pure function of the event stream, so a live capture
+    tee'd through it and an offline replay of the same trace produce
+    bit-identical reports.  The cache hierarchy that grades memory
+    latencies is the ``cachesim`` default (16 KiB/4-way L1 over
+    256 KiB/16-way L2), fed in event order.
+    """
+
+    def __init__(self, l1_kib: int = 16, l1_ways: int = 4,
+                 l2_kib: int = 256, l2_ways: int = 16):
+        self.l2 = Cache(l2_kib << 10, ways=l2_ways, name="L2")
+        self.l1 = Cache(l1_kib << 10, ways=l1_ways, name="L1",
+                        next_level=self.l2)
+        self.launches: List[_LaunchBuilder] = []
+        self._builder: Optional[_LaunchBuilder] = None
+        self._pending: Optional[WarpInstr] = None
+        self._reports: Dict[str, TimingReport] = {}
+
+    # ------------------------------------------------------- feeding
+
+    def feed(self, event) -> None:
+        if isinstance(event, InstrEvent):
+            self._flush(next_addr=event.ins_addr)
+            self._pending = WarpInstr(addr=event.ins_addr,
+                                      opcode=Opcode(event.opcode),
+                                      lanes=event.lanes)
+        elif isinstance(event, MemEvent):
+            pending = self._pending
+            if pending is not None:
+                before_l1 = self.l1.stats.misses
+                before_l2 = self.l2.stats.misses
+                access = self.l1.access
+                for line in event.line_addresses:
+                    access(line)
+                pending.transactions += len(event.line_addresses)
+                pending.l1_misses += self.l1.stats.misses - before_l1
+                pending.l2_misses += self.l2.stats.misses - before_l2
+        elif isinstance(event, LaunchEvent):
+            self._end_launch()
+            self._builder = _LaunchBuilder(event)
+            self.launches.append(self._builder)
+        elif isinstance(event, KernelEndEvent):
+            self._flush(next_addr=None)
+            if self._builder is not None:
+                self._builder.warp_instructions = event.warp_instructions
+                self._builder.finalize()
+            self._builder = None
+        # BranchEvents add nothing: divergence comes from lane counts
+
+    def feed_batch(self, events: Iterable) -> None:
+        for event in events:
+            self.feed(event)
+
+    def finish(self) -> None:
+        """Close a trailing launch that never saw its end event."""
+        self._end_launch()
+
+    def _flush(self, next_addr: Optional[int]) -> None:
+        pending, self._pending = self._pending, None
+        if pending is not None and self._builder is not None:
+            self._builder.add(pending, next_addr)
+            self._reports.clear()
+
+    def _end_launch(self) -> None:
+        self._flush(next_addr=None)
+        if self._builder is not None:
+            self._builder.finalize()
+            self._builder = None
+
+    # ---------------------------------------------------- scheduling
+
+    def schedule(self, policy: str = "gto") -> TimingReport:
+        report = self._reports.get(policy)
+        if report is not None:
+            return report
+        config = SchedulerConfig(policy=policy)
+        launches = []
+        for builder in self.launches:
+            sched = schedule_launch(builder.ctas, config)
+            spans = []
+            for streams in builder.ctas:
+                for stream in streams:
+                    spans.extend(divergence_spans(stream))
+            spans.sort(key=lambda s: (-s[1], s[0], s[2]))
+            launches.append(LaunchTiming(
+                kernel=builder.kernel,
+                launch_index=builder.launch_index,
+                grid=builder.grid, block=builder.block,
+                ctas=len(builder.ctas),
+                warps=sum(len(streams) for streams in builder.ctas),
+                instructions=builder.instr_count,
+                schedule=sched, spans=spans))
+        report = TimingReport(policy=policy, launches=launches)
+        self._reports[policy] = report
+        return report
+
+
+class TimingAnalysis(TraceAnalysis):
+    """The replay-side entry point: ``repro replay --analysis=timing``
+    and the ``repro trace summary``/``iters`` subcommands."""
+
+    name = "timing"
+
+    def __init__(self, policy: str = "gto"):
+        self.policy = policy
+        self.model = TimingModel()
+
+    def on_launch(self, event: LaunchEvent) -> None:
+        self.model.feed(event)
+
+    def on_kernel_end(self, event: KernelEndEvent) -> None:
+        self.model.feed(event)
+
+    def on_instr(self, event: InstrEvent) -> None:
+        self.model.feed(event)
+
+    def on_mem(self, event: MemEvent) -> None:
+        self.model.feed(event)
+
+    def on_branch(self, event: BranchEvent) -> None:
+        self.model.feed(event)
+
+    def result(self) -> Dict:
+        report = self.model.schedule(self.policy)
+        return {
+            "policy": report.policy,
+            "total_cycles": report.total_cycles,
+            "launches": [{
+                "kernel": launch.kernel,
+                "launch_index": launch.launch_index,
+                "cycles": launch.cycles,
+                "busy_cycles": launch.schedule.busy_cycles,
+                "bubble_cycles": launch.schedule.bubble_cycles,
+                "issued": launch.schedule.issued,
+                "stall_cycles": dict(launch.schedule.stall_cycles),
+                "divergent_instrs": launch.schedule.divergent_instrs,
+            } for launch in report.launches],
+        }
+
+    def report(self) -> str:
+        report = self.model.schedule(self.policy)
+        busy = sum(l.schedule.busy_cycles for l in report.launches)
+        bubbles = sum(l.schedule.bubble_cycles for l in report.launches)
+        total = report.total_cycles
+        pct = 100.0 * bubbles / total if total else 0.0
+        return (f"timing[{report.policy}]: {len(report.launches)} "
+                f"launches, {total:,} cycles (busy {busy:,}, "
+                f"{bubbles:,} bubble cycles = {pct:.1f}%)")
+
+
+ANALYSES[TimingAnalysis.name] = TimingAnalysis
+
+
+# ------------------------------------------------------------ live path
+
+class TimingSink:
+    """A ``TraceWriter``-shaped sink feeding a :class:`TimingModel`
+    instead of disk — live timing with no trace file."""
+
+    def __init__(self, model: TimingModel):
+        self.model = model
+
+    def write(self, event) -> None:
+        self.model.feed(event)
+
+    def write_batch(self, events) -> None:
+        self.model.feed_batch(events)
+
+    def close(self):
+        self.model.finish()
+        return None
+
+
+class TeeWriter:
+    """Forward every event to an inner :class:`TraceWriter` *and* a
+    :class:`TimingModel` — capture a trace and time it in one run.
+    The inner writer sees exactly the calls it would see alone, so the
+    trace bytes are unchanged."""
+
+    def __init__(self, inner, model: TimingModel):
+        self.inner = inner
+        self.model = model
+
+    def write(self, event) -> None:
+        self.inner.write(event)
+        self.model.feed(event)
+
+    def write_batch(self, events) -> None:
+        self.inner.write_batch(events)
+        self.model.feed_batch(events)
+
+    def close(self):
+        self.model.finish()
+        return self.inner.close()
+
+
+def live_timing(workload_name: str, global_only: bool = True,
+                cache=None) -> Tuple[TimingModel, bool]:
+    """Run *workload_name* instrumented, feeding a :class:`TimingModel`
+    directly (no trace file); returns ``(model, verified)``."""
+    from repro.sim import Device
+    from repro.trace.capture import TraceRecorder
+    from repro.workloads import make
+
+    model = TimingModel()
+    workload = make(workload_name)
+    device = Device()
+    recorder = TraceRecorder(device, TimingSink(model),
+                             global_only=global_only)
+    kernel = recorder.compile(workload.build_ir(), cache=cache)
+    output = workload.execute(device, kernel)
+    verified = workload.verify(output)
+    model.finish()
+    return model, verified
+
+
+# ------------------------------------------------------------ rendering
+
+def _pct(part: int, whole: int) -> float:
+    return 100.0 * part / whole if whole else 0.0
+
+
+def render_summary(report: TimingReport, top: int = 5) -> str:
+    """The ``repro trace summary`` text: per-kernel cycles, top-N
+    hotspot instructions, idle-gap regions, divergence spans."""
+    lines = [f"timing summary — policy {report.policy}"]
+    for kernel, launches in report.kernels().items():
+        cycles = sum(l.cycles for l in launches)
+        busy = sum(l.schedule.busy_cycles for l in launches)
+        bubbles = cycles - busy
+        issued = sum(l.schedule.issued for l in launches)
+        lines.append(
+            f"kernel {kernel}: {len(launches)} launch"
+            f"{'es' if len(launches) != 1 else ''}, {cycles:,} cycles "
+            f"(busy {busy:,}, bubbles {bubbles:,} = "
+            f"{_pct(bubbles, cycles):.1f}%), {issued:,} warp instrs")
+        stalls = {reason: 0 for reason
+                  in launches[0].schedule.stall_cycles}
+        releases = 0
+        for launch in launches:
+            for reason, count in launch.schedule.stall_cycles.items():
+                stalls[reason] += count
+            releases += launch.schedule.barrier_releases
+        stall_text = ", ".join(f"{reason} {count:,}"
+                               for reason, count in sorted(stalls.items()))
+        lines.append(f"  stalls: {stall_text}; "
+                     f"barrier releases {releases:,}")
+        merged: Dict[int, List] = {}
+        for launch in launches:
+            for spot in launch.schedule.hotspots.values():
+                row = merged.setdefault(
+                    spot.addr, [spot.opcode, 0, 0, 0])
+                row[1] += spot.issues
+                row[2] += spot.issue_cycles
+                row[3] += spot.stall_cycles
+        ranked = sorted(merged.items(),
+                        key=lambda item: (-(item[1][2] + item[1][3]),
+                                          item[0]))[:top]
+        if ranked:
+            lines.append("  hotspots:")
+            for addr, (opcode, issues, issue_cycles, stall) in ranked:
+                lines.append(f"    0x{addr:08x} {opcode.name:<6} "
+                             f"issues {issues:>8,}  "
+                             f"issue {issue_cycles:>8,}  "
+                             f"stall {stall:>8,}")
+        bubble_rows = []
+        for launch in launches:
+            for bubble in launch.schedule.bubbles:
+                bubble_rows.append((bubble, launch.launch_index))
+        bubble_rows.sort(key=lambda item: (-item[0].cycles, item[1],
+                                           item[0].cta, item[0].start))
+        if bubble_rows:
+            lines.append("  bubbles:")
+            for bubble, launch_index in bubble_rows[:top]:
+                lines.append(
+                    f"    launch {launch_index} cta {bubble.cta} "
+                    f"@ {bubble.start:,}: {bubble.cycles:,} cycles "
+                    f"({bubble.reason}) on 0x{bubble.addr:08x} "
+                    f"{bubble.opcode.name}")
+        span_count = sum(len(l.spans) for l in launches)
+        divergent = sum(l.schedule.divergent_instrs for l in launches)
+        lines.append(f"  divergence: {span_count:,} serialized spans, "
+                     f"{divergent:,} warp instrs "
+                     f"({_pct(divergent, issued):.1f}% of issued)")
+        if span_count:
+            spans = []
+            for launch in launches:
+                spans.extend(launch.spans)
+            spans.sort(key=lambda s: (-s[1], s[0], s[2]))
+            for start, length, min_lanes in spans[:top]:
+                lines.append(f"    0x{start:08x} x{length:<6,} "
+                             f"min lanes {min_lanes}")
+    lines.append(f"total: {report.total_cycles:,} cycles across "
+                 f"{len(report.launches)} launches")
+    return "\n".join(lines)
+
+
+def render_iters(report: TimingReport) -> str:
+    """The ``repro trace iters`` text: per-launch cycles and the
+    per-kernel iteration spread (launch-to-launch variance)."""
+    lines = [f"timing iters — policy {report.policy}"]
+    for launch in report.launches:
+        lines.append(f"  #{launch.launch_index:<4} "
+                     f"{launch.kernel:<24} {launch.cycles:>12,} cycles  "
+                     f"{launch.schedule.issued:>10,} instrs  "
+                     f"{launch.bubble_pct:5.1f}% bubble")
+    for kernel, launches in report.kernels().items():
+        cycles = [launch.cycles for launch in launches]
+        low, high = min(cycles), max(cycles)
+        mean = sum(cycles) / len(cycles)
+        spread = high - low
+        lines.append(
+            f"kernel {kernel}: {len(cycles)} iters, cycles "
+            f"min {low:,} mean {mean:,.1f} max {high:,}, "
+            f"spread {spread:,} ({_pct(spread, round(mean)):.1f}% of mean)")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Golden timing-report snapshots.
+
+Each snapshot in ``tests/golden/`` pins the full rendered output of
+``repro trace summary`` and ``repro trace iters`` — under both issue
+policies — for one workload's instrumented run.  The text embeds every
+number the timing model produces (cycles, busy/bubble split, per-reason
+stalls, hotspot ranking, bubble regions, divergence spans), so any
+scheduler, latency-table, or segmentation change that moves a single
+cycle fails here first, with a line diff.
+
+To bless an intentional change::
+
+    PYTHONPATH=src python -m pytest tests/integration/test_golden_timing.py \
+        --update-golden
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+
+import pytest
+
+from repro.trace.timing import live_timing, render_iters, render_summary
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "..", "golden")
+
+GOLDEN_WORKLOADS = [
+    "rodinia/nn",
+    "rodinia/pathfinder",
+    "parboil/sgemm(small)",
+]
+
+
+def _slug(name: str) -> str:
+    return (name.replace("/", "_").replace("(", "_")
+            .replace(")", "").lower())
+
+
+def _snapshot(name: str) -> str:
+    model, verified = live_timing(name)
+    assert verified, f"{name}: instrumented run failed verification"
+    sections = []
+    for policy in ("gto", "lrr"):
+        report = model.schedule(policy)
+        sections.append(render_summary(report))
+        sections.append(render_iters(report))
+    return "\n\n".join(sections) + "\n"
+
+
+@pytest.mark.parametrize("name", GOLDEN_WORKLOADS)
+def test_golden_timing(name, update_golden):
+    path = os.path.join(GOLDEN_DIR, f"timing_{_slug(name)}.txt")
+    current = _snapshot(name)
+    if update_golden:
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write(current)
+        pytest.skip(f"golden snapshot rewritten: {path}")
+    assert os.path.exists(path), \
+        f"missing golden snapshot {path}; run with --update-golden"
+    with open(path) as handle:
+        golden = handle.read()
+    if current != golden:
+        diff = "\n".join(difflib.unified_diff(
+            golden.splitlines(), current.splitlines(),
+            fromfile="golden", tofile="current", lineterm=""))
+        pytest.fail(
+            f"{name}: timing report drifted from the golden snapshot; "
+            f"if intentional, re-bless with --update-golden\n{diff}")

@@ -1,5 +1,7 @@
 """CLI surface of the trace subsystem: capture/replay/trace-info/
-trace-diff, plus the `trace` → `timeline` rename."""
+trace-diff, the timing group (`trace summary` / `trace iters`), and
+the `trace` → `timeline` rename (the alias is now retired: `trace` is
+the timing command group)."""
 
 from __future__ import annotations
 
@@ -119,9 +121,70 @@ class TestTimelineRename:
         assert "1 spans" in captured.out
         assert "deprecated" not in captured.err
 
-    def test_trace_alias_warns_but_works(self, chrome_trace, capsys):
-        assert main(["trace", chrome_trace]) == 0
-        captured = capsys.readouterr()
-        assert "1 spans" in captured.out
-        assert "deprecated" in captured.err
-        assert "timeline" in captured.err
+
+class TestTraceTiming:
+    def test_summary_reports_cycles_and_hotspots(self, captured_trace,
+                                                 capsys):
+        assert main(["trace", "summary", captured_trace]) == 0
+        out = capsys.readouterr().out
+        assert "kernel vectoradd" in out
+        assert "cycles" in out
+        assert "hotspots:" in out
+        assert "bubbles:" in out
+        assert "total:" in out
+
+    def test_summary_policy_changes_schedule(self, captured_trace,
+                                             capsys):
+        def total(policy):
+            assert main(["trace", "summary", captured_trace,
+                         "--policy", policy]) == 0
+            out = capsys.readouterr().out
+            (line,) = [l for l in out.splitlines()
+                       if l.startswith("total:")]
+            return line
+
+        # different issue order -> (generally) different cycle totals;
+        # at minimum both render a total line
+        gto, lrr = total("gto"), total("lrr")
+        assert gto.startswith("total:") and lrr.startswith("total:")
+        assert gto != lrr
+
+    def test_summary_top_limits_hotspots(self, captured_trace, capsys):
+        assert main(["trace", "summary", captured_trace,
+                     "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        # exactly one hotspot row (rows are indented under "hotspots:")
+        hot = out.split("hotspots:")[1].split("bubbles:")[0]
+        assert len([l for l in hot.splitlines() if l.strip()]) == 1
+
+    def test_iters_reports_per_launch_rows(self, captured_trace, capsys):
+        assert main(["trace", "iters", captured_trace]) == 0
+        out = capsys.readouterr().out
+        assert "#0" in out
+        assert "vectoradd" in out
+        assert "% bubble" in out
+
+    @pytest.mark.parametrize("policy", ["gto", "lrr"])
+    def test_iters_accepts_both_policies(self, captured_trace, capsys,
+                                         policy):
+        assert main(["trace", "iters", captured_trace,
+                     "--policy", policy]) == 0
+        assert "vectoradd" in capsys.readouterr().out
+
+    def test_bad_policy_rejected_by_argparse(self, captured_trace,
+                                             capsys):
+        with pytest.raises(SystemExit):
+            main(["trace", "summary", captured_trace,
+                  "--policy", "fifo"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_missing_input_is_cli_error(self, tmp_path, capsys):
+        assert main(["trace", "summary",
+                     str(tmp_path / "gone.rptrace")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_non_trace_input_is_cli_error(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.rptrace"
+        bogus.write_bytes(b"this is not a trace")
+        assert main(["trace", "summary", str(bogus)]) == 2
+        assert "bad magic" in capsys.readouterr().err
