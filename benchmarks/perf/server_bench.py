@@ -1,0 +1,93 @@
+"""Serving-layer throughput: jobs/sec vs shard count.
+
+Measures the queue/protocol/scheduling overhead of the profiling
+service, separated from workload cost: a swarm of client threads pushes
+``bench`` jobs (``spin_ms=0`` for pure overhead, or a fixed spin to
+model real work) through servers of increasing shard count.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/server_bench.py
+    PYTHONPATH=src python benchmarks/perf/server_bench.py \
+        --jobs 200 --spin-ms 5 --shards 1 2 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import threading
+import time
+
+
+def drive(shards: int, workers: int, jobs: int, spin_ms: float,
+          clients: int, depth: int) -> float:
+    from repro.server.client import ServerClient
+    from repro.server.service import ServerConfig, start_in_thread
+
+    handle = start_in_thread(ServerConfig(
+        shards=shards, workers=workers, queue_depth=depth))
+    host, port = handle.address
+
+    # warm every shard's worker pool (serial submissions rotate across
+    # shards) so the timed window measures serving, not process startup
+    warm = ServerClient(host, port)
+    for _ in range(shards * workers):
+        warm.submit_and_wait("bench", spin_ms=0, tag="warm",
+                             max_retries=10_000)
+
+    done = []
+    lock = threading.Lock()
+
+    def worker(thread_index: int, count: int) -> None:
+        client = ServerClient(host, port)
+        for i in range(count):
+            record = client.submit_and_wait(
+                "bench", spin_ms=spin_ms,
+                tag=f"t{thread_index}-{i}", max_retries=10_000)
+            with lock:
+                done.append(record["result"]["tag"])
+
+    share, remainder = divmod(jobs, clients)
+    threads = [threading.Thread(
+        target=worker,
+        args=(i, share + (1 if i < remainder else 0)))
+        for i in range(clients)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    handle.stop()
+    assert len(done) == len(set(done)) == jobs, \
+        f"lost or duplicated jobs: {len(done)}/{jobs}"
+    return jobs / wall
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=120)
+    parser.add_argument("--spin-ms", type=float, default=0.0)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes per shard")
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--depth", type=int, default=16)
+    parser.add_argument("--shards", type=int, nargs="+",
+                        default=[1, 2, 4])
+    args = parser.parse_args(argv)
+
+    print(f"# {args.jobs} bench jobs (spin {args.spin_ms} ms), "
+          f"{args.clients} client threads, "
+          f"{args.workers} worker(s)/shard, depth {args.depth}")
+    print(f"{'shards':>6}  {'jobs/sec':>9}  {'speedup':>7}")
+    base = None
+    for shards in args.shards:
+        rate = drive(shards, args.workers, args.jobs, args.spin_ms,
+                     args.clients, args.depth)
+        base = base or rate
+        print(f"{shards:>6}  {rate:>9.1f}  {rate / base:>6.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,8 @@ from repro.campaign.compile_cache import (
     spec_fingerprint,
 )
 from repro.campaign.engine import (
+    JOBS_ENV,
+    TaskError,
     default_jobs,
     map_workloads,
     merge_kernel_stats,
@@ -44,6 +46,8 @@ __all__ = [
     "ir_fingerprint",
     "options_fingerprint",
     "spec_fingerprint",
+    "JOBS_ENV",
+    "TaskError",
     "default_jobs",
     "map_workloads",
     "merge_kernel_stats",

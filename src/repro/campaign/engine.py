@@ -19,6 +19,7 @@ from __future__ import annotations
 import importlib
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -26,10 +27,56 @@ import numpy as np
 from repro.sim.executor import KernelStats
 from repro.telemetry.collector import TELEMETRY, Snapshot
 
+#: Environment override for :func:`default_jobs` (clamped to >= 1) —
+#: lets server worker pools and CI size themselves without code changes.
+JOBS_ENV = "REPRO_JOBS"
+
 
 def default_jobs() -> int:
-    """Worker count when the caller asks for "all cores"."""
+    """Worker count when the caller asks for "all cores".
+
+    Honors the ``REPRO_JOBS`` environment variable when it parses as an
+    integer (clamped to at least 1); malformed values are ignored and
+    the CPU count is used instead.
+    """
+    raw = os.environ.get(JOBS_ENV)
+    if raw is not None:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
     return max(1, os.cpu_count() or 1)
+
+
+class TaskError(RuntimeError):
+    """A campaign task failed in a worker.
+
+    ``task_index`` names the first task of the failure (exact for an
+    ordinary exception; the start of the dispatched chunk when the
+    worker process died and took its chunk's attribution with it).
+    """
+
+    def __init__(self, message: str, task_index: int = -1):
+        super().__init__(message)
+        self.task_index = task_index
+
+    def __reduce__(self):
+        return (TaskError, (self.args[0], self.task_index))
+
+
+def _run_chunk(fn: Callable[[Any], Any], start: int,
+               chunk: List[Any]) -> List[Any]:
+    """Worker side: run one contiguous chunk, attributing any failure
+    to the exact task index."""
+    out = []
+    for offset, task in enumerate(chunk):
+        try:
+            out.append(fn(task))
+        except Exception as exc:
+            raise TaskError(
+                f"campaign task {start + offset} failed: {exc!r}",
+                start + offset) from exc
+    return out
 
 
 def run_tasks(fn: Callable[[Any], Any], tasks: Iterable[Any],
@@ -40,24 +87,50 @@ def run_tasks(fn: Callable[[Any], Any], tasks: Iterable[Any],
     which is what makes parallel campaign merges deterministic.  *fn*
     must be a module-level function and each task must be picklable
     when ``jobs > 1``.
+
+    Failure semantics (``jobs > 1``): a task raising re-raises here as
+    :class:`TaskError` naming the failing task index; a worker process
+    dying (or a ``KeyboardInterrupt``) cancels every pending future and
+    shuts the pool down without waiting, so a crashed campaign never
+    hangs its caller.
     """
     tasks = list(tasks)
     if jobs <= 1 or len(tasks) <= 1:
         return [fn(task) for task in tasks]
     workers = min(jobs, len(tasks))
-    if TELEMETRY.enabled:
-        # each task returns (result, telemetry delta); merging in task
-        # order keeps counter totals identical to a serial run
-        wrapped = _TelemetryTask(fn)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            pairs = list(pool.map(wrapped, tasks, chunksize=chunksize))
-        results = []
-        for result, snapshot in pairs:
-            TELEMETRY.merge_snapshot(snapshot)
-            results.append(result)
-        return results
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, tasks, chunksize=chunksize))
+    telemetry_on = TELEMETRY.enabled
+    # each task returns (result, telemetry delta); merging in task
+    # order keeps counter totals identical to a serial run
+    wrapped = _TelemetryTask(fn) if telemetry_on else fn
+    chunks = [(start, tasks[start:start + chunksize])
+              for start in range(0, len(tasks), max(1, chunksize))]
+    pool = ProcessPoolExecutor(max_workers=workers)
+    futures = [pool.submit(_run_chunk, wrapped, start, chunk)
+               for start, chunk in chunks]
+    collected: List[Any] = []
+    start, chunk = 0, tasks[:1]
+    try:
+        for (start, chunk), future in zip(chunks, futures):
+            collected.extend(future.result())
+    except BaseException as exc:
+        for future in futures:
+            future.cancel()
+        pool.shutdown(wait=False, cancel_futures=True)
+        if isinstance(exc, (TaskError, KeyboardInterrupt)):
+            raise
+        end = start + len(chunk) - 1
+        detail = (f"campaign tasks {start}..{end}: worker pool failure"
+                  if isinstance(exc, BrokenProcessPool)
+                  else f"campaign tasks {start}..{end} failed")
+        raise TaskError(f"{detail}: {exc!r}", start) from exc
+    pool.shutdown()
+    if not telemetry_on:
+        return collected
+    results = []
+    for result, snapshot in collected:
+        TELEMETRY.merge_snapshot(snapshot)
+        results.append(result)
+    return results
 
 
 class _TelemetryTask:

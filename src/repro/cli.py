@@ -20,6 +20,11 @@ Subcommands::
     python -m repro.cli run-all  [output.txt] [--jobs N] [--no-cache]
                                  [--quick] [--injections N] [--metrics]
                                  [--trace FILE]
+    python -m repro.cli serve    [--port N] [--shards N] [--workers N]
+                                 [--queue-depth N] [--artifact-dir DIR]
+    python -m repro.cli submit   campaign|capture|replay|study|bench
+                                 --port N [--tenant T] [--share-cache]
+                                 [payload flags] [--json] [--no-wait]
 
 ``compile`` consumes the PTX-like text form (see
 :mod:`repro.kernelir.ptxtext`), runs the backend, optionally applies the
@@ -41,6 +46,12 @@ the trace and reports per-kernel cycles, hotspot instructions, bubble
 regions, and divergence-serialized spans; ``trace iters`` reports
 per-launch cycles and the iteration spread; ``trace-diff`` exits 1
 when the traces differ, like ``diff``.
+
+``serve``/``submit`` are the profiling-as-a-service pair
+(:mod:`repro.server`): ``serve`` runs the long-lived sharded job
+server, ``submit`` sends one job over the NDJSON protocol and streams
+until the terminal event — retrying 429 admission rejections with the
+server's retry-after hint.
 
 Usage errors (unknown workload, malformed flags, unwritable paths) exit
 with status 2 and a one-line ``repro: ...`` message — never a traceback.
@@ -532,6 +543,106 @@ def _cmd_run_all(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.server.service import ServerConfig, \
+        ensure_artifact_dir, serve
+
+    config = ServerConfig(host=args.host, port=args.port,
+                          shards=max(1, args.shards),
+                          workers=max(1, args.workers),
+                          queue_depth=max(1, args.queue_depth),
+                          artifact_dir=ensure_artifact_dir(
+                              args.artifact_dir))
+
+    def announce(address):
+        host, port = address
+        print(f"repro-server listening on {host}:{port}", flush=True)
+
+    try:
+        asyncio.run(serve(config, announce=announce))
+    except KeyboardInterrupt:
+        print("repro-server stopped", file=sys.stderr)
+    return 0
+
+
+def _submit_payload(args) -> dict:
+    payload = {}
+    if args.workload:
+        payload["workload"] = args.workload
+    if args.command_kind == "campaign":
+        payload["injections"] = args.injections
+        payload["seed"] = args.seed
+        payload["use_cache"] = not args.no_cache
+    elif args.command_kind == "capture":
+        payload["all_spaces"] = args.all_spaces
+    elif args.command_kind == "replay":
+        if args.trace_file:
+            payload["trace"] = args.trace_file
+        if args.artifact:
+            payload["artifact"] = args.artifact
+        if args.analysis:
+            payload["analyses"] = [a.strip()
+                                   for a in args.analysis.split(",")
+                                   if a.strip()]
+        payload["policy"] = args.policy
+    elif args.command_kind == "study":
+        payload["which"] = args.which
+    elif args.command_kind == "bench":
+        payload["spin_ms"] = args.spin_ms
+        payload["tag"] = args.tag
+    return payload
+
+
+def _cmd_submit(args) -> int:
+    import json as json_module
+
+    from repro.server.client import AdmissionRejected, JobFailed, \
+        ServerClient, ServerError
+
+    client = ServerClient(args.host, args.port, tenant=args.tenant,
+                          share_cache=args.share_cache)
+    args.command_kind = args.kind
+    payload = _submit_payload(args)
+    try:
+        if args.no_wait:
+            job_id = client.submit(args.kind, payload)
+            print(job_id)
+            return 0
+        record = client.submit_and_wait(args.kind, payload)
+    except ConnectionError as exc:
+        raise CliError(f"cannot reach server at "
+                       f"{args.host}:{args.port}: {exc}") from exc
+    except AdmissionRejected as exc:
+        raise CliError(f"server queue full (retry after "
+                       f"{exc.retry_after}s)") from exc
+    except JobFailed as exc:
+        raise CliError(str(exc)) from exc
+    except ServerError as exc:
+        raise CliError(str(exc)) from exc
+    if args.json:
+        print(json_module.dumps(record, indent=2, sort_keys=True))
+    else:
+        print(f"{record['job_id']}: {record['kind']} done in "
+              f"{record['wall_seconds']:.3f}s")
+        result = record["result"]
+        if args.kind == "campaign":
+            for outcome, count in result["outcomes"].items():
+                print(f"  {outcome}: {count}")
+        elif args.kind == "capture":
+            print(f"  {result['total_events']} events -> "
+                  f"{record['artifact_path']}")
+        elif args.kind == "replay":
+            for analysis in result["analyses"]:
+                report = analysis["report"].strip().splitlines()
+                print(f"  [{analysis['analysis']}] "
+                      f"{report[0] if report else ''}")
+        elif args.kind == "study":
+            print(result["text"])
+    return 0
+
+
 def _add_telemetry_flags(parser, jsonl: bool = False) -> None:
     parser.add_argument("--metrics", action="store_true",
                         help="print the telemetry span/counter summary")
@@ -664,6 +775,55 @@ def main(argv=None) -> int:
     runall_parser.add_argument("--quick", action="store_true")
     _add_telemetry_flags(runall_parser)
     runall_parser.set_defaults(fn=_cmd_run_all)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the profiling service")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=0,
+                              help="0 picks a free port (announced on "
+                                   "stdout)")
+    serve_parser.add_argument("--shards", type=int, default=1)
+    serve_parser.add_argument("--workers", type=int, default=1,
+                              help="worker processes per shard")
+    serve_parser.add_argument("--queue-depth", type=int, default=8,
+                              help="queued jobs per shard before 429s")
+    serve_parser.add_argument("--artifact-dir", default=None,
+                              help="where capture jobs store traces")
+    serve_parser.set_defaults(fn=_cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a job to a running profiling service")
+    submit_parser.add_argument(
+        "kind", choices=["campaign", "capture", "replay", "study",
+                         "bench"])
+    submit_parser.add_argument("--host", default="127.0.0.1")
+    submit_parser.add_argument("--port", type=int, required=True)
+    submit_parser.add_argument("--tenant", default="default")
+    submit_parser.add_argument("--share-cache", action="store_true",
+                               help="opt into the shared compile-cache "
+                                    "namespace")
+    submit_parser.add_argument("--workload", default=None)
+    submit_parser.add_argument("--injections", type=int, default=8)
+    submit_parser.add_argument("--seed", type=int, default=2015)
+    submit_parser.add_argument("--no-cache", action="store_true")
+    submit_parser.add_argument("--all-spaces", action="store_true")
+    submit_parser.add_argument("--trace-file", default=None,
+                               help="replay: server-side trace path")
+    submit_parser.add_argument("--artifact", default=None,
+                               help="replay: a finished capture job id")
+    submit_parser.add_argument("--analysis", default=None,
+                               help="replay: comma-separated analyses")
+    submit_parser.add_argument("--policy", choices=["gto", "lrr"],
+                               default="gto")
+    submit_parser.add_argument("--which", default=None,
+                               help="study: which table/figure")
+    submit_parser.add_argument("--spin-ms", type=float, default=10.0)
+    submit_parser.add_argument("--tag", default="")
+    submit_parser.add_argument("--no-wait", action="store_true",
+                               help="print the job id and return")
+    submit_parser.add_argument("--json", action="store_true",
+                               help="print the full result record")
+    submit_parser.set_defaults(fn=_cmd_submit)
 
     args = parser.parse_args(argv)
     try:

@@ -185,12 +185,20 @@ class ErrorInjectionCampaign:
     def __init__(self, workload, num_injections: int = 100,
                  seed: int = 2015, workload_name: Optional[str] = None,
                  use_cache: bool = True,
-                 trace_dir: Optional[str] = None):
+                 trace_dir: Optional[str] = None,
+                 cache: Optional[CompileCache] = None,
+                 on_device: Optional[Callable] = None):
         self.workload = workload
         self.num_injections = num_injections
         self.seed = seed
         self.workload_name = workload_name
         self.use_cache = use_cache
+        #: explicit cache override (e.g. a per-tenant namespaced view);
+        #: None falls back to the process-wide cache when use_cache
+        self.cache = cache
+        #: called with every fresh Device this campaign creates — the
+        #: server's job layer hooks per-trial KernelStats through this
+        self.on_device = on_device
         #: when set, every trial writes a full event-trace sidecar to
         #: ``<trace_dir>/seed<seed>-trial<index>.rptrace`` (see
         #: ``repro trace-diff`` for comparing them across seeds)
@@ -200,7 +208,15 @@ class ErrorInjectionCampaign:
 
     @property
     def _cache(self) -> Optional[CompileCache]:
-        return get_cache() if self.use_cache else None
+        if not self.use_cache:
+            return None
+        return self.cache if self.cache is not None else get_cache()
+
+    def _new_device(self) -> Device:
+        device = Device()
+        if self.on_device is not None:
+            self.on_device(device)
+        return device
 
     # ------------------------------------------------------------ steps
 
@@ -208,7 +224,7 @@ class ErrorInjectionCampaign:
         from repro.backend import ptxas
         from repro.campaign.compile_cache import cached_ptxas
 
-        device = Device()
+        device = self._new_device()
         ir = self.workload.build_ir()
         kernel = cached_ptxas(ir, cache=self._cache) \
             if self.use_cache else ptxas(ir)
@@ -217,7 +233,7 @@ class ErrorInjectionCampaign:
 
     def profile(self) -> int:
         """Step 1: count the eligible dynamic events."""
-        device = Device()
+        device = self._new_device()
         cupti = CuptiSubscription(device)
         counters = CounterBuffer(cupti, 1, per_kernel=False)
         runtime = SassiRuntime(device, poison_caller_saved=False)
@@ -242,7 +258,7 @@ class ErrorInjectionCampaign:
         """
         if self._golden is None:
             self.golden_run()
-        device = Device()
+        device = self._new_device()
         cupti = CuptiSubscription(device)
         counters = CounterBuffer(cupti, 1, per_kernel=False)
         handler = _InjectionHandler(counters, target_event, dst_seed,

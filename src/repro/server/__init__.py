@@ -1,0 +1,39 @@
+"""Profiling-as-a-service: the async multi-tenant campaign server.
+
+``repro serve`` runs a long-lived asyncio service; campaign runs, trace
+capture, replay analyses (including timing), studies, and bench jobs
+all travel one sharded queue into process pools, with per-tenant
+compile-cache namespaces and bounded-queue admission control.  Merged
+job results are byte-identical to a local :func:`run_job_local` run at
+any worker count — see :mod:`repro.server.jobs` for the contract.
+"""
+
+from repro.server.jobs import (
+    JOB_KINDS,
+    JobError,
+    JobSpec,
+    canonical_result_bytes,
+    run_job_local,
+    validate_job,
+)
+from repro.server.tenancy import (
+    DEFAULT_TENANT,
+    SHARED_NAMESPACE,
+    NamespacedCache,
+    namespaced_cache,
+    tenant_namespace,
+)
+
+__all__ = [
+    "JOB_KINDS",
+    "JobError",
+    "JobSpec",
+    "canonical_result_bytes",
+    "run_job_local",
+    "validate_job",
+    "DEFAULT_TENANT",
+    "SHARED_NAMESPACE",
+    "NamespacedCache",
+    "namespaced_cache",
+    "tenant_namespace",
+]

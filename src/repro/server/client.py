@@ -1,0 +1,158 @@
+"""Synchronous client for the profiling service's NDJSON protocol.
+
+One TCP connection per operation (the server closes after each
+response), blocking sockets, no dependencies — usable from tests, the
+``repro submit`` CLI, and plain scripts.  :meth:`ServerClient.
+submit_and_wait` is the high-level call: it retries 429 admission
+rejections with the server's ``retry_after`` hint, then streams events
+until the terminal one and returns the full result record.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class ServerError(RuntimeError):
+    """The server answered, but with an error this client can't retry."""
+
+
+class AdmissionRejected(ServerError):
+    """A 429: the queue is full; retry after ``retry_after`` seconds."""
+
+    def __init__(self, message: str, retry_after: float):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class JobFailed(ServerError):
+    """The job ran and ended in ``failed`` (or was cancelled)."""
+
+    def __init__(self, message: str, event: Dict[str, Any]):
+        super().__init__(message)
+        self.event = event
+
+
+class ServerClient:
+    def __init__(self, host: str, port: int, tenant: str = "default",
+                 share_cache: bool = False, timeout: float = 120.0):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.share_cache = share_cache
+        self.timeout = timeout
+
+    # ---------------------------------------------------------- wire
+
+    def _connect(self) -> socket.socket:
+        return socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout)
+
+    def _roundtrip(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        with self._connect() as sock:
+            sock.sendall(json.dumps(request).encode() + b"\n")
+            with sock.makefile("rb") as stream:
+                line = stream.readline()
+        if not line:
+            raise ServerError("server closed the connection mid-reply")
+        return json.loads(line)
+
+    def _stream(self, request: Dict[str, Any]
+                ) -> Iterator[Dict[str, Any]]:
+        with self._connect() as sock:
+            sock.sendall(json.dumps(request).encode() + b"\n")
+            with sock.makefile("rb") as stream:
+                for line in stream:
+                    if line.strip():
+                        yield json.loads(line)
+
+    @staticmethod
+    def _checked(response: Dict[str, Any]) -> Dict[str, Any]:
+        if response.get("ok"):
+            return response
+        if response.get("status") == 429:
+            raise AdmissionRejected(
+                response.get("message", "queue full"),
+                float(response.get("retry_after", 0.1)))
+        raise ServerError(response.get("message")
+                          or response.get("error", "server error"))
+
+    # ----------------------------------------------------- operations
+
+    def ping(self) -> Dict[str, Any]:
+        return self._checked(self._roundtrip({"op": "ping"}))
+
+    def stats(self) -> Dict[str, Any]:
+        return self._checked(self._roundtrip({"op": "stats"}))
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._checked(self._roundtrip({"op": "status",
+                                              "job_id": job_id}))
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._checked(self._roundtrip({"op": "cancel",
+                                              "job_id": job_id}))
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._checked(self._roundtrip({"op": "shutdown"}))
+
+    def submit(self, kind: str, payload: Optional[Dict[str, Any]] = None,
+               **payload_kwargs: Any) -> str:
+        """Submit one job; returns its id.  Raises
+        :class:`AdmissionRejected` on a 429 (no implicit retry here)."""
+        job = {"kind": kind,
+               "payload": {**(payload or {}), **payload_kwargs},
+               "tenant": self.tenant,
+               "share_cache": self.share_cache}
+        response = self._checked(self._roundtrip({"op": "submit",
+                                                  "job": job}))
+        return response["job_id"]
+
+    def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Stream a job's events through the terminal one."""
+        for event in self._stream({"op": "result", "job_id": job_id}):
+            if event.get("ok") is False:
+                raise ServerError(event.get("error", "server error"))
+            yield event
+
+    def wait(self, job_id: str) -> Dict[str, Any]:
+        """Block until the job finishes; returns the result record.
+
+        Raises :class:`JobFailed` when the terminal event is ``failed``
+        or ``cancelled``.
+        """
+        terminal = None
+        for event in self.events(job_id):
+            if event.get("event") in ("result", "failed", "cancelled"):
+                terminal = event
+        if terminal is None:
+            raise ServerError(f"job {job_id} stream ended without a "
+                              "terminal event")
+        if terminal["event"] != "result":
+            raise JobFailed(
+                f"job {job_id} {terminal['event']}: "
+                f"{terminal.get('error', '')}", terminal)
+        return terminal
+
+    def submit_and_wait(self, kind: str,
+                        payload: Optional[Dict[str, Any]] = None,
+                        max_retries: int = 20,
+                        **payload_kwargs: Any) -> Dict[str, Any]:
+        """Submit with 429 backoff (honouring ``retry_after``), then
+        wait for the result record."""
+        for attempt in range(max_retries + 1):
+            try:
+                job_id = self.submit(kind, payload, **payload_kwargs)
+                break
+            except AdmissionRejected as exc:
+                if attempt == max_retries:
+                    raise
+                time.sleep(exc.retry_after)
+        return self.wait(job_id)
+
+    def collect(self, job_id: str) -> List[Dict[str, Any]]:
+        """All events for a finished (or finishing) job, materialized."""
+        return list(self.events(job_id))

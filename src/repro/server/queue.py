@@ -1,0 +1,129 @@
+"""The sharded, bounded work queue behind the profiling service.
+
+Admission control lives here, not in the protocol layer: each shard
+holds at most ``depth`` queued jobs, a submission goes to the
+least-loaded shard (round-robin on ties, so equal-load placement is
+deterministic), and when every shard is full :meth:`ShardedQueue.
+try_submit` raises :class:`AdmissionError` carrying a ``retry_after``
+hint — the service turns that into a 429-style wire response.  The
+bound counts *queued* jobs only; a job being executed has left its
+shard, which is what makes "a queue of depth N rejects exactly the
+(N+k)-th..(N+k)-th submissions" testable.
+
+The queue is plain synchronous data (deques + counters).  The asyncio
+service owns all access from its event loop; worker pools never touch
+it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+
+class AdmissionError(RuntimeError):
+    """Every shard is at capacity; come back in ``retry_after`` seconds."""
+
+    def __init__(self, message: str, retry_after: float = 0.1):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+@dataclass
+class ShardStats:
+    """Lifetime accounting for one shard."""
+
+    submitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+
+    def to_dict(self) -> dict:
+        return {"submitted": self.submitted, "rejected": self.rejected,
+                "completed": self.completed, "failed": self.failed,
+                "cancelled": self.cancelled}
+
+
+@dataclass
+class ShardedQueue:
+    """``shards`` bounded FIFO lanes with least-loaded placement."""
+
+    shards: int = 1
+    depth: int = 8
+    _lanes: List[deque] = field(default_factory=list)
+    _stats: List[ShardStats] = field(default_factory=list)
+    _next_tiebreak: int = 0
+
+    def __post_init__(self):
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        self._lanes = [deque() for _ in range(self.shards)]
+        self._stats = [ShardStats() for _ in range(self.shards)]
+
+    def try_submit(self, item: Any,
+                   retry_after: float = 0.1) -> int:
+        """Place *item*; returns the shard index or raises
+        :class:`AdmissionError` when all lanes are full."""
+        # least-loaded shard, round-robin among equally loaded ones so
+        # a stream of submissions at equal load spreads deterministically
+        order = [(len(self._lanes[i]),
+                  (i - self._next_tiebreak) % self.shards, i)
+                 for i in range(self.shards)]
+        order.sort()
+        load, _, shard = order[0]
+        if load >= self.depth:
+            self._stats[shard].rejected += 1
+            raise AdmissionError(
+                f"all {self.shards} shard(s) at depth {self.depth}",
+                retry_after=retry_after)
+        self._lanes[shard].append(item)
+        self._stats[shard].submitted += 1
+        self._next_tiebreak = (shard + 1) % self.shards
+        return shard
+
+    def pop(self, shard: int) -> Optional[Any]:
+        """Next queued item for *shard*, or ``None`` when idle."""
+        lane = self._lanes[shard]
+        return lane.popleft() if lane else None
+
+    def queued(self, shard: Optional[int] = None) -> int:
+        if shard is None:
+            return sum(len(lane) for lane in self._lanes)
+        return len(self._lanes[shard])
+
+    def note_completed(self, shard: int) -> None:
+        self._stats[shard].completed += 1
+
+    def note_failed(self, shard: int) -> None:
+        self._stats[shard].failed += 1
+
+    def note_cancelled(self, shard: int) -> None:
+        self._stats[shard].cancelled += 1
+
+    def remove(self, shard: int, item: Any) -> bool:
+        """Withdraw a still-queued item (queued-state cancellation)."""
+        try:
+            self._lanes[shard].remove(item)
+        except ValueError:
+            return False
+        return True
+
+    def stats(self) -> dict:
+        totals = ShardStats()
+        for stats in self._stats:
+            totals.submitted += stats.submitted
+            totals.rejected += stats.rejected
+            totals.completed += stats.completed
+            totals.failed += stats.failed
+            totals.cancelled += stats.cancelled
+        return {
+            "shards": self.shards,
+            "depth": self.depth,
+            "queued": self.queued(),
+            "per_shard": [s.to_dict() for s in self._stats],
+            **totals.to_dict(),
+        }

@@ -1,0 +1,93 @@
+"""Per-tenant compile-cache namespaces.
+
+The content-addressed compile cache (:mod:`repro.campaign.compile_cache`)
+keys entries on what determines the compiled SASS — but a multi-tenant
+server must not let one tenant's compiles serve another's lookups unless
+both opted in: a tenant may be iterating on a private kernel, and cache
+timing side-channels (hit vs. miss) would otherwise leak whether someone
+else already compiled the same IR.
+
+:class:`NamespacedCache` layers a namespace prefix over any base
+:class:`~repro.campaign.compile_cache.CompileCache`: every key is
+rewritten to ``ns=<namespace>|<key>`` before it reaches the base cache,
+so two tenants compiling identical IR get *separate* entries, while
+tenants that opt into the shared namespace (``share_cache=True`` on a
+job) deduplicate against each other.  The base cache's disk layer keeps
+working unchanged — disk filenames hash the namespaced key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.campaign.compile_cache import CacheStats, CompileCache, get_cache
+
+#: Tenant id used when a request names none.
+DEFAULT_TENANT = "default"
+
+#: The opt-in namespace shared by every tenant that sets
+#: ``share_cache=True`` — identical IR deduplicates across them.
+SHARED_NAMESPACE = "shared"
+
+
+def tenant_namespace(tenant: Optional[str],
+                     share_cache: bool = False) -> str:
+    """The cache namespace for one job's compiles."""
+    if share_cache:
+        return SHARED_NAMESPACE
+    return f"tenant:{tenant or DEFAULT_TENANT}"
+
+
+@dataclass
+class NamespacedCache:
+    """A view of *base* whose keys live under ``ns=<namespace>|``.
+
+    Duck-types the :class:`CompileCache` surface the compile helpers use
+    (``lookup``/``store``/``clear``/``len``), so it drops into
+    ``cached_ptxas(..., cache=...)`` and ``runtime.compile(..., cache=
+    ...)`` unchanged.  ``stats`` counts this namespace's traffic only;
+    the base cache's own stats keep counting everything.
+    """
+
+    base: CompileCache
+    namespace: str
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def _key(self, key: str) -> str:
+        return f"ns={self.namespace}|{key}"
+
+    def lookup(self, key: str):
+        entry = self.base.lookup(self._key(key))
+        if entry is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return entry
+
+    def store(self, key: str, kernel, report=None) -> None:
+        self.base.store(self._key(key), kernel, report)
+
+    def clear(self) -> None:
+        """Drop this namespace's in-memory entries (only)."""
+        prefix = self._key("")
+        for key in [k for k in self.base._mem if k.startswith(prefix)]:
+            del self.base._mem[key]
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        prefix = self._key("")
+        return sum(1 for k in self.base._mem if k.startswith(prefix))
+
+
+def namespaced_cache(namespace: str,
+                     base: Optional[CompileCache] = None) -> NamespacedCache:
+    """A namespace view over *base* (default: the process-wide cache).
+
+    Worker processes call this per task with the namespace shipped in
+    the task tuple; the underlying process-wide cache (and its optional
+    ``REPRO_CACHE_DIR`` disk layer) is shared across namespaces, so
+    storage is pooled while visibility is partitioned.
+    """
+    return NamespacedCache(base=base if base is not None else get_cache(),
+                           namespace=namespace)

@@ -8,6 +8,8 @@ import numpy as np
 import pytest
 
 from repro.campaign.engine import (
+    JOBS_ENV,
+    TaskError,
     default_jobs,
     map_workloads,
     merge_kernel_stats,
@@ -18,6 +20,26 @@ from repro.sim.executor import KernelStats
 
 
 def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError(f"task payload {x} is cursed")
+    return x * x
+
+
+def _interrupt_on_two(x):
+    if x == 2:
+        raise KeyboardInterrupt
+    return x * x
+
+
+def _exit_on_four(x):
+    if x == 4:
+        import os
+
+        os._exit(3)  # simulate a worker segfault/OOM kill
     return x * x
 
 
@@ -41,6 +63,61 @@ class TestRunTasks:
 
     def test_default_jobs_positive(self):
         assert default_jobs() >= 1
+
+
+class TestDefaultJobsEnv:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert default_jobs() == 3
+
+    def test_env_clamped_to_one(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "0")
+        assert default_jobs() == 1
+        monkeypatch.setenv(JOBS_ENV, "-7")
+        assert default_jobs() == 1
+
+    def test_malformed_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "many")
+        assert default_jobs() == max(1, __import__("os").cpu_count() or 1)
+
+    def test_unset_env_uses_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert default_jobs() == max(1, __import__("os").cpu_count() or 1)
+
+
+class TestRunTasksFailure:
+    def test_task_exception_names_index(self):
+        with pytest.raises(TaskError) as info:
+            run_tasks(_fail_on_three, list(range(8)), jobs=2)
+        assert info.value.task_index == 3
+        assert "task 3" in str(info.value)
+        assert "cursed" in str(info.value)
+
+    def test_task_exception_names_index_with_chunks(self):
+        with pytest.raises(TaskError) as info:
+            run_tasks(_fail_on_three, list(range(8)), jobs=2, chunksize=3)
+        assert info.value.task_index == 3
+
+    def test_keyboard_interrupt_reraises_promptly(self):
+        with pytest.raises((KeyboardInterrupt, TaskError)):
+            run_tasks(_interrupt_on_two, list(range(6)), jobs=2)
+
+    def test_worker_crash_raises_task_error(self):
+        with pytest.raises(TaskError) as info:
+            run_tasks(_exit_on_four, list(range(8)), jobs=2)
+        assert info.value.task_index >= 0
+        assert "campaign task" in str(info.value)
+
+    def test_serial_path_raises_raw(self):
+        with pytest.raises(ValueError):
+            run_tasks(_fail_on_three, list(range(8)), jobs=1)
+
+    def test_task_error_pickles(self):
+        import pickle
+
+        err = pickle.loads(pickle.dumps(TaskError("boom", 7)))
+        assert err.task_index == 7
+        assert str(err) == "boom"
 
 
 class TestTrialRng:
