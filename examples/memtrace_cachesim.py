@@ -29,10 +29,12 @@ def collect_trace(name: str):
 
 
 def main(workload: str = "parboil/spmv(small)"):
+    from repro.trace.format import TAG_MEM
+
     tracer = collect_trace(workload)
     manifest = tracer.flush()
     accesses = sum(len(r.line_addresses) for r in tracer.records())
-    print(f"collected {manifest.total_events:,} warp accesses "
+    print(f"collected {manifest.count(TAG_MEM):,} warp accesses "
           f"({accesses:,} line transactions)\n")
 
     for config_name, size_kib, ways in (("small L1", 8, 2),

@@ -20,6 +20,7 @@ import importlib
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -79,14 +80,37 @@ def _run_chunk(fn: Callable[[Any], Any], start: int,
     return out
 
 
+@contextmanager
+def task_pool(jobs: Optional[int] = None):
+    """A reusable worker pool for back-to-back :func:`run_tasks` calls.
+
+    Pool startup (process spawn + interpreter import) dominates short
+    parallel phases; callers issuing several task batches — the replay
+    benchmark, a server shard draining sharded replays — open one pool
+    and pass it to each ``run_tasks(..., pool=...)`` call instead of
+    paying that cost per batch.
+    """
+    pool = ProcessPoolExecutor(
+        max_workers=default_jobs() if jobs is None else max(1, jobs))
+    try:
+        yield pool
+    finally:
+        pool.shutdown()
+
+
 def run_tasks(fn: Callable[[Any], Any], tasks: Iterable[Any],
-              jobs: int = 1, chunksize: int = 1) -> List[Any]:
+              jobs: int = 1, chunksize: int = 1,
+              pool: Optional[ProcessPoolExecutor] = None) -> List[Any]:
     """Map *fn* over *tasks*, serially or across worker processes.
 
     Results are returned in task order regardless of completion order,
     which is what makes parallel campaign merges deterministic.  *fn*
     must be a module-level function and each task must be picklable
     when ``jobs > 1``.
+
+    A *pool* from :func:`task_pool` is used instead of a private one
+    (and left running afterwards); *jobs* is ignored in that case —
+    the pool's worker count governs.
 
     Failure semantics (``jobs > 1``): a task raising re-raises here as
     :class:`TaskError` naming the failing task index; a worker process
@@ -95,16 +119,17 @@ def run_tasks(fn: Callable[[Any], Any], tasks: Iterable[Any],
     hangs its caller.
     """
     tasks = list(tasks)
-    if jobs <= 1 or len(tasks) <= 1:
+    if len(tasks) <= 1 or (pool is None and jobs <= 1):
         return [fn(task) for task in tasks]
-    workers = min(jobs, len(tasks))
     telemetry_on = TELEMETRY.enabled
     # each task returns (result, telemetry delta); merging in task
     # order keeps counter totals identical to a serial run
     wrapped = _TelemetryTask(fn) if telemetry_on else fn
     chunks = [(start, tasks[start:start + chunksize])
               for start in range(0, len(tasks), max(1, chunksize))]
-    pool = ProcessPoolExecutor(max_workers=workers)
+    owns_pool = pool is None
+    if owns_pool:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
     futures = [pool.submit(_run_chunk, wrapped, start, chunk)
                for start, chunk in chunks]
     collected: List[Any] = []
@@ -115,7 +140,8 @@ def run_tasks(fn: Callable[[Any], Any], tasks: Iterable[Any],
     except BaseException as exc:
         for future in futures:
             future.cancel()
-        pool.shutdown(wait=False, cancel_futures=True)
+        if owns_pool or isinstance(exc, BrokenProcessPool):
+            pool.shutdown(wait=False, cancel_futures=True)
         if isinstance(exc, (TaskError, KeyboardInterrupt)):
             raise
         end = start + len(chunk) - 1
@@ -123,7 +149,8 @@ def run_tasks(fn: Callable[[Any], Any], tasks: Iterable[Any],
                   if isinstance(exc, BrokenProcessPool)
                   else f"campaign tasks {start}..{end} failed")
         raise TaskError(f"{detail}: {exc!r}", start) from exc
-    pool.shutdown()
+    if owns_pool:
+        pool.shutdown()
     if not telemetry_on:
         return collected
     results = []

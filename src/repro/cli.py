@@ -10,8 +10,15 @@ Subcommands::
     python -m repro.cli timeline trace.json   # inspect a Chrome trace
     python -m repro.cli capture  NAME [-o FILE] [--all-spaces]
     python -m repro.cli replay   trace.rptrace [--analysis a,b,...]
+                                 [--jobs N]
     python -m repro.cli trace    summary|iters trace.rptrace
                                  [--policy gto|lrr] [--top N]
+    python -m repro.cli trace    info trace.rptrace
+    python -m repro.cli trace    index trace.rptrace [--force]
+    python -m repro.cli trace    query trace.rptrace [--launches N:M]
+                                 [--class a,b] [--addr LO:HI] [--warp W]
+                                 [--kind instr,mem,branch] [--limit N]
+                                 [--count]
     python -m repro.cli trace-info trace.rptrace
     python -m repro.cli trace-diff a.rptrace b.rptrace [--max-deltas N]
     python -m repro.cli study    table1|figure7|table2|table3|figure10
@@ -34,18 +41,23 @@ the output is inspectable), and prints/writes the SASS listing.
 ``run`` executes one workload with telemetry enabled: ``--trace`` writes
 a Chrome ``trace_event`` JSON (open in ``chrome://tracing``/Perfetto),
 ``--jsonl`` a flat event stream, ``--metrics`` prints the span/counter
-summary.  ``timeline`` summarizes a previously written Chrome trace
-(the deprecated ``trace`` alias from the rename is retired; ``trace``
-is now the timing-analytics group below).
+summary.  ``timeline`` summarizes a previously written Chrome trace.
 
 ``capture``/``replay``/``trace``/``trace-info``/``trace-diff`` drive
 the binary event-trace subsystem (:mod:`repro.trace`): record one
-instrumented run to an ``.rptrace`` file, then answer many questions
-offline — ``trace summary`` runs the cycle-stepped warp scheduler over
-the trace and reports per-kernel cycles, hotspot instructions, bubble
-regions, and divergence-serialized spans; ``trace iters`` reports
-per-launch cycles and the iteration spread; ``trace-diff`` exits 1
-when the traces differ, like ``diff``.
+instrumented run to an ``.rptrace`` file (capture also writes the
+``.rpti`` columnar index sidecar), then answer many questions
+offline — ``replay --jobs N`` shards the replay by kernel-launch frame
+across worker processes (bit-identical to serial); ``trace summary``
+runs the cycle-stepped warp scheduler over the trace and reports
+per-kernel cycles, hotspot instructions, bubble regions, and
+divergence-serialized spans; ``trace iters`` reports per-launch cycles
+and the iteration spread; ``trace info`` prints the manifest plus the
+per-launch table from the index; ``trace index`` builds or refreshes
+the sidecar for an existing trace; ``trace query`` extracts events by
+launch range, opcode class, address range, and warp, seeking straight
+to matching launch frames via the index; ``trace-diff`` exits 1 when
+the traces differ, like ``diff``.
 
 ``serve``/``submit`` are the profiling-as-a-service pair
 (:mod:`repro.server`): ``serve`` runs the long-lived sharded job
@@ -405,8 +417,9 @@ def _open_trace_or_die(path: str):
 
 
 def _cmd_replay(args) -> int:
+    from repro.campaign.engine import JOBS_ENV, default_jobs
     from repro.trace import ANALYSES, TraceFormatError, make_analysis, \
-        replay
+        replay, replay_sharded
 
     reader = _open_trace_or_die(args.input)
     names = [n.strip() for n in args.analysis.split(",") if n.strip()] \
@@ -415,15 +428,23 @@ def _cmd_replay(args) -> int:
         analyses = [make_analysis(name) for name in names]
     except KeyError as exc:
         raise CliError(str(exc.args[0]))
+    jobs = args.jobs
+    if jobs is None:
+        jobs = default_jobs() if os.environ.get(JOBS_ENV) else 1
     try:
         start = time.perf_counter()
-        replay(reader, analyses)
+        if jobs > 1:
+            analyses = replay_sharded(args.input, names, jobs=jobs)
+        else:
+            replay(reader, analyses)
         elapsed = time.perf_counter() - start
     except TraceFormatError as exc:
         raise CliError(f"{args.input}: {exc}")
     for analysis in analyses:
         print(analysis.report())
-    print(f"replayed {args.input} in {elapsed:.2f}s", file=sys.stderr)
+    suffix = f" (jobs {jobs})" if jobs > 1 else ""
+    print(f"replayed {args.input} in {elapsed:.2f}s{suffix}",
+          file=sys.stderr)
     return 0
 
 
@@ -456,8 +477,30 @@ def _cmd_trace_iters(args) -> int:
     return 0
 
 
+#: launch-table rows printed by ``trace info`` before eliding
+_INFO_LAUNCH_ROWS = 12
+
+
+def _sidecar_index(path: str):
+    """The ``.rpti`` sidecar's index, if present and still bound to
+    *path*'s manifest; ``None`` otherwise (missing/stale/corrupt)."""
+    from repro.trace import TraceFormatError, TraceReader, \
+        index_path_for, read_index
+
+    sidecar = index_path_for(path)
+    if not os.path.exists(sidecar):
+        return None
+    try:
+        index = read_index(sidecar)
+        if index.matches(TraceReader(path).manifest()):
+            return index
+    except TraceFormatError:
+        pass
+    return None
+
+
 def _cmd_trace_info(args) -> int:
-    from repro.trace import TraceFormatError
+    from repro.trace import TraceFormatError, build_index
 
     reader = _open_trace_or_die(args.input)
     try:
@@ -470,6 +513,125 @@ def _cmd_trace_info(args) -> int:
           f"checksum 0x{manifest.checksum:08x}")
     for kind, count in sorted(manifest.kind_counts().items()):
         print(f"  {kind:<12} {count:>12,}")
+    # per-launch table: free when the .rpti sidecar is present, else a
+    # one-off full scan (we say which, so slow == actionable)
+    index = _sidecar_index(args.input)
+    source = "index sidecar"
+    if index is None:
+        try:
+            index = build_index(args.input)
+        except TraceFormatError as exc:
+            raise CliError(f"{args.input}: {exc}")
+        source = "full scan — no usable .rpti sidecar; " \
+                 "run `repro trace index` to keep one"
+    if index.entries:
+        print(f"launches ({index.launches}, from {source}):")
+        print(f"  {'#':>3} {'kernel':<24} {'grid':>12} {'block':>9} "
+              f"{'events':>9} {'instr':>9} {'mem':>9} {'branch':>9}")
+        shown = index.entries[:_INFO_LAUNCH_ROWS]
+        for ordinal, entry in enumerate(shown):
+            grid = "x".join(str(d) for d in entry.grid)
+            block = "x".join(str(d) for d in entry.block)
+            print(f"  {ordinal:>3} {entry.kernel:<24} {grid:>12} "
+                  f"{block:>9} {entry.events:>9,} {entry.instr:>9,} "
+                  f"{entry.mem:>9,} {entry.branch:>9,}")
+        if index.launches > len(shown):
+            print(f"  ... {index.launches - len(shown)} more launches")
+    if index.stray_events:
+        print(f"  {index.stray_events:,} events outside launch frames "
+              "(trace is not shardable)")
+    return 0
+
+
+def _cmd_trace_index(args) -> int:
+    from repro.trace import TraceFormatError, build_index, \
+        index_path_for, write_index
+
+    _open_trace_or_die(args.input)
+    sidecar = index_path_for(args.input)
+    _check_writable(sidecar)
+    fresh = False
+    index = None if args.force else _sidecar_index(args.input)
+    if index is None:
+        try:
+            index = build_index(args.input)
+        except TraceFormatError as exc:
+            raise CliError(f"{args.input}: {exc}")
+        write_index(index, sidecar)
+        fresh = True
+    state = "written" if fresh else "up to date"
+    shard = ("shardable" if index.shardable else
+             f"NOT shardable ({index.stray_events:,} events outside "
+             "launch frames)")
+    print(f"{sidecar}: {state}, {os.path.getsize(sidecar):,} bytes, "
+          f"{index.launches} launches, {shard}")
+    return 0
+
+
+def _format_query_hit(hit) -> str:
+    from repro.isa.opcodes import Opcode
+    from repro.trace.format import BranchEvent, InstrEvent, \
+        MEM_FLAG_ATOMIC, MemEvent
+
+    where = f"[{hit.launch:>3} {hit.kernel or '-':<20}]"
+    warp = f" w{hit.warp}" if hit.warp is not None else ""
+    event = hit.event
+    if isinstance(event, InstrEvent):
+        return (f"{where}{warp} 0x{event.ins_addr:04x} instr  "
+                f"{Opcode(event.opcode).name:<8} "
+                f"lanes={event.lanes}")
+    if isinstance(event, MemEvent):
+        kind = ("atomic" if event.flags & MEM_FLAG_ATOMIC else
+                "store" if event.is_store else "load")
+        lines = ",".join(f"0x{line:x}"
+                         for line in event.line_addresses[:4])
+        more = ("..." if len(event.line_addresses) > 4 else "")
+        return (f"{where}{warp} 0x{event.ins_addr:04x} mem    "
+                f"{kind:<6} w{event.width} "
+                f"lanes={event.active_lanes} "
+                f"lines[{len(event.line_addresses)}]={lines}{more}")
+    if isinstance(event, BranchEvent):
+        return (f"{where}{warp} 0x{event.ins_addr:04x} branch "
+                f"active={event.active} taken={event.taken} "
+                f"not_taken={event.not_taken}")
+    return f"{where}{warp} {event!r}"
+
+
+def _cmd_trace_query(args) -> int:
+    from repro.trace import TraceFormatError
+    from repro.trace.query import QueryError, QueryFilter, run_query
+
+    _open_trace_or_die(args.input)
+    try:
+        filt = QueryFilter.parse(launches=args.launches,
+                                 classes=args.cls, addr=args.addr,
+                                 warp=args.warp, kinds=args.kind)
+    except QueryError as exc:
+        raise CliError(str(exc))
+    sidecar = _sidecar_index(args.input)
+    truncated = False
+    try:
+        hits, stats = run_query(args.input, filt, index=sidecar)
+        for hit in hits:
+            if not args.count and stats.hits > args.limit:
+                truncated = True
+                break
+            if not args.count:
+                print(_format_query_hit(hit))
+    except TraceFormatError as exc:
+        raise CliError(f"{args.input}: {exc}")
+    how = ("(index sidecar)" if stats.used_index and sidecar is not None
+           else "(index built by one-off scan; run `repro trace index`)"
+           if stats.used_index else "(full scan)")
+    if truncated:
+        print(f"... stopped after --limit {args.limit} hits "
+              "(use --count for the exact total)", file=sys.stderr)
+        print(f"{args.limit}+ hits {how}")
+    else:
+        print(f"{stats.hits:,} hits in {stats.launches_visited} of "
+              f"{stats.launches_total} launches "
+              f"({stats.launches_skipped} skipped), "
+              f"{stats.events_scanned:,} events scanned {how}")
     return 0
 
 
@@ -719,10 +881,16 @@ def main(argv=None) -> int:
                                metavar="A,B,...",
                                help="comma-separated analyses "
                                     "(default: all registered)")
+    replay_parser.add_argument("--jobs", type=int, default=None,
+                               metavar="N",
+                               help="shard the replay by launch frame "
+                                    "across N worker processes "
+                                    "(default: 1, or $REPRO_JOBS; "
+                                    "bit-identical to serial)")
     replay_parser.set_defaults(fn=_cmd_replay)
 
     trace_parser = sub.add_parser(
-        "trace", help="timing analytics over a recorded trace")
+        "trace", help="analytics and queries over a recorded trace")
     trace_sub = trace_parser.add_subparsers(dest="trace_command",
                                             required=True)
     summary_parser = trace_sub.add_parser(
@@ -742,9 +910,48 @@ def main(argv=None) -> int:
                               default="gto",
                               help="warp issue policy (default gto)")
     iters_parser.set_defaults(fn=_cmd_trace_iters)
+    tinfo_parser = trace_sub.add_parser(
+        "info", help="manifest plus the per-launch index table")
+    tinfo_parser.add_argument("input", help=".rptrace file")
+    tinfo_parser.set_defaults(fn=_cmd_trace_info)
+    tindex_parser = trace_sub.add_parser(
+        "index", help="build or refresh the .rpti index sidecar")
+    tindex_parser.add_argument("input", help=".rptrace file")
+    tindex_parser.add_argument("--force", action="store_true",
+                               help="rebuild even if the sidecar is "
+                                    "current")
+    tindex_parser.set_defaults(fn=_cmd_trace_index)
+    query_parser = trace_sub.add_parser(
+        "query", help="extract events by launch/class/address/warp")
+    query_parser.add_argument("input", help=".rptrace file")
+    query_parser.add_argument("--launches", default=None, metavar="N:M",
+                              help="launch ordinal range (half-open; "
+                                   "N, N:, :M also accepted)")
+    query_parser.add_argument("--class", dest="cls", default=None,
+                              metavar="A,B,...",
+                              help="opcode classes (memory, control, "
+                                   "sync, numeric, texture, ...); "
+                                   "mem/branch events inherit their "
+                                   "instruction's class")
+    query_parser.add_argument("--addr", default=None, metavar="LO:HI",
+                              help="instruction/line address range "
+                                   "(hex ok, half-open)")
+    query_parser.add_argument("--warp", type=int, default=None,
+                              metavar="W",
+                              help="global warp ordinal within each "
+                                   "launch")
+    query_parser.add_argument("--kind", default=None,
+                              metavar="instr,mem,branch",
+                              help="event kinds to emit (default all)")
+    query_parser.add_argument("--limit", type=int, default=50,
+                              metavar="N",
+                              help="stop after N hits (default 50)")
+    query_parser.add_argument("--count", action="store_true",
+                              help="print only the total hit count")
+    query_parser.set_defaults(fn=_cmd_trace_query)
 
     info_parser = sub.add_parser(
-        "trace-info", help="print a trace's manifest (no replay)")
+        "trace-info", help="print a trace's manifest and launch table")
     info_parser.add_argument("input", help=".rptrace file")
     info_parser.set_defaults(fn=_cmd_trace_info)
 

@@ -18,9 +18,8 @@ from __future__ import annotations
 
 import os
 import tempfile
-import warnings
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -29,11 +28,14 @@ from repro.sassi.handlers import SASSIContext
 from repro.sim.coalescer import OFFSET_BITS
 from repro.sim.memory import GLOBAL_BASE, is_global
 from repro.trace.format import (
+    KernelEndEvent,
+    LaunchEvent,
     MEM_FLAG_ATOMIC,
     MEM_FLAG_LOAD,
     MEM_FLAG_STORE,
     MemEvent,
 )
+from repro.trace.index import index_path_for
 from repro.trace.io import TraceReader, TraceWriter
 
 
@@ -56,8 +58,9 @@ class MemoryTracer:
     Pass *path* to keep the ``.rptrace`` file; otherwise records stream
     to an unlinked-on-collection temp file.  Iterate with
     :meth:`records` (constant memory) or replay directly with
-    :meth:`replay_through`.  The old grow-forever ``.trace`` list is
-    kept as a deprecated shim that materializes the file's records.
+    :meth:`replay_through`.  Memory events are framed by kernel-launch
+    records (the CUPTI-analog callbacks), so the trace is seekable and
+    shardable like any capture-produced trace.
     """
 
     FLAGS = "-sassi-inst-before=memory -sassi-before-args=mem-info"
@@ -80,7 +83,9 @@ class MemoryTracer:
         self._writer: Optional[TraceWriter] = TraceWriter(
             path, buffer_bytes=buffer_bytes)
         self._manifest = None
-        self._trace_cache: Optional[List[TraceRecord]] = None
+        self._launch_index = 0
+        device.on_kernel_launch(self._on_launch)
+        device.on_kernel_exit(self._on_exit)
         #: sampling-weighted event count: each recorded event adds its
         #: firing's sample rate, so under 1/N sampling this remains an
         #: unbiased estimate of the exact event count (trace events
@@ -92,6 +97,22 @@ class MemoryTracer:
 
     def compile(self, kernel_ir, cache=None):
         return self.runtime.compile(kernel_ir, self.spec, cache=cache)
+
+    # -------------------------------------------------------- framing
+
+    def _on_launch(self, device, kernel, grid, block) -> None:
+        if self._writer is not None:
+            self._writer.write(LaunchEvent(
+                kernel=kernel.name,
+                grid=(grid.x, grid.y, grid.z),
+                block=(block.x, block.y, block.z),
+                launch_index=self._launch_index))
+            self._launch_index += 1
+
+    def _on_exit(self, device, kernel, stats) -> None:
+        if self._writer is not None:
+            self._writer.write(KernelEndEvent(
+                warp_instructions=stats.warp_instructions))
 
     def handler(self, ctx: SASSIContext) -> None:
         if ctx.mp is None:
@@ -120,7 +141,6 @@ class MemoryTracer:
             flags |= MEM_FLAG_STORE
         if mp.IsAtomic():
             flags |= MEM_FLAG_ATOMIC
-        self._trace_cache = None
         self.weighted_events += ctx.sample_rate
         self._writer.write(MemEvent(
             ins_addr=ctx.bp.GetInsAddr(),
@@ -156,7 +176,6 @@ class MemoryTracer:
             flags |= MEM_FLAG_STORE
         if mp.IsAtomic():
             flags |= MEM_FLAG_ATOMIC
-        self._trace_cache = None
         self.weighted_events += ctx.sample_rate
         self._writer.write(MemEvent(
             ins_addr=ctx.bp.GetInsAddr(),
@@ -189,33 +208,27 @@ class MemoryTracer:
                     active_lanes=event.active_lanes,
                 )
 
-    @property
-    def trace(self) -> List[TraceRecord]:
-        """Deprecated: the whole trace as an in-memory list.
-
-        Use :meth:`records` (streaming) or :meth:`replay_through`
-        instead; this shim exists only for pre-``repro.trace`` callers
-        and materializes every record at once.
-        """
-        warnings.warn(
-            "MemoryTracer.trace materializes the full trace in memory; "
-            "use MemoryTracer.records() or replay_through() instead",
-            DeprecationWarning, stacklevel=2)
-        if self._trace_cache is None:
-            self._trace_cache = list(self.records())
-        return self._trace_cache
-
     def replay_through(self, cache) -> None:
-        """Feed the collected line addresses to a cache model."""
-        for record in self.records():
-            for line in record.line_addresses:
-                cache.access(line)
+        """Feed the collected line addresses to a cache model, flushing
+        its contents at every kernel-launch frame — the same
+        launch-boundary semantics as the ``cachesim`` replay analysis,
+        so both grade a multi-launch trace identically."""
+        self.flush()
+        for event in TraceReader(self.path).events():
+            if isinstance(event, MemEvent):
+                for line in event.line_addresses:
+                    cache.access(line)
+            elif isinstance(event, LaunchEvent):
+                cache.invalidate()
 
     def close(self) -> None:
-        """Finalize, and remove the backing file if we created it."""
+        """Finalize, and remove the backing file (and its index
+        sidecar) if we created them."""
         self.flush()
-        if self._owns_file and os.path.exists(self.path):
-            os.unlink(self.path)
+        if self._owns_file:
+            for path in (self.path, index_path_for(self.path)):
+                if os.path.exists(path):
+                    os.unlink(path)
             self._owns_file = False
 
     def __del__(self):

@@ -97,6 +97,15 @@ class Cache:
         self.stats.reset()
         self._sets.clear()
 
+    def invalidate(self) -> None:
+        """Drop cached lines (cumulative stats survive), recursively
+        through the hierarchy — the kernel-launch-boundary flush: every
+        launch starts cold, so launch-partitioned replays of one trace
+        grade accesses identically to a single streaming pass."""
+        self._sets.clear()
+        if self.next_level is not None:
+            self.next_level.invalidate()
+
 
 def kepler_hierarchy() -> Cache:
     """A K10-flavoured hierarchy: 16 KiB 4-way L1 over 512 KiB 16-way L2

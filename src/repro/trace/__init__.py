@@ -42,7 +42,19 @@ from repro.trace.replay import (
     TraceAnalysis,
     make_analysis,
     replay,
+    replay_sharded,
 )
+from repro.trace.index import (
+    IndexBuilder,
+    LaunchEntry,
+    TraceIndex,
+    build_index,
+    ensure_index,
+    index_path_for,
+    read_index,
+    write_index,
+)
+from repro.trace.query import QueryFilter, QueryStats, run_query
 from repro.trace.diff import TraceDiff, diff_traces
 from repro.trace.timing import (
     TeeWriter,
@@ -62,7 +74,10 @@ __all__ = [
     "CAPTURE_FLAGS", "TraceRecorder", "capture_workload",
     "ANALYSES", "CacheSimAnalysis", "DivergenceAnalysis",
     "MemoryDivergenceAnalysis", "OpcodeHistogramAnalysis",
-    "TraceAnalysis", "make_analysis", "replay",
+    "TraceAnalysis", "make_analysis", "replay", "replay_sharded",
+    "IndexBuilder", "LaunchEntry", "TraceIndex", "build_index",
+    "ensure_index", "index_path_for", "read_index", "write_index",
+    "QueryFilter", "QueryStats", "run_query",
     "TraceDiff", "diff_traces",
     "TeeWriter", "TimingAnalysis", "TimingModel", "TimingReport",
     "TimingSink", "live_timing", "render_iters", "render_summary",

@@ -321,6 +321,66 @@ def decode_event(tag: int, buf: bytes, pos: int,
 
 
 # ---------------------------------------------------------------------
+# frame slices (seekable decode for indexed readers / sharded replay)
+# ---------------------------------------------------------------------
+
+
+def iter_slice_events(data: bytes) -> Iterator[object]:
+    """Decode a byte slice that begins at a record boundary where the
+    delta state is known-reset — i.e. at a LAUNCH record (the codec
+    resets :class:`EncoderState` there, making every launch frame
+    independently decodable).  Yields events until the slice ends."""
+    state = EncoderState()
+    pos = 0
+    end = len(data)
+    while pos < end:
+        tag, pos = decode_varint(data, pos)
+        event, pos = decode_event(tag, data, pos, state)
+        yield event
+
+
+def decode_varint_stream(data: bytes, pos: int = 0) -> list:
+    """Every varint in ``data[pos:]`` as one flat list.
+
+    Only valid where the remaining bytes are *pure* varints — true for
+    any span of INSTR/MEM/BRANCH/KEND records (their tags and payloads
+    are all varints; only LAUNCH embeds raw string bytes).  One tight
+    pass over the bytes, no per-value function calls — the decode fast
+    path under columnar replay.
+    """
+    values: list = []
+    append = values.append
+    result = 0
+    shift = 0
+    for byte in memoryview(data)[pos:]:
+        if byte & 0x80:
+            result |= (byte & 0x7F) << shift
+            shift += 7
+            if shift > 70:
+                raise TraceFormatError("varint too long (corrupt trace)")
+        else:
+            append(result | (byte << shift))
+            result = 0
+            shift = 0
+    if shift:
+        raise TraceFormatError("truncated varint (unexpected EOF)")
+    return values
+
+
+def decode_launch_frame(data: bytes) -> Tuple[LaunchEvent, list]:
+    """Split one ``LAUNCH .. KEND`` frame slice into its launch header
+    and the flat varint token stream of every record after it."""
+    pos = 0
+    tag, pos = decode_varint(data, pos)
+    if tag != TAG_LAUNCH:
+        raise TraceFormatError(
+            "frame slice does not start at a launch record")
+    state = EncoderState()
+    launch, pos = decode_event(tag, data, pos, state)
+    return launch, decode_varint_stream(data, pos)
+
+
+# ---------------------------------------------------------------------
 # footer
 # ---------------------------------------------------------------------
 

@@ -6,6 +6,11 @@ no matter how many events the instrumented run produces.  Closing the
 writer publishes the manifest footer; a file without a valid footer is
 reported as torn by :class:`TraceReader`, which streams events lazily
 and verifies the CRC as it goes.
+
+Path-target writers also maintain a columnar index
+(:mod:`repro.trace.index`) as they go and publish it to the ``.rpti``
+sidecar at close — :meth:`TraceReader.open_launch` then seeks straight
+to launch *n* instead of scanning the whole stream.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ import os
 from typing import IO, Iterator, Optional, Union
 
 from repro.telemetry.collector import TELEMETRY
+from repro.trace import index as index_mod
 from repro.trace.format import (
     EncoderState,
     KIND_NAMES,
@@ -32,6 +38,7 @@ from repro.trace.format import (
     encode_event,
     encode_footer,
     encode_varint,
+    iter_slice_events,
 )
 
 #: flush the host-side buffer once it holds this many bytes
@@ -67,6 +74,11 @@ class TraceWriter:
         self._crc = 0
         self._closed = False
         self.bytes_written = 0
+        # index only path targets: a sidecar next to a borrowed file
+        # object would be a surprise, and the backfill command covers it
+        self._index: Optional["index_mod.IndexBuilder"] = (
+            index_mod.IndexBuilder() if self._owns_file else None)
+        self._header_size = len(MAGIC) + 1
         self._file.write(MAGIC + bytes([VERSION]))
 
     # ------------------------------------------------------------ write
@@ -75,6 +87,11 @@ class TraceWriter:
         if self._closed:
             raise ValueError("trace writer already closed")
         encoded = encode_event(event, self._state)
+        if self._index is not None:
+            self._index.observe(
+                event.tag, event,
+                self._header_size + self.bytes_written + len(self._buffer),
+                encoded)
         self._buffer += encoded
         self._crc = crc32(encoded, self._crc)
         tag = event.tag
@@ -98,8 +115,15 @@ class TraceWriter:
         if not events:
             return
         batch_counts: dict = {}
+        index = self._index
         for event in events:
             encoded = encode_event(event, self._state)
+            if index is not None:
+                index.observe(
+                    event.tag, event,
+                    self._header_size + self.bytes_written
+                    + len(self._buffer),
+                    encoded)
             self._buffer += encoded
             self._crc = crc32(encoded, self._crc)
             tag = event.tag
@@ -141,6 +165,9 @@ class TraceWriter:
         if self._owns_file:
             self._file.close()
         self._closed = True
+        if self._index is not None and self.path is not None:
+            index_mod.write_index(self._index.finish(manifest),
+                                  index_mod.index_path_for(self.path))
         if TELEMETRY.enabled:
             TELEMETRY.incr("trace.bytes_written", self.bytes_written)
         return manifest
@@ -269,6 +296,53 @@ class TraceReader:
             raise TraceFormatError(
                 f"{self._name()}: event count mismatch (footer says "
                 f"{manifest.total_events}, stream held {total})")
+
+    # ------------------------------------------------------------- seek
+
+    def open_launch(self, n: int,
+                    index: Optional["index_mod.TraceIndex"] = None
+                    ) -> Iterator[object]:
+        """Decode exactly launch frame *n* — O(frame), not O(trace).
+
+        Yields the :class:`~repro.trace.format.LaunchEvent`, the frame's
+        events in stream order, and the closing
+        :class:`~repro.trace.format.KernelEndEvent`.  Uses the ``.rpti``
+        sidecar when *index* is not given (building one in memory if the
+        sidecar is missing or stale).  The frame bytes are validated
+        against the index's per-frame CRC before any event is yielded.
+        """
+        if index is None:
+            if self.path is None:
+                raise TraceFormatError(
+                    "open_launch on a trace stream needs an explicit "
+                    "index (no path to find the sidecar by)")
+            index = index_mod.ensure_index(self.path)
+            if index is None:
+                raise TraceFormatError(
+                    f"{self._name()} is not a readable trace")
+        entry = index.entry(n)
+        data = self.read_frame(entry)
+        return iter_slice_events(data)
+
+    def read_frame(self, entry: "index_mod.LaunchEntry") -> bytes:
+        """The raw, CRC-validated bytes of one indexed launch frame."""
+        handle = self._open()
+        owns = self._fileobj is None
+        try:
+            handle.seek(entry.offset)
+            data = handle.read(entry.length)
+        finally:
+            if owns:
+                handle.close()
+        if len(data) != entry.length:
+            raise TraceFormatError(
+                f"{self._name()}: indexed frame at {entry.offset} runs "
+                "past the end of the trace (stale index?)")
+        if crc32(data) != entry.checksum:
+            raise TraceFormatError(
+                f"{self._name()}: frame checksum mismatch at launch "
+                f"{entry.launch_index} (stale index or corrupt trace)")
+        return data
 
     # ---------------------------------------------------------- summary
 

@@ -1,0 +1,331 @@
+"""``repro trace query``: filtered event extraction from a trace.
+
+Treats a recorded trace as a queryable artifact instead of a linear
+stream (the nsys-style ``search`` workflow): filter events by launch
+range, opcode class, instruction/line address range, and warp, and let
+the ``.rpti`` index skip entire launch frames — a query over one late
+launch reads O(frame) bytes, not O(trace).
+
+Filter semantics:
+
+* ``launches`` — half-open ordinal range ``[lo, hi)`` over the trace's
+  launch frames (ordinal = position in the trace, not ``launch_index``).
+* ``classes`` — an :class:`~repro.isa.opcodes.OpClass` mask matched
+  against each instruction's opcode classes.  Memory and branch events
+  carry no opcode, so they inherit the verdict of the instruction event
+  they are attached to (capture writes ``[instr, mem?, branch?]``
+  batches per site — attachment is "after this instruction, before the
+  next one").
+* ``addr`` — half-open address range; an event matches on its
+  instruction address, and a memory event also matches when any of its
+  coalesced line addresses falls in the range.
+* ``warp`` — global warp ordinal within each launch
+  (``cta_index * warps_per_cta + warp_index``), recovered by the same
+  deterministic warp segmentation the timing model uses.  Only
+  meaningful for full captures (warp reconstruction needs every
+  instruction); tagging runs only when the filter is set.
+* ``kinds`` — restrict which event kinds are emitted at all
+  (``instr`` / ``mem`` / ``branch``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.isa.opcodes import Opcode, OpClass, OPCODE_CLASSES
+from repro.trace import index as index_mod
+from repro.trace.format import (
+    InstrEvent,
+    KernelEndEvent,
+    LaunchEvent,
+    MemEvent,
+)
+from repro.trace.io import TraceReader
+
+QUERY_KINDS = ("instr", "mem", "branch")
+
+#: OpClass members addressable from the CLI (lowercase)
+CLASS_NAMES = {name.lower(): member
+               for name, member in OpClass.__members__.items()
+               if member is not OpClass.NONE}
+
+
+class QueryError(ValueError):
+    """A malformed query filter (bad range/class/address syntax)."""
+
+
+def _parse_range(text: str, what: str
+                 ) -> Tuple[Optional[int], Optional[int]]:
+    """``"a:b"`` / ``"a:"`` / ``":b"`` / ``"a"`` -> (lo, hi-exclusive)."""
+    try:
+        if ":" not in text:
+            value = int(text, 0)
+            return value, value + 1
+        lo_text, hi_text = text.split(":", 1)
+        lo = int(lo_text, 0) if lo_text else None
+        hi = int(hi_text, 0) if hi_text else None
+        return lo, hi
+    except ValueError:
+        raise QueryError(f"bad {what} range {text!r} (want N, N:M, N:, "
+                         "or :M; addresses may be hex)")
+
+
+@dataclass(frozen=True)
+class QueryFilter:
+    """One query's predicates (all optional, AND-ed together)."""
+
+    launches: Optional[Tuple[Optional[int], Optional[int]]] = None
+    classes: Optional[OpClass] = None
+    addr: Optional[Tuple[Optional[int], Optional[int]]] = None
+    warp: Optional[int] = None
+    kinds: Tuple[str, ...] = QUERY_KINDS
+
+    @classmethod
+    def parse(cls, launches: Optional[str] = None,
+              classes: Optional[str] = None,
+              addr: Optional[str] = None,
+              warp: Optional[int] = None,
+              kinds: Optional[str] = None) -> "QueryFilter":
+        """Build a filter from CLI strings."""
+        launch_range = _parse_range(launches, "launch") if launches else None
+        mask = None
+        if classes:
+            mask = OpClass.NONE
+            for name in classes.split(","):
+                name = name.strip().lower()
+                if name not in CLASS_NAMES:
+                    raise QueryError(
+                        f"unknown opcode class {name!r} (choose from "
+                        f"{', '.join(sorted(CLASS_NAMES))})")
+                mask |= CLASS_NAMES[name]
+        addr_range = _parse_range(addr, "address") if addr else None
+        kind_tuple = QUERY_KINDS
+        if kinds:
+            requested = tuple(k.strip() for k in kinds.split(","))
+            for kind in requested:
+                if kind not in QUERY_KINDS:
+                    raise QueryError(
+                        f"unknown event kind {kind!r} (choose from "
+                        f"{', '.join(QUERY_KINDS)})")
+            kind_tuple = requested
+        return cls(launches=launch_range, classes=mask, addr=addr_range,
+                   warp=warp, kinds=kind_tuple)
+
+    # ------------------------------------------------------ predicates
+
+    def launch_in_range(self, ordinal: int) -> bool:
+        if self.launches is None:
+            return True
+        lo, hi = self.launches
+        return ((lo is None or ordinal >= lo)
+                and (hi is None or ordinal < hi))
+
+    def addr_matches(self, event) -> bool:
+        if self.addr is None:
+            return True
+        lo, hi = self.addr
+
+        def contains(value: int) -> bool:
+            return ((lo is None or value >= lo)
+                    and (hi is None or value < hi))
+
+        if contains(event.ins_addr):
+            return True
+        if isinstance(event, MemEvent):
+            return any(contains(line) for line in event.line_addresses)
+        return False
+
+
+@dataclass(frozen=True)
+class QueryHit:
+    """One matching event with its launch/warp context."""
+
+    launch: int                  # launch ordinal (-1: before any launch)
+    kernel: str                  # "" before any launch
+    warp: Optional[int]          # tagged only when filtering by warp
+    event: object
+
+
+@dataclass
+class QueryStats:
+    """What the query engine did (shown by the CLI)."""
+
+    launches_total: int = 0
+    launches_visited: int = 0
+    launches_skipped: int = 0
+    events_scanned: int = 0
+    hits: int = 0
+    used_index: bool = False
+
+
+class _WarpTagger:
+    """Recovers each instruction's warp ordinal for one launch via the
+    timing model's deterministic segmentation (one-event lookahead)."""
+
+    def __init__(self, launch: LaunchEvent):
+        from repro.trace.timing import _LaunchBuilder
+
+        self._builder = _LaunchBuilder(launch)
+
+    def tag(self, event: InstrEvent, next_addr: Optional[int]) -> int:
+        from repro.sim.scheduler import WarpInstr
+
+        builder = self._builder
+        ordinal = (len(builder.ctas) * builder.warps_per_cta
+                   + builder.current)
+        builder.add(WarpInstr(addr=event.ins_addr,
+                              opcode=Opcode(event.opcode),
+                              lanes=event.lanes), next_addr)
+        return ordinal
+
+
+def _frame_hits(events, ordinal: int, kernel: str, filt: QueryFilter,
+                stats: QueryStats, launch: Optional[LaunchEvent]
+                ) -> Iterator[QueryHit]:
+    """Filter one frame's events (the leading launch record excluded).
+
+    Warp tagging needs one-instruction lookahead, so under a warp
+    filter each instruction and its attachments are buffered until the
+    next instruction (or frame end) resolves the warp handoff.
+    """
+    tagger = (_WarpTagger(launch)
+              if filt.warp is not None and launch is not None else None)
+    want_instr = "instr" in filt.kinds
+    want_mem = "mem" in filt.kinds
+    want_branch = "branch" in filt.kinds
+    pending_instr: Optional[InstrEvent] = None
+    pending_emit: List[object] = []
+    # class verdict of the current attachment group; events before the
+    # first instruction have nothing to inherit from
+    group_match = filt.classes is None
+
+    def flush(next_addr: Optional[int]) -> Iterator[QueryHit]:
+        nonlocal pending_instr, pending_emit
+        if pending_instr is not None:
+            warp = tagger.tag(pending_instr, next_addr)
+            if warp == filt.warp:
+                for item in pending_emit:
+                    stats.hits += 1
+                    yield QueryHit(launch=ordinal, kernel=kernel,
+                                   warp=warp, event=item)
+        pending_instr = None
+        pending_emit = []
+
+    for event in events:
+        stats.events_scanned += 1
+        if isinstance(event, InstrEvent):
+            yield from flush(event.ins_addr)
+            group_match = (filt.classes is None
+                           or bool(OPCODE_CLASSES[Opcode(event.opcode)]
+                                   & filt.classes))
+            passes = (group_match and want_instr
+                      and filt.addr_matches(event))
+            if tagger is not None:
+                pending_instr = event
+                if passes:
+                    pending_emit.append(event)
+            elif passes:
+                stats.hits += 1
+                yield QueryHit(launch=ordinal, kernel=kernel, warp=None,
+                               event=event)
+        elif isinstance(event, (LaunchEvent, KernelEndEvent)):
+            yield from flush(None)
+        else:
+            is_mem = isinstance(event, MemEvent)
+            wanted = want_mem if is_mem else want_branch
+            if not (wanted and group_match and filt.addr_matches(event)):
+                continue
+            if tagger is not None:
+                if pending_instr is not None:
+                    pending_emit.append(event)
+                # no anchoring instruction (frameless trace): the warp
+                # cannot be recovered, so a warp filter excludes it
+            else:
+                stats.hits += 1
+                yield QueryHit(launch=ordinal, kernel=kernel, warp=None,
+                               event=event)
+    yield from flush(None)
+
+
+def _entry_can_match(entry: "index_mod.LaunchEntry",
+                     filt: QueryFilter) -> bool:
+    """Can anything in this frame match, judging by counts alone?"""
+    wanted = 0
+    if "instr" in filt.kinds:
+        wanted += entry.instr
+    if "mem" in filt.kinds:
+        wanted += entry.mem
+    if "branch" in filt.kinds:
+        wanted += entry.branch
+    if wanted == 0:
+        return False
+    if filt.classes is not None and entry.instr == 0:
+        return False             # nothing for mem/branch to inherit from
+    return True
+
+
+def run_query(trace_path: str, filt: QueryFilter,
+              index: Optional["index_mod.TraceIndex"] = None
+              ) -> Tuple[Iterator[QueryHit], QueryStats]:
+    """Run *filt* over *trace_path*.
+
+    Returns ``(hits, stats)`` — a lazy hit iterator plus a stats object
+    that fills in as the iterator is consumed (final once exhausted;
+    a truncated consumer sees the stats of what was actually read).
+    Uses the ``.rpti`` index to skip launches when available, else
+    falls back to a full scan (``stats.used_index`` says which).
+    """
+    stats = QueryStats()
+    if index is None:
+        index = index_mod.ensure_index(trace_path)
+    if index is not None and index.shardable:
+        stats.used_index = True
+        stats.launches_total = index.launches
+
+        def indexed_hits() -> Iterator[QueryHit]:
+            reader = TraceReader(trace_path)
+            for ordinal, entry in enumerate(index.entries):
+                if (not filt.launch_in_range(ordinal)
+                        or not _entry_can_match(entry, filt)):
+                    stats.launches_skipped += 1
+                    continue
+                stats.launches_visited += 1
+                events = reader.open_launch(ordinal, index)
+                launch = next(events)
+                stats.events_scanned += 1
+                yield from _frame_hits(events, ordinal, entry.kernel,
+                                       filt, stats, launch)
+
+        return indexed_hits(), stats
+
+    def scanned_hits() -> Iterator[QueryHit]:
+        ordinal = -1
+        launch: Optional[LaunchEvent] = None
+        frame: List[object] = []
+
+        def drain() -> Iterator[QueryHit]:
+            if not frame:
+                return
+            if filt.launch_in_range(ordinal):
+                stats.launches_visited += ordinal >= 0
+                kernel = launch.kernel if launch is not None else ""
+                yield from _frame_hits(frame, ordinal, kernel, filt,
+                                       stats, launch)
+            else:
+                stats.launches_skipped += 1
+                stats.events_scanned += len(frame)
+            frame.clear()
+
+        for event in TraceReader(trace_path).events():
+            if isinstance(event, LaunchEvent):
+                yield from drain()
+                ordinal += 1
+                launch = event
+                stats.launches_total += 1
+                stats.events_scanned += 1
+            else:
+                frame.append(event)
+        yield from drain()
+
+    return scanned_hits(), stats

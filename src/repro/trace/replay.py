@@ -13,32 +13,73 @@ tests hold them *exactly* equal to the live-instrumented results:
 * ``divergence`` — Case Study I branch-divergence statistics
 * ``memdiv``     — Case Study II memory-address-divergence matrix/PMF
 * ``opcodes``    — the Figure 3 dynamic-instruction categorizer
+
+Two replay drivers share the analyses.  :func:`replay` is the original
+single pass over the event stream.  :func:`replay_sharded` partitions
+the trace by kernel-launch frames (using the ``.rpti`` index), replays
+frames through a :func:`repro.campaign.engine.run_tasks` process pool,
+and folds per-shard results back together in launch order with
+``merge()`` — bit-identical to the streaming pass because every
+analysis is launch-local: caches flush at launch boundaries
+(:meth:`~repro.sim.cache.Cache.invalidate`), so no state crosses a
+frame edge.  Shard workers additionally use a *columnar* fast path
+when every requested analysis supports it: a frame's record bytes are
+flat-decoded into token columns (one tight varint pass, no event
+objects, no per-event dispatch), which is also what makes a sharded
+replay faster than streaming even on one core.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Type
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 
+from repro.campaign.engine import default_jobs, run_tasks
 from repro.isa.opcodes import Opcode, OpClass, OPCODE_CLASSES
 from repro.sim.cache import Cache
 from repro.telemetry.collector import TELEMETRY, span as telemetry_span
+from repro.trace import index as index_mod
 from repro.trace.format import (
     BranchEvent,
     InstrEvent,
     KernelEndEvent,
     LaunchEvent,
     MemEvent,
+    TAG_BRANCH,
+    TAG_INSTR,
+    TAG_KEND,
+    TAG_LAUNCH,
+    TAG_MEM,
+    TraceFormatError,
+    decode_launch_frame,
+    iter_slice_events,
+    unzigzag,
 )
 from repro.trace.io import TraceReader
 
 
 class TraceAnalysis:
-    """Base class: override the hooks you care about."""
+    """Base class: override the hooks you care about.
+
+    Sharding contract: an analysis that sets ``mergeable = True`` must
+    produce, for any launch-frame partition of a trace, the same final
+    state from ``merge()``-folding per-shard instances (in launch
+    order) as one instance fed the whole stream — i.e. it must be
+    launch-local.  ``finish_shard()`` runs in the worker and returns
+    the picklable piece shipped back; the default ships the analysis
+    itself.  Analyses that additionally set ``columnar = True`` and
+    implement ``feed_columns`` opt into the no-event-objects decode
+    fast path.
+    """
 
     #: registry key (used by ``repro replay --analysis=...``)
     name = "analysis"
+    #: True when merge() reassembles launch-partitioned shards exactly
+    mergeable = False
+    #: True when feed_columns() can consume FrameColumns directly
+    columnar = False
 
     def on_launch(self, event: LaunchEvent) -> None:
         pass
@@ -55,6 +96,20 @@ class TraceAnalysis:
     def on_branch(self, event: BranchEvent) -> None:
         pass
 
+    def feed_columns(self, frame: "FrameColumns") -> None:
+        raise NotImplementedError(
+            f"{self.name} does not implement the columnar fast path")
+
+    def finish_shard(self):
+        """Reduce to the picklable per-shard piece (worker side)."""
+        return self
+
+    def merge(self, piece) -> None:
+        """Fold one shard piece (from ``finish_shard``) into this
+        instance; called in launch order on the parent side."""
+        raise NotImplementedError(
+            f"{self.name} does not support sharded replay")
+
     def result(self) -> Dict:
         return {}
 
@@ -67,6 +122,8 @@ class CacheSimAnalysis(TraceAnalysis):
     feed every coalesced line address through an L1/L2 model."""
 
     name = "cachesim"
+    mergeable = True
+    columnar = True
 
     def __init__(self, l1_kib: int = 16, l1_ways: int = 4,
                  l2_kib: int = 256, l2_ways: int = 16):
@@ -74,10 +131,29 @@ class CacheSimAnalysis(TraceAnalysis):
         self.l1 = Cache(l1_kib << 10, ways=l1_ways, name="L1",
                         next_level=self.l2)
 
+    def on_launch(self, event: LaunchEvent) -> None:
+        # launch-boundary flush: every kernel starts cold, which both
+        # models real per-launch L1 behaviour and makes the analysis
+        # launch-local (shard merges exactly equal the streaming pass)
+        self.l1.invalidate()
+
     def on_mem(self, event: MemEvent) -> None:
         access = self.l1.access
         for line in event.line_addresses:
             access(line)
+
+    def feed_columns(self, frame: "FrameColumns") -> None:
+        self.l1.invalidate()
+        # access_lines is stat-identical to the per-line access loop
+        self.l1.access_lines(frame.mem_lines)
+
+    def merge(self, piece: "CacheSimAnalysis") -> None:
+        for mine, theirs in ((self.l1.stats, piece.l1.stats),
+                             (self.l2.stats, piece.l2.stats)):
+            mine.accesses += theirs.accesses
+            mine.hits += theirs.hits
+            mine.misses += theirs.misses
+            mine.evictions += theirs.evictions
 
     def result(self) -> Dict:
         return {
@@ -104,6 +180,8 @@ class DivergenceAnalysis(TraceAnalysis):
     a live :class:`~repro.handlers.branch_profiler.BranchProfiler` run."""
 
     name = "divergence"
+    mergeable = True
+    columnar = True
 
     def __init__(self):
         #: address -> [total, active, taken, not_taken, divergent]
@@ -119,6 +197,34 @@ class DivergenceAnalysis(TraceAnalysis):
         row[3] += event.not_taken
         if event.divergent:
             row[4] += 1
+
+    def feed_columns(self, frame: "FrameColumns") -> None:
+        table = self.table
+        for addr, active, taken, not_taken in zip(
+                frame.branch_addr, frame.branch_active,
+                frame.branch_taken, frame.branch_not_taken):
+            row = table.get(addr)
+            if row is None:
+                row = table[addr] = [0, 0, 0, 0, 0]
+            row[0] += 1
+            row[1] += active
+            row[2] += taken
+            row[3] += not_taken
+            if taken != active and not_taken != active:
+                row[4] += 1
+
+    def merge(self, piece: "DivergenceAnalysis") -> None:
+        # folding in launch order preserves global first-occurrence
+        # order in the dict, so the stable sort in branches() breaks
+        # ties exactly as a streaming pass would
+        table = self.table
+        for addr, other in piece.table.items():
+            row = table.get(addr)
+            if row is None:
+                table[addr] = list(other)
+            else:
+                for i in range(5):
+                    row[i] += other[i]
 
     def branches(self):
         from repro.handlers.branch_profiler import BranchStats
@@ -162,6 +268,8 @@ class MemoryDivergenceAnalysis(TraceAnalysis):
     equal to a live :class:`MemoryDivergenceProfiler` run."""
 
     name = "memdiv"
+    mergeable = True
+    columnar = True
 
     def __init__(self):
         self._matrix = np.zeros((32, 32), dtype=np.int64)
@@ -169,6 +277,16 @@ class MemoryDivergenceAnalysis(TraceAnalysis):
     def on_mem(self, event: MemEvent) -> None:
         self._matrix[event.active_lanes - 1,
                      min(event.unique_lines, 32) - 1] += 1
+
+    def feed_columns(self, frame: "FrameColumns") -> None:
+        if not frame.mem_active:
+            return
+        active = np.asarray(frame.mem_active, dtype=np.int64)
+        unique = np.asarray(frame.mem_nlines, dtype=np.int64)
+        np.add.at(self._matrix, (active - 1, np.minimum(unique, 32) - 1), 1)
+
+    def merge(self, piece: "MemoryDivergenceAnalysis") -> None:
+        self._matrix += piece._matrix
 
     def matrix(self) -> np.ndarray:
         return self._matrix.copy()
@@ -205,6 +323,8 @@ class OpcodeHistogramAnalysis(TraceAnalysis):
     :class:`~repro.handlers.opcode_histogram.OpcodeHistogram` run."""
 
     name = "opcodes"
+    mergeable = True
+    columnar = True
 
     def __init__(self):
         from repro.handlers.opcode_histogram import CATEGORIES
@@ -230,6 +350,27 @@ class OpcodeHistogramAnalysis(TraceAnalysis):
             totals["texture"] += threads
         totals["total_executed"] += threads
 
+    def feed_columns(self, frame: "FrameColumns") -> None:
+        if not frame.instr_opcodes:
+            return
+        opcodes = np.asarray(frame.instr_opcodes, dtype=np.int64)
+        lanes = np.asarray(frame.instr_lanes, dtype=np.int64)
+        widths = np.asarray(frame.instr_widths, dtype=np.int64)
+        masks = _class_mask_table()[opcodes]
+        totals = self._totals
+        memory = (masks & _MASK_MEMORY) != 0
+        totals["memory"] += int(lanes[memory].sum())
+        totals["extended_memory"] += int(lanes[memory & (widths > 4)].sum())
+        totals["control_xfer"] += int(lanes[(masks & _MASK_CONTROL) != 0].sum())
+        totals["sync"] += int(lanes[(masks & _MASK_SYNC) != 0].sum())
+        totals["numeric"] += int(lanes[(masks & _MASK_NUMERIC) != 0].sum())
+        totals["texture"] += int(lanes[(masks & _MASK_TEXTURE) != 0].sum())
+        totals["total_executed"] += int(lanes.sum())
+
+    def merge(self, piece: "OpcodeHistogramAnalysis") -> None:
+        for name, value in piece._totals.items():
+            self._totals[name] += value
+
     def totals(self) -> Dict[str, int]:
         return dict(self._totals)
 
@@ -243,6 +384,126 @@ class OpcodeHistogramAnalysis(TraceAnalysis):
         return f"opcodes: {body}"
 
 
+# ---------------------------------------------------------------------
+# columnar fast path: flat-decoded launch frames
+# ---------------------------------------------------------------------
+
+_MASK_MEMORY = 1 << 0
+_MASK_CONTROL = 1 << 1
+_MASK_SYNC = 1 << 2
+_MASK_NUMERIC = 1 << 3
+_MASK_TEXTURE = 1 << 4
+
+_mask_table: Optional[np.ndarray] = None
+
+
+def _class_mask_table() -> np.ndarray:
+    """Opcode id -> category bitmask, replacing per-event enum
+    construction and Flag intersections with one array gather."""
+    global _mask_table
+    if _mask_table is None:
+        table = np.zeros(max(op.value for op in Opcode) + 1,
+                         dtype=np.int64)
+        for op in Opcode:
+            classes = OPCODE_CLASSES[op]
+            mask = 0
+            if classes & OpClass.MEMORY:
+                mask |= _MASK_MEMORY
+            if classes & OpClass.CONTROL:
+                mask |= _MASK_CONTROL
+            if classes & OpClass.SYNC:
+                mask |= _MASK_SYNC
+            if classes & OpClass.NUMERIC:
+                mask |= _MASK_NUMERIC
+            if classes & OpClass.TEXTURE:
+                mask |= _MASK_TEXTURE
+            table[op.value] = mask
+        _mask_table = table
+    return _mask_table
+
+
+class FrameColumns:
+    """One launch frame, decoded column-wise.
+
+    Built by one flat varint pass plus one token walk — no per-event
+    objects, no per-varint calls.  Holds exactly what the columnar
+    analyses consume; the event interleaving *order* is not preserved
+    (analyses that need it use the events-mode path).
+    """
+
+    __slots__ = ("launch", "warp_instructions", "events",
+                 "instr_opcodes", "instr_lanes", "instr_widths",
+                 "mem_active", "mem_nlines", "mem_lines",
+                 "branch_addr", "branch_active", "branch_taken",
+                 "branch_not_taken")
+
+    def __init__(self, data: bytes):
+        launch, tokens = decode_launch_frame(data)
+        self.launch = launch
+        self.warp_instructions = 0
+        instr_opcodes: List[int] = []
+        instr_lanes: List[int] = []
+        instr_widths: List[int] = []
+        mem_active: List[int] = []
+        mem_nlines: List[int] = []
+        mem_lines: List[int] = []
+        branch_addr: List[int] = []
+        branch_active: List[int] = []
+        branch_taken: List[int] = []
+        branch_not_taken: List[int] = []
+        prev_addr = 0
+        prev_line = 0
+        events = 1                      # the launch record itself
+        i = 0
+        n = len(tokens)
+        while i < n:
+            tag = tokens[i]
+            if tag == TAG_INSTR:
+                raw = tokens[i + 1]
+                prev_addr += unzigzag(raw)
+                instr_opcodes.append(tokens[i + 2])
+                instr_lanes.append(tokens[i + 3])
+                instr_widths.append(tokens[i + 4])
+                i += 5
+            elif tag == TAG_MEM:
+                prev_addr += unzigzag(tokens[i + 1])
+                mem_active.append(tokens[i + 4])
+                count = tokens[i + 5]
+                mem_nlines.append(count)
+                i += 6
+                for raw in tokens[i:i + count]:
+                    prev_line += unzigzag(raw)
+                    mem_lines.append(prev_line)
+                i += count
+            elif tag == TAG_BRANCH:
+                prev_addr += unzigzag(tokens[i + 1])
+                branch_addr.append(prev_addr)
+                branch_active.append(tokens[i + 2])
+                branch_taken.append(tokens[i + 3])
+                branch_not_taken.append(tokens[i + 4])
+                i += 4 + 1
+            elif tag == TAG_KEND:
+                self.warp_instructions = tokens[i + 1]
+                i += 2
+            elif tag == TAG_LAUNCH:
+                raise TraceFormatError(
+                    "nested launch record inside a frame slice")
+            else:
+                raise TraceFormatError(f"unknown event tag {tag}")
+            events += 1
+        self.events = events
+        self.instr_opcodes = instr_opcodes
+        self.instr_lanes = instr_lanes
+        self.instr_widths = instr_widths
+        self.mem_active = mem_active
+        self.mem_nlines = mem_nlines
+        self.mem_lines = mem_lines
+        self.branch_addr = branch_addr
+        self.branch_active = branch_active
+        self.branch_taken = branch_taken
+        self.branch_not_taken = branch_not_taken
+
+
 #: registry for the CLI's ``--analysis`` flag
 ANALYSES: Dict[str, Type[TraceAnalysis]] = {
     CacheSimAnalysis.name: CacheSimAnalysis,
@@ -252,12 +513,13 @@ ANALYSES: Dict[str, Type[TraceAnalysis]] = {
 }
 
 
-def make_analysis(name: str) -> TraceAnalysis:
+def make_analysis(name: str, **kwargs) -> TraceAnalysis:
     try:
-        return ANALYSES[name]()
+        cls = ANALYSES[name]
     except KeyError:
         raise KeyError(f"unknown analysis {name!r} "
                        f"(choose from {', '.join(sorted(ANALYSES))})")
+    return cls(**kwargs)
 
 
 def replay(trace, analyses: Sequence[TraceAnalysis]
@@ -293,4 +555,116 @@ def replay(trace, analyses: Sequence[TraceAnalysis]
                     on_kernel_end(event)
         if TELEMETRY.enabled:
             TELEMETRY.incr("trace.replay.events", events)
+    return analyses
+
+
+# ---------------------------------------------------------------------
+# sharded replay
+# ---------------------------------------------------------------------
+
+#: an analysis request: a registry name, or (name, constructor kwargs)
+AnalysisSpec = Union[str, Tuple[str, Dict]]
+
+
+def _norm_specs(specs: Iterable[AnalysisSpec]) -> Tuple[Tuple[str, Dict], ...]:
+    out = []
+    for spec in specs:
+        if isinstance(spec, str):
+            out.append((spec, {}))
+        else:
+            name, kwargs = spec
+            out.append((name, dict(kwargs)))
+    return tuple(out)
+
+
+def _build(specs: Tuple[Tuple[str, Dict], ...]) -> List[TraceAnalysis]:
+    return [make_analysis(name, **kwargs) for name, kwargs in specs]
+
+
+def _feed_frame_events(data: bytes, analyses: List[TraceAnalysis]) -> None:
+    """Events-mode frame feed: same dispatch as the streaming pass."""
+    hooks = [(a.on_launch, a.on_kernel_end, a.on_instr, a.on_mem,
+              a.on_branch) for a in analyses]
+    for event in iter_slice_events(data):
+        if isinstance(event, InstrEvent):
+            for _, _, on_instr, _, _ in hooks:
+                on_instr(event)
+        elif isinstance(event, MemEvent):
+            for _, _, _, on_mem, _ in hooks:
+                on_mem(event)
+        elif isinstance(event, BranchEvent):
+            for _, _, _, _, on_branch in hooks:
+                on_branch(event)
+        elif isinstance(event, LaunchEvent):
+            for on_launch, _, _, _, _ in hooks:
+                on_launch(event)
+        elif isinstance(event, KernelEndEvent):
+            for _, on_kernel_end, _, _, _ in hooks:
+                on_kernel_end(event)
+
+
+def _replay_shard(task):
+    """Worker: replay one launch frame through fresh analyses.
+
+    Module-level so it pickles under both fork and forkserver starts.
+    """
+    path, entry, specs = task
+    analyses = _build(specs)
+    data = TraceReader(path).read_frame(entry)
+    if all(a.columnar for a in analyses):
+        frame = FrameColumns(data)
+        for analysis in analyses:
+            analysis.feed_columns(frame)
+        events = frame.events
+    else:
+        _feed_frame_events(data, analyses)
+        events = entry.events
+    if TELEMETRY.enabled:
+        TELEMETRY.incr("trace.replay.events", events)
+    return [analysis.finish_shard() for analysis in analyses]
+
+
+def replay_sharded(trace, specs: Iterable[AnalysisSpec],
+                   jobs: Optional[int] = None,
+                   index: Optional["index_mod.TraceIndex"] = None,
+                   pool=None) -> List[TraceAnalysis]:
+    """Replay *trace* partitioned by kernel-launch frames.
+
+    *specs* name the analyses (registry names or ``(name, kwargs)``
+    pairs) — workers must construct their own instances, so live
+    objects are not accepted here.  One task per launch frame is run
+    through :func:`repro.campaign.engine.run_tasks` (honoring
+    ``REPRO_JOBS`` when *jobs* is ``None``), and the per-shard pieces
+    are merged in launch order.  The partition is identical at every
+    job count, and every stock analysis is launch-local, so the merged
+    results are bit-identical to :func:`replay` — the differential
+    suite pins this.
+
+    Falls back to the streaming pass (still honoring the analysis
+    list) when the trace has no usable frame index, when any requested
+    analysis is not mergeable, or for frameless traces.
+
+    Pass a :func:`repro.campaign.engine.task_pool` as *pool* to amortize
+    worker startup across many sharded replays (*jobs* then only sizes
+    the chunking, not the pool).
+    """
+    path = trace.path if isinstance(trace, TraceReader) else os.fspath(trace)
+    specs = _norm_specs(specs)
+    analyses = _build(specs)
+    if index is None:
+        index = index_mod.ensure_index(path)
+    if (index is None or not index.shardable
+            or not all(a.mergeable for a in analyses)):
+        return replay(path, analyses)
+    if jobs is None:
+        jobs = default_jobs()
+    tasks = [(path, entry, specs) for entry in index.entries]
+    with telemetry_span("trace.replay", trace=str(path),
+                        sharded="true", jobs=str(jobs)):
+        chunksize = max(1, len(tasks) // (max(1, jobs) * 4))
+        pieces = run_tasks(_replay_shard, tasks, jobs=jobs,
+                           chunksize=chunksize, pool=pool)
+    for shard in pieces:
+        for analysis, piece in zip(analyses, shard):
+            analysis.merge(piece)
     return analyses

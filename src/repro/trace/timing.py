@@ -257,6 +257,10 @@ class TimingModel:
                 pending.l2_misses += self.l2.stats.misses - before_l2
         elif isinstance(event, LaunchEvent):
             self._end_launch()
+            # launch-boundary flush: memory latencies are graded against
+            # caches that start cold at every kernel launch, making the
+            # model launch-local (sharded replay == streaming replay)
+            self.l1.invalidate()
             self._builder = _LaunchBuilder(event)
             self.launches.append(self._builder)
         elif isinstance(event, KernelEndEvent):
@@ -320,10 +324,12 @@ class TimingAnalysis(TraceAnalysis):
     and the ``repro trace summary``/``iters`` subcommands."""
 
     name = "timing"
+    mergeable = True
 
     def __init__(self, policy: str = "gto"):
         self.policy = policy
         self.model = TimingModel()
+        self._merged: List[LaunchTiming] = []
 
     def on_launch(self, event: LaunchEvent) -> None:
         self.model.feed(event)
@@ -340,8 +346,22 @@ class TimingAnalysis(TraceAnalysis):
     def on_branch(self, event: BranchEvent) -> None:
         self.model.feed(event)
 
+    def finish_shard(self) -> List[LaunchTiming]:
+        """Schedule in the worker; ship only the compact per-launch
+        timings (not the rebuilt warp streams) back to the parent."""
+        return self.model.schedule(self.policy).launches
+
+    def merge(self, piece: List[LaunchTiming]) -> None:
+        self._merged.extend(piece)
+
+    def _report(self) -> TimingReport:
+        if self._merged:
+            return TimingReport(policy=self.policy,
+                                launches=list(self._merged))
+        return self.model.schedule(self.policy)
+
     def result(self) -> Dict:
-        report = self.model.schedule(self.policy)
+        report = self._report()
         return {
             "policy": report.policy,
             "total_cycles": report.total_cycles,
@@ -358,7 +378,7 @@ class TimingAnalysis(TraceAnalysis):
         }
 
     def report(self) -> str:
-        report = self.model.schedule(self.policy)
+        report = self._report()
         busy = sum(l.schedule.busy_cycles for l in report.launches)
         bubbles = sum(l.schedule.bubble_cycles for l in report.launches)
         total = report.total_cycles

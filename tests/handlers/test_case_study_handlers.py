@@ -208,19 +208,19 @@ class TestMemoryTracer:
         assert cache.stats.accesses == sum(len(r.line_addresses)
                                            for r in tracer.records())
 
-    def test_deprecated_trace_list_shim(self):
-        import pytest
-
+    def test_trace_shim_removed(self):
+        # the deprecated grow-forever .trace list is gone; records()
+        # and replay_through() are the supported access paths
         device = Device()
         tracer = MemoryTracer(device)
         kernel = tracer.compile(build_vecadd())
         run_vecadd(device, kernel, n=64, block=64)
-        with pytest.warns(DeprecationWarning):
-            legacy = tracer.trace
-        assert legacy == list(tracer.records())
+        assert not hasattr(tracer, "trace")
+        assert list(tracer.records())
 
     def test_streams_to_explicit_path(self, tmp_path):
         from repro.trace import TraceReader
+        from repro.trace.format import TAG_LAUNCH, TAG_KEND, TAG_MEM
 
         device = Device()
         target = str(tmp_path / "mem.rptrace")
@@ -228,7 +228,10 @@ class TestMemoryTracer:
         kernel = tracer.compile(build_vecadd())
         run_vecadd(device, kernel, n=64, block=64)
         manifest = tracer.flush()
-        assert manifest.total_events == len(list(tracer.records()))
+        # memory events plus the kernel-launch framing records
+        assert manifest.count(TAG_MEM) == len(list(tracer.records()))
+        assert manifest.count(TAG_LAUNCH) == 1
+        assert manifest.count(TAG_KEND) == 1
         # the sidecar file is a first-class .rptrace, readable directly
         events = list(TraceReader(target).events())
         assert len(events) == manifest.total_events

@@ -1,11 +1,11 @@
-"""CLI surface of the trace subsystem: capture/replay/trace-info/
-trace-diff, the timing group (`trace summary` / `trace iters`), and
-the `trace` → `timeline` rename (the alias is now retired: `trace` is
-the timing command group)."""
+"""CLI surface of the trace subsystem: capture/replay (serial and
+`--jobs N` sharded), trace-info/trace-diff, and the `trace` group
+(`summary` / `iters` / `info` / `index` / `query`)."""
 
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -68,6 +68,19 @@ class TestReplay:
         assert "no such file" in capsys.readouterr().err
 
 
+class TestReplayJobs:
+    def test_sharded_stdout_identical_to_serial(self, captured_trace,
+                                                capsys):
+        assert main(["replay", captured_trace]) == 0
+        serial = capsys.readouterr().out
+        assert main(["replay", captured_trace, "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_jobs_flag_shown_in_stderr(self, captured_trace, capsys):
+        assert main(["replay", captured_trace, "--jobs", "2"]) == 0
+        assert "(jobs 2)" in capsys.readouterr().err
+
+
 class TestTraceInfo:
     def test_prints_manifest(self, captured_trace, capsys):
         assert main(["trace-info", captured_trace]) == 0
@@ -75,6 +88,107 @@ class TestTraceInfo:
         assert "rptrace v1" in out
         assert "instr" in out and "launch" in out
         assert "checksum" in out
+
+    def test_launch_table_from_sidecar(self, captured_trace, capsys):
+        assert main(["trace", "info", captured_trace]) == 0
+        out = capsys.readouterr().out
+        assert "from index sidecar" in out
+        assert "vectoradd" in out
+
+    def test_launch_table_scan_fallback(self, captured_trace, tmp_path,
+                                        capsys):
+        bare = tmp_path / "bare.rptrace"
+        bare.write_bytes(open(captured_trace, "rb").read())
+        assert main(["trace", "info", str(bare)]) == 0
+        out = capsys.readouterr().out
+        assert "full scan" in out and "repro trace index" in out
+
+
+class TestTraceIndex:
+    def test_capture_writes_sidecar(self, captured_trace):
+        from repro.trace.index import index_path_for
+
+        assert os.path.exists(index_path_for(captured_trace))
+
+    def test_reports_up_to_date(self, captured_trace, capsys):
+        assert main(["trace", "index", captured_trace]) == 0
+        out = capsys.readouterr().out
+        assert "up to date" in out and "shardable" in out
+
+    def test_force_rewrites_identically(self, captured_trace, capsys):
+        from repro.trace.index import index_path_for
+
+        sidecar = index_path_for(captured_trace)
+        before = open(sidecar, "rb").read()
+        assert main(["trace", "index", captured_trace, "--force"]) == 0
+        assert "written" in capsys.readouterr().out
+        assert open(sidecar, "rb").read() == before
+
+    def test_backfills_missing_sidecar(self, captured_trace, tmp_path,
+                                       capsys):
+        from repro.trace.index import index_path_for
+
+        bare = str(tmp_path / "bare.rptrace")
+        with open(bare, "wb") as handle:
+            handle.write(open(captured_trace, "rb").read())
+        assert main(["trace", "index", bare]) == 0
+        assert "written" in capsys.readouterr().out
+        assert open(index_path_for(bare), "rb").read() \
+            == open(index_path_for(captured_trace), "rb").read()
+
+    def test_non_trace_input(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.rptrace"
+        bogus.write_bytes(b"not a trace")
+        assert main(["trace", "index", str(bogus)]) == 2
+        assert "bad magic" in capsys.readouterr().err
+
+
+class TestTraceQuery:
+    def test_count_all_events(self, captured_trace, capsys):
+        assert main(["trace", "query", captured_trace, "--count"]) == 0
+        out = capsys.readouterr().out
+        assert "hits" in out and "(index sidecar)" in out
+
+    def test_class_filter_finds_memory(self, captured_trace, capsys):
+        assert main(["trace", "query", captured_trace,
+                     "--class", "memory", "--kind", "instr",
+                     "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "instr" in out and ("LDG" in out or "STG" in out)
+
+    def test_launch_filter_skips(self, captured_trace, capsys):
+        assert main(["trace", "query", captured_trace,
+                     "--launches", "99:", "--count"]) == 0
+        out = capsys.readouterr().out
+        assert "0 hits" in out
+
+    def test_warp_filter_tags_hits(self, captured_trace, capsys):
+        assert main(["trace", "query", captured_trace, "--warp", "0",
+                     "--kind", "instr", "--limit", "2"]) == 0
+        assert " w0 " in capsys.readouterr().out
+
+    def test_scan_fallback_same_hits(self, captured_trace, tmp_path,
+                                     capsys):
+        bare = str(tmp_path / "bare.rptrace")
+        with open(bare, "wb") as handle:
+            handle.write(open(captured_trace, "rb").read())
+        assert main(["trace", "query", captured_trace, "--class",
+                     "memory", "--count"]) == 0
+        indexed = capsys.readouterr().out
+        assert main(["trace", "query", bare, "--class", "memory",
+                     "--count"]) == 0
+        scanned = capsys.readouterr().out
+        assert indexed.split(" hits")[0] == scanned.split(" hits")[0]
+
+    def test_bad_class_is_cli_error(self, captured_trace, capsys):
+        assert main(["trace", "query", captured_trace,
+                     "--class", "bogus"]) == 2
+        assert "unknown opcode class" in capsys.readouterr().err
+
+    def test_bad_range_is_cli_error(self, captured_trace, capsys):
+        assert main(["trace", "query", captured_trace,
+                     "--launches", "a:b"]) == 2
+        assert "bad launch range" in capsys.readouterr().err
 
     def test_torn_trace(self, captured_trace, tmp_path, capsys):
         data = open(captured_trace, "rb").read()
