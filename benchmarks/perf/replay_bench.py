@@ -1,21 +1,27 @@
 #!/usr/bin/env python
-"""Sharded-replay and indexed-seek throughput, in BENCH_replay.json.
+"""Replay, decode, and indexed-seek throughput, in BENCH_replay.json.
 
-Two measurements on one deterministic multi-launch corpus:
+Three measurements on one deterministic multi-launch corpus:
 
-* **replay** — events/second of the one-pass streaming replay versus
-  :func:`replay_sharded` at 4 shards (frame-partitioned, columnar
-  decode, merged in launch order).  The shard pool comes from
+* **decode** — events/second of the vectorized frame decoder alone
+  (:func:`decode_frame_columns` over every frame, no analyses), the
+  ceiling any replay configuration is chasing.
+* **replay** — events/second of the event-at-a-time streaming replay
+  versus the serial columnar fast path versus :func:`replay_sharded`
+  at 4 shards (frame-partitioned, columnar decode in each worker,
+  merged in launch order).  The shard pool comes from
   :func:`task_pool` and is warmed before the timed window, so the
   number records steady-state replay cost, not process startup.
 * **seek** — wall time of a last-launch ``trace query`` answered via
   the ``.rpti`` sidecar (O(1) seek to the final frame) versus the same
   query forced down the full-scan path.
 
-Both are recorded as ratios, so the CI gate (``--check``) compares
-measured ratios against the committed ones and machine speed cancels
-out.  The committed file must itself clear the acceptance floors:
->= 2x sharded replay throughput and >= 10x indexed seek.
+Everything is gated as a ratio measured on one machine in one run
+(columnar vs streaming, sharded vs streaming, indexed vs scan), so the
+CI gate (``--check``) is machine-independent: the committed ratios must
+clear the acceptance floors — >= 3x serial columnar replay, >= 2x
+sharded replay, >= 10x indexed seek — and a fresh measurement must stay
+within tolerance of the committed ones.
 
 Usage::
 
@@ -33,7 +39,7 @@ import sys
 import tempfile
 import time
 
-SCHEMA = "bench_replay/v1"
+SCHEMA = "bench_replay/v2"
 DEFAULT_OUTPUT = os.path.join(
     os.path.dirname(os.path.dirname(os.path.dirname(
         os.path.abspath(__file__)))), "BENCH_replay.json")
@@ -44,7 +50,8 @@ CORPUS_LAUNCHES = 32
 CORPUS_BODY = 1000
 
 #: the acceptance floors the committed file must clear
-REPLAY_FLOOR = 2.0
+COLUMNAR_FLOOR = 3.0
+SHARDED_FLOOR = 2.0
 SEEK_FLOOR = 10.0
 
 ANALYSES = ["cachesim", "divergence", "memdiv", "opcodes"]
@@ -88,11 +95,45 @@ def build_corpus(path: str, launches: int = CORPUS_LAUNCHES,
     return writer.close().total_events
 
 
+def measure_decode(path: str, events: int, repeats: int) -> dict:
+    """Pure decoder throughput: columns out of every frame, nothing
+    consuming them."""
+    from repro.trace.index import ensure_index
+    from repro.trace.io import TraceReader, decode_frame_columns
+
+    index = ensure_index(path)
+    reader = TraceReader(path)
+    frames = [data for _, data in reader.frames(index)]
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        decoded = 0
+        for data in frames:
+            frame = decode_frame_columns(data)
+            decoded += frame.events
+        best = min(best, time.perf_counter() - t0)
+    if decoded != events:
+        raise SystemExit(f"decode bench lost events: {decoded} decoded "
+                         f"vs {events} written")
+    return {
+        "frames": len(frames),
+        "decode_events_per_sec": round(events / best, 1),
+    }
+
+
 def measure_replay(path: str, events: int, shards: int,
                    repeats: int) -> dict:
-    """Best-of-N events/second, streaming vs sharded on a warm pool."""
+    """Best-of-N events/second: streaming (events mode) vs the serial
+    columnar fast path vs sharded columnar on a warm pool."""
     from repro.campaign.engine import task_pool
     from repro.trace.replay import make_analysis, replay, replay_sharded
+
+    streaming = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        replay(path, [make_analysis(name) for name in ANALYSES],
+               columnar=False)
+        streaming = min(streaming, time.perf_counter() - t0)
 
     serial = float("inf")
     for _ in range(repeats):
@@ -110,9 +151,11 @@ def measure_replay(path: str, events: int, shards: int,
 
     return {
         "shards": shards,
+        "streaming_events_per_sec": round(events / streaming, 1),
         "serial_events_per_sec": round(events / serial, 1),
         "sharded_events_per_sec": round(events / sharded, 1),
-        "speedup": round(serial / sharded, 2),
+        "columnar_speedup": round(streaming / serial, 2),
+        "sharded_speedup": round(streaming / sharded, 2),
     }
 
 
@@ -163,6 +206,7 @@ def run_bench(shards: int, repeats: int) -> dict:
     with tempfile.TemporaryDirectory() as tmp:
         path = os.path.join(tmp, "corpus.rptrace")
         events = build_corpus(path)
+        decode = measure_decode(path, events, repeats)
         results = {
             "schema": SCHEMA,
             "corpus": {
@@ -172,38 +216,55 @@ def run_bench(shards: int, repeats: int) -> dict:
                 "trace_bytes": os.path.getsize(path),
                 "index_bytes": os.path.getsize(index_path_for(path)),
             },
+            "decode": decode,
             "replay": measure_replay(path, events, shards, repeats),
             "seek": measure_seek(path, repeats),
         }
     return results
 
 
+#: (section, ratio key, floor) triples the committed file must clear
+GATES = [
+    ("replay", "columnar_speedup", COLUMNAR_FLOOR),
+    ("replay", "sharded_speedup", SHARDED_FLOOR),
+    ("seek", "speedup", SEEK_FLOOR),
+]
+
+
 def check(committed_path: str, shards: int, repeats: int,
           tolerance: float) -> int:
     """CI gate: the committed ratios must clear the acceptance floors,
-    and a fresh measurement must stay within *tolerance* of them."""
+    and a fresh measurement must stay within *tolerance* of them.
+    Ratios compare two timings from the same run on the same machine,
+    so machine speed cancels out."""
     with open(committed_path) as handle:
         committed = json.load(handle)
     failures = []
 
-    gates = [("replay", REPLAY_FLOOR), ("seek", SEEK_FLOOR)]
-    for section, floor in gates:
-        ratio = committed[section]["speedup"]
+    if committed.get("schema") != SCHEMA:
+        failures.append(f"committed schema {committed.get('schema')!r} "
+                        f"is not {SCHEMA!r} — regenerate the file")
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+
+    for section, key, floor in GATES:
+        ratio = committed[section][key]
         if ratio < floor:
-            failures.append(f"committed {section} speedup {ratio:.2f}x "
+            failures.append(f"committed {section}.{key} {ratio:.2f}x "
                             f"is below the {floor:.0f}x floor")
 
     measured = run_bench(shards, repeats)
-    for section, floor in gates:
-        want = committed[section]["speedup"]
-        got = measured[section]["speedup"]
-        limit = want * (1.0 - tolerance)
+    for section, key, floor in GATES:
+        want = committed[section][key]
+        got = measured[section][key]
+        limit = max(want * (1.0 - tolerance), floor * (1.0 - tolerance))
         status = "ok" if got >= limit else "FAIL"
-        print(f"{section}: committed {want:.2f}x, measured {got:.2f}x, "
-              f"floor {limit:.2f}x ... {status}")
+        print(f"{section}.{key}: committed {want:.2f}x, "
+              f"measured {got:.2f}x, floor {limit:.2f}x ... {status}")
         if got < limit:
             failures.append(
-                f"{section} speedup regressed: measured {got:.2f}x "
+                f"{section}.{key} regressed: measured {got:.2f}x "
                 f"vs committed {want:.2f}x (tolerance {tolerance:.0%})")
 
     for failure in failures:
@@ -230,11 +291,16 @@ def main(argv=None) -> int:
                      args.tolerance)
 
     results = run_bench(args.shards, args.repeats)
+    decode = results["decode"]
     replay, seek = results["replay"], results["seek"]
-    print(f"replay: serial {replay['serial_events_per_sec']:,.0f} ev/s, "
+    print(f"decode: {decode['decode_events_per_sec']:,.0f} ev/s over "
+          f"{decode['frames']} frames (no analyses)")
+    print(f"replay: streaming {replay['streaming_events_per_sec']:,.0f} "
+          f"ev/s, columnar {replay['serial_events_per_sec']:,.0f} ev/s "
+          f"({replay['columnar_speedup']:.2f}x), "
           f"{args.shards} shards "
           f"{replay['sharded_events_per_sec']:,.0f} ev/s "
-          f"({replay['speedup']:.2f}x)")
+          f"({replay['sharded_speedup']:.2f}x)")
     print(f"seek:   indexed {seek['indexed_ms']:.2f} ms, "
           f"scan {seek['scan_ms']:.2f} ms ({seek['speedup']:.1f}x), "
           f"{seek['events_scanned_indexed']:,} of "

@@ -484,19 +484,9 @@ _INFO_LAUNCH_ROWS = 12
 def _sidecar_index(path: str):
     """The ``.rpti`` sidecar's index, if present and still bound to
     *path*'s manifest; ``None`` otherwise (missing/stale/corrupt)."""
-    from repro.trace import TraceFormatError, TraceReader, \
-        index_path_for, read_index
+    from repro.trace import sidecar_index
 
-    sidecar = index_path_for(path)
-    if not os.path.exists(sidecar):
-        return None
-    try:
-        index = read_index(sidecar)
-        if index.matches(TraceReader(path).manifest()):
-            return index
-    except TraceFormatError:
-        pass
-    return None
+    return sidecar_index(path)
 
 
 def _cmd_trace_info(args) -> int:
@@ -620,9 +610,9 @@ def _cmd_trace_query(args) -> int:
                 print(_format_query_hit(hit))
     except TraceFormatError as exc:
         raise CliError(f"{args.input}: {exc}")
-    how = ("(index sidecar)" if stats.used_index and sidecar is not None
-           else "(index built by one-off scan; run `repro trace index`)"
-           if stats.used_index else "(full scan)")
+    how = ("(index sidecar)" if stats.used_index
+           else "(full scan — no usable .rpti sidecar; "
+                "run `repro trace index` to keep one)")
     if truncated:
         print(f"... stopped after --limit {args.limit} hits "
               "(use --count for the exact total)", file=sys.stderr)

@@ -83,12 +83,13 @@ class Cache:
         """
         if len(line_addresses) == 0:
             return 0
-        arr = np.asarray(line_addresses, dtype=np.int64) // self.line_bytes
+        raw = np.asarray(line_addresses, dtype=np.int64)
+        arr = raw // self.line_bytes
         indices = (arr % self.num_sets).tolist()
         tags = (arr // self.num_sets).tolist()
         misses = 0
         access_line = self._access_line
-        for index, tag, line_addr in zip(indices, tags, line_addresses):
+        for index, tag, line_addr in zip(indices, tags, raw.tolist()):
             if not access_line(index, tag, line_addr):
                 misses += 1
         return misses

@@ -36,8 +36,12 @@ schedule is bit-reproducible across runs and platforms, and
 
 from __future__ import annotations
 
+import heapq
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.isa.opcodes import OpClass, OPCODE_CLASSES, Opcode
 
@@ -313,11 +317,84 @@ def _memory_latency(entry: LatencyEntry, instr: WarpInstr) -> int:
     return max(latency, entry.latency)
 
 
+#: per-opcode timing columns indexed by opcode *value* — one gather
+#: replaces a LATENCY_TABLE dict probe per issued instruction
+_op_columns: Optional[Tuple[np.ndarray, ...]] = None
+
+
+def _opcode_columns() -> Tuple[np.ndarray, ...]:
+    global _op_columns
+    if _op_columns is None:
+        n = max(op.value for op in Opcode) + 1
+        issue = np.zeros(n, dtype=np.int64)
+        stall = np.zeros(n, dtype=np.int64)
+        latency = np.zeros(n, dtype=np.int64)
+        barrier = np.zeros(n, dtype=bool)
+        ismem = np.zeros(n, dtype=bool)
+        for op, entry in LATENCY_TABLE.items():
+            issue[op.value] = entry.issue
+            stall[op.value] = entry.stall
+            latency[op.value] = entry.latency
+            barrier[op.value] = entry.barrier
+            ismem[op.value] = bool(OPCODE_CLASSES[op] & OpClass.MEMORY)
+        _op_columns = (issue, stall, latency, barrier, ismem)
+    return _op_columns
+
+
+def _stream_columns(instrs: Sequence[WarpInstr]
+                    ) -> Tuple[List[int], List[int], List[int],
+                               List[str], List[bool]]:
+    """Precompute per-instruction timing columns for one stream:
+    ``(occupancy, resume_delta, completion_latency, barrier_kind,
+    sets_barrier)``.  Every value equals what the scalar expressions in
+    the old per-issue path computed (occupancy with the transaction
+    surcharge, ``max(stall, occupancy)`` resume, the cache-graded
+    :func:`_memory_latency`), hoisted out of the scheduling loop."""
+    n = len(instrs)
+    op_issue, op_stall, op_lat, op_barrier, op_ismem = _opcode_columns()
+    if n < 32:
+        occ: List[int] = []
+        rdelta: List[int] = []
+        lat: List[int] = []
+        kind: List[str] = []
+        barrier_f: List[bool] = []
+        for instr in instrs:
+            entry = LATENCY_TABLE[instr.opcode]
+            occupancy = entry.issue
+            if instr.transactions > 1:
+                occupancy += TRANSACTION_CYCLES * (instr.transactions - 1)
+            occ.append(occupancy)
+            rdelta.append(max(entry.stall, occupancy))
+            lat.append(_memory_latency(entry, instr))
+            kind.append(REASON_MEM
+                        if OPCODE_CLASSES[instr.opcode] & OpClass.MEMORY
+                        else REASON_EXEC)
+            barrier_f.append(entry.barrier)
+        return occ, rdelta, lat, kind, barrier_f
+    ops = np.fromiter((i.opcode.value for i in instrs), np.int64, n)
+    tx = np.fromiter((i.transactions for i in instrs), np.int64, n)
+    l1m = np.fromiter((i.l1_misses for i in instrs), np.int64, n)
+    l2m = np.fromiter((i.l2_misses for i in instrs), np.int64, n)
+    occ_a = op_issue[ops] + np.where(
+        tx > 1, TRANSACTION_CYCLES * (tx - 1), 0)
+    rdelta_a = np.maximum(op_stall[ops], occ_a)
+    base = op_lat[ops]
+    graded = np.where(l2m > 0, DRAM_LATENCY,
+                      np.where(l1m > 0, L2_HIT_LATENCY,
+                               np.where(tx > 0, L1_HIT_LATENCY, base)))
+    ismem = op_ismem[ops]
+    lat_a = np.where(ismem, np.maximum(graded, base), base)
+    kind = [REASON_MEM if m else REASON_EXEC for m in ismem.tolist()]
+    return (occ_a.tolist(), rdelta_a.tolist(), lat_a.tolist(),
+            kind, op_barrier[ops].tolist())
+
+
 class _WarpState:
     """Scheduler-side runtime state of one warp."""
 
     __slots__ = ("idx", "instrs", "pos", "resume", "parked", "done",
-                 "barriers", "last_addr", "last_op")
+                 "barriers", "last_addr", "last_op", "seq", "occ",
+                 "rdelta", "lat", "kind", "barrier_f", "_ready")
 
     def __init__(self, idx: int, stream: WarpStream):
         self.idx = idx
@@ -331,55 +408,74 @@ class _WarpState:
         self.barriers: List[Tuple[int, int, str, int, Opcode]] = []
         self.last_addr = 0
         self.last_op = Opcode.NOP
+        #: bumped on every issue; heap entries carry the seq they were
+        #: pushed with, so stale entries self-identify on pop
+        self.seq = 0
+        (self.occ, self.rdelta, self.lat, self.kind,
+         self.barrier_f) = _stream_columns(self.instrs)
+        #: memoized ready() — invalidated only by issue()
+        self._ready: Optional[Tuple[int, str, int, Opcode]] = None
 
     def ready(self, config: SchedulerConfig
               ) -> Tuple[int, str, int, Opcode]:
         """``(cycle, reason, blocker_addr, blocker_op)`` — earliest
         issue time of the next instruction and, if it must wait, the
-        producing instruction to blame."""
+        producing instruction to blame.  A pure function of per-warp
+        state, so it is memoized between issues."""
+        state = self._ready
+        if state is not None:
+            return state
         when = self.resume
         reason = REASON_EXEC
         addr, op = self.last_addr, self.last_op
-        dep_limit = self.pos - config.dep_distance
-        for bpos, completion, kind, baddr, bop in self.barriers:
-            if bpos <= dep_limit and completion > when:
-                when, reason, addr, op = completion, kind, baddr, bop
-        entry = LATENCY_TABLE[self.instrs[self.pos].opcode]
-        if entry.barrier and len(self.barriers) >= config.scoreboard_slots:
-            # a free slot appears when the k-th oldest completion passes
-            completions = sorted(b[1] for b in self.barriers)
-            freed = completions[len(completions) - config.scoreboard_slots]
+        barriers = self.barriers
+        if barriers:
+            dep_limit = self.pos - config.dep_distance
+            for bpos, completion, kind, baddr, bop in barriers:
+                if bpos <= dep_limit and completion > when:
+                    when, reason, addr, op = completion, kind, baddr, bop
+        if (self.barrier_f[self.pos]
+                and len(barriers) >= config.scoreboard_slots):
+            # a free slot appears when the k-th oldest completion
+            # passes; expiry-before-allocate in issue() keeps the list
+            # at <= scoreboard_slots entries, where the k-th oldest IS
+            # the minimum — one pass, no sorted() allocation
+            oldest = min(barriers, key=lambda b: b[1])
+            if len(barriers) == config.scoreboard_slots:
+                freed = oldest[1]
+            else:
+                completions = sorted(b[1] for b in barriers)
+                freed = completions[len(completions)
+                                    - config.scoreboard_slots]
             if freed > when:
-                oldest = min(self.barriers, key=lambda b: b[1])
                 when, reason = freed, REASON_SCOREBOARD
                 addr, op = oldest[3], oldest[4]
-        return when, reason, addr, op
+        state = (when, reason, addr, op)
+        self._ready = state
+        return state
 
     def issue(self, cycle: int, config: SchedulerConfig
               ) -> Tuple[WarpInstr, int]:
         """Issue the next instruction at *cycle*; returns it and its
         issue-port occupancy."""
-        instr = self.instrs[self.pos]
-        entry = LATENCY_TABLE[instr.opcode]
-        occupancy = entry.issue
-        if instr.transactions > 1:
-            occupancy += TRANSACTION_CYCLES * (instr.transactions - 1)
+        pos = self.pos
+        instr = self.instrs[pos]
+        occupancy = self.occ[pos]
         if self.barriers:
             self.barriers = [b for b in self.barriers if b[1] > cycle]
-        if entry.barrier:
-            completion = cycle + _memory_latency(entry, instr)
-            kind = (REASON_MEM
-                    if OPCODE_CLASSES[instr.opcode] & OpClass.MEMORY
-                    else REASON_EXEC)
-            self.barriers.append((self.pos, completion, kind,
-                                  instr.addr, instr.opcode))
-        self.resume = cycle + max(entry.stall, occupancy)
+        if self.barrier_f[pos]:
+            self.barriers.append((pos, cycle + self.lat[pos],
+                                  self.kind[pos], instr.addr,
+                                  instr.opcode))
+        self.resume = cycle + self.rdelta[pos]
         self.last_addr, self.last_op = instr.addr, instr.opcode
-        self.pos += 1
-        if self.pos >= len(self.instrs):
+        self.pos = pos = pos + 1
+        if pos >= len(self.instrs):
             self.done = True
         elif instr.opcode is Opcode.BAR:
             self.parked = True
+        self.seq += 1
+        self._ready = None
         return instr, occupancy
 
 
@@ -390,45 +486,98 @@ def _pick(candidates: List[_WarpState], n_warps: int, last: int,
             if warp.idx == last:
                 return warp          # greedy: stick with the last warp
         return min(candidates, key=lambda w: w.idx)   # then oldest
+    # loose round-robin: the successor of `last` in the sorted
+    # candidate-index ring (strictly-after first, wrapping, `last`
+    # itself only when it is the sole candidate)
     by_idx = {w.idx: w for w in candidates}
-    for step in range(1, n_warps + 1):               # loose round-robin
-        warp = by_idx.get((last + step) % n_warps)
-        if warp is not None:
-            return warp
-    raise AssertionError("no candidate warp")
+    idxs = sorted(by_idx)
+    return by_idx[idxs[bisect_right(idxs, last) % len(idxs)]]
 
 
 def _schedule_cta(streams: Sequence[WarpStream], config: SchedulerConfig,
                   acc: LaunchSchedule, cta: int, base_cycle: int) -> int:
-    """Step one CTA through the scheduler; returns its cycle count."""
+    """Step one CTA through the scheduler; returns its cycle count.
+
+    The per-issue ``states`` list rebuild of the original stepper is
+    replaced by a ready-heap of ``(when, idx, seq)`` entries: only the
+    issued warp's readiness changes per iteration, so everything else
+    stays put.  Entries invalidated without being popped (the greedy
+    reissue path below) self-identify by a stale ``seq`` and are
+    discarded lazily; the issue order, bubbles, and blame are identical
+    to the full-scan loop because the heap order (when, idx) is exactly
+    the scan's min key and the popped candidate set is exactly its
+    ``t <= issue_at`` filter."""
     warps = [_WarpState(i, s) for i, s in enumerate(streams)]
     n_warps = len(warps)
+    live = sum(1 for w in warps if not w.done)
+    heap: List[Tuple[int, int, int]] = [
+        (w.ready(config)[0], w.idx, w.seq) for w in warps if not w.done]
+    heapq.heapify(heap)
+    greedy = config.policy == "gto"
     port_free = 0
     last = 0
-    while True:
-        live = [w for w in warps if not w.done]
-        if not live:
-            break
-        runnable = [w for w in live if not w.parked]
-        if not runnable:
+    while live:
+        # drop entries whose warp has issued since they were pushed
+        while heap:
+            _, idx, seq = heap[0]
+            if warps[idx].seq == seq:
+                break
+            heapq.heappop(heap)
+        if not heap:
             # every live warp is parked at the CTA barrier: release
-            for warp in live:
-                warp.parked = False
             acc.barrier_releases += 1
+            for warp in warps:
+                if not warp.done:
+                    warp.parked = False
+                    heapq.heappush(heap, (warp.ready(config)[0],
+                                          warp.idx, warp.seq))
             continue
-        states = [(w.ready(config), w) for w in runnable]
-        (when, reason, baddr, bop), _ = min(
-            states, key=lambda item: (item[0][0], item[1].idx))
+        warp = warps[last]
+        if (greedy and not warp.done and not warp.parked
+                and warp.ready(config)[0] <= port_free):
+            # greedy reissue: `last` is a candidate (its ready time is
+            # at or before the port), so GTO picks it and the earliest
+            # ready time can't exceed port_free — no bubble.  Skip the
+            # candidate pops entirely; the warp's old heap entry goes
+            # stale via seq.
+            instr, occupancy = warp.issue(port_free, config)
+            acc._issue(instr, occupancy)
+            port_free += occupancy
+            if warp.done:
+                live -= 1
+            elif not warp.parked:
+                heapq.heappush(heap, (warp.ready(config)[0],
+                                      warp.idx, warp.seq))
+            if len(heap) > 4 * n_warps + 16:    # compact stale entries
+                heap = [(t, i, s) for t, i, s in heap
+                        if warps[i].seq == s]
+                heapq.heapify(heap)
+            continue
+        when, idx, _ = heap[0]
         issue_at = max(when, port_free)
         if when > port_free:
+            _, reason, baddr, bop = warps[idx].ready(config)
             acc._bubble(cta, base_cycle + port_free, when - port_free,
                         reason, baddr, bop)
-        candidates = [w for (t, _, _, _), w in states if t <= issue_at]
+        candidates = []
+        while heap and heap[0][0] <= issue_at:
+            when, idx, seq = heapq.heappop(heap)
+            if warps[idx].seq == seq:
+                candidates.append(warps[idx])
         warp = _pick(candidates, n_warps, last, config.policy)
         instr, occupancy = warp.issue(issue_at, config)
         acc._issue(instr, occupancy)
         port_free = issue_at + occupancy
         last = warp.idx
+        for other in candidates:
+            if other is not warp:
+                heapq.heappush(heap, (other.ready(config)[0],
+                                      other.idx, other.seq))
+        if warp.done:
+            live -= 1
+        elif not warp.parked:
+            heapq.heappush(heap, (warp.ready(config)[0], warp.idx,
+                                  warp.seq))
     return port_free
 
 

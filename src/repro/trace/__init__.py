@@ -30,7 +30,8 @@ from repro.trace.format import (
     TraceFormatError,
     TraceManifest,
 )
-from repro.trace.io import TraceReader, TraceWriter
+from repro.trace.io import FrameColumns, TraceReader, TraceWriter, \
+    decode_frame_columns
 from repro.trace.capture import CAPTURE_FLAGS, TraceRecorder, \
     capture_workload
 from repro.trace.replay import (
@@ -52,6 +53,7 @@ from repro.trace.index import (
     ensure_index,
     index_path_for,
     read_index,
+    sidecar_index,
     write_index,
 )
 from repro.trace.query import QueryFilter, QueryStats, run_query
@@ -70,13 +72,15 @@ from repro.trace.timing import (
 __all__ = [
     "BranchEvent", "InstrEvent", "KernelEndEvent", "LaunchEvent",
     "MemEvent", "TraceFormatError", "TraceManifest",
-    "TraceReader", "TraceWriter",
+    "FrameColumns", "TraceReader", "TraceWriter",
+    "decode_frame_columns",
     "CAPTURE_FLAGS", "TraceRecorder", "capture_workload",
     "ANALYSES", "CacheSimAnalysis", "DivergenceAnalysis",
     "MemoryDivergenceAnalysis", "OpcodeHistogramAnalysis",
     "TraceAnalysis", "make_analysis", "replay", "replay_sharded",
     "IndexBuilder", "LaunchEntry", "TraceIndex", "build_index",
-    "ensure_index", "index_path_for", "read_index", "write_index",
+    "ensure_index", "index_path_for", "read_index", "sidecar_index",
+    "write_index",
     "QueryFilter", "QueryStats", "run_query",
     "TraceDiff", "diff_traces",
     "TeeWriter", "TimingAnalysis", "TimingModel", "TimingReport",

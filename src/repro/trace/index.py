@@ -377,6 +377,26 @@ def build_index(trace_path: str) -> TraceIndex:
     return builder.finish(manifest)
 
 
+def sidecar_index(trace_path: str) -> Optional[TraceIndex]:
+    """The ``.rpti`` sidecar if present and bound to this trace, else
+    ``None`` — never scans.  Callers that want an honest "did we have
+    an index?" answer (the columnar replay gate, ``trace query``'s
+    full-scan reporting) use this instead of :func:`ensure_index`,
+    which silently builds one from a full pass over the trace."""
+    from repro.trace.io import TraceReader
+
+    sidecar = index_path_for(trace_path)
+    if not os.path.exists(sidecar):
+        return None
+    try:
+        index = read_index(sidecar)
+        if index.matches(TraceReader(trace_path).manifest()):
+            return index
+    except TraceFormatError:
+        pass                              # stale/torn sidecar
+    return None
+
+
 def ensure_index(trace_path: str, write: bool = False
                  ) -> Optional[TraceIndex]:
     """The sidecar if present and bound to this trace, else a fresh

@@ -1,4 +1,5 @@
-"""Streaming trace I/O: bounded-memory writer, lazy reader.
+"""Streaming trace I/O: bounded-memory writer, lazy reader, and the
+columnar frame decoder.
 
 :class:`TraceWriter` appends events to a file (or file object) through a
 bounded byte buffer — host-side memory stays O(buffer), never O(trace),
@@ -11,13 +12,24 @@ Path-target writers also maintain a columnar index
 (:mod:`repro.trace.index`) as they go and publish it to the ``.rpti``
 sidecar at close — :meth:`TraceReader.open_launch` then seeks straight
 to launch *n* instead of scanning the whole stream.
+
+:class:`FrameColumns` is the replay stack's batch currency: one
+``LAUNCH .. KEND`` frame decoded into ndarray columns by
+:func:`decode_frame_columns` — the whole varint stream in a few numpy
+passes (continuation-bit segmentation, masked shift-accumulate,
+cumulative-sum zigzag-delta undo, pointer-doubled record walk), with
+the scalar token walk kept as the bit-exact reference and fallback.
+:func:`repro.trace.replay.replay`, :func:`~repro.trace.replay.\
+replay_sharded`, and ``repro trace query`` all consume it.
 """
 
 from __future__ import annotations
 
 import io
 import os
-from typing import IO, Iterator, Optional, Union
+from typing import IO, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.telemetry.collector import TELEMETRY
 from repro.trace import index as index_mod
@@ -25,7 +37,12 @@ from repro.trace.format import (
     EncoderState,
     KIND_NAMES,
     MAGIC,
+    TAG_BRANCH,
     TAG_END,
+    TAG_INSTR,
+    TAG_KEND,
+    TAG_LAUNCH,
+    TAG_MEM,
     TRAILER_MAGIC,
     TRAILER_SIZE,
     TraceFormatError,
@@ -35,10 +52,12 @@ from repro.trace.format import (
     decode_event,
     decode_footer,
     decode_varint,
+    decode_varint_stream,
     encode_event,
     encode_footer,
     encode_varint,
     iter_slice_events,
+    unzigzag,
 )
 
 #: flush the host-side buffer once it holds this many bytes
@@ -344,6 +363,33 @@ class TraceReader:
                 f"{entry.launch_index} (stale index or corrupt trace)")
         return data
 
+    def frames(self, index: "index_mod.TraceIndex"
+               ) -> Iterator[Tuple["index_mod.LaunchEntry", bytes]]:
+        """Yield ``(entry, frame_bytes)`` for every indexed launch frame
+        through a single file handle — the sequential-batch counterpart
+        of :meth:`read_frame` (which reopens the trace per call).  Each
+        frame is validated against the index's per-frame CRC before it
+        is yielded."""
+        handle = self._open()
+        owns = self._fileobj is None
+        try:
+            for entry in index.entries:
+                handle.seek(entry.offset)
+                data = handle.read(entry.length)
+                if len(data) != entry.length:
+                    raise TraceFormatError(
+                        f"{self._name()}: indexed frame at {entry.offset}"
+                        " runs past the end of the trace (stale index?)")
+                if crc32(data) != entry.checksum:
+                    raise TraceFormatError(
+                        f"{self._name()}: frame checksum mismatch at "
+                        f"launch {entry.launch_index} (stale index or "
+                        "corrupt trace)")
+                yield entry, data
+        finally:
+            if owns:
+                handle.close()
+
     # ---------------------------------------------------------- summary
 
     def manifest(self) -> TraceManifest:
@@ -392,3 +438,290 @@ def _parse_footer_block(footer: bytes, version: int,
         raise TraceFormatError(f"{name}: footer length mismatch "
                                "(corrupt trace)")
     return decode_footer(body, version)
+
+
+# ---------------------------------------------------------------------
+# columnar frame decode: one launch frame -> int64 ndarray columns
+# ---------------------------------------------------------------------
+
+#: longest varint the vectorized decoder accepts: 9 bytes carry 63
+#: payload bits, so every decoded value fits int64 without overflow.
+#: Longer (still wire-legal) varints punt to the scalar reference.
+_VECTOR_VARINT_MAX = 9
+
+#: |cumulative address| ceiling for trusting the int64 delta cumsum; a
+#: float64 shadow sum below this proves no int64 wrap occurred (its
+#: relative error is far smaller than the 2x margin to 2**63).
+_ADDR_SAFE_LIMIT = float(2 ** 62)
+
+
+def _decode_varints(data: bytes, pos: int) -> Optional[np.ndarray]:
+    """Every varint in ``data[pos:]`` as one int64 ndarray.
+
+    The vectorized core of the columnar decoder: terminator bytes
+    (``< 0x80``) segment the stream, and one masked shift-accumulate
+    per varint-length step assembles all values at once.  Returns
+    ``None`` when the stream needs the scalar reference decoder — a
+    truncated trailing varint (the scalar path raises the canonical
+    error) or a varint longer than 9 bytes (could overflow int64).
+    """
+    buf = np.frombuffer(data, dtype=np.uint8, offset=pos)
+    if buf.size == 0:
+        return np.empty(0, dtype=np.int64)
+    terminators = buf < 0x80
+    if not terminators[-1]:
+        return None
+    ends = np.flatnonzero(terminators)
+    lengths = np.diff(ends, prepend=-1)
+    max_len = int(lengths.max())
+    if max_len > _VECTOR_VARINT_MAX:
+        return None
+    starts = ends - lengths + 1
+    payload = (buf & 0x7F).astype(np.int64)
+    values = payload[starts]
+    for k in range(1, max_len):
+        more = lengths > k
+        values[more] |= payload[starts[more] + k] << (7 * k)
+    return values
+
+
+def _record_starts(tok: np.ndarray) -> Optional[np.ndarray]:
+    """Start position of every record in the flat token stream *tok*.
+
+    Record lengths are data-dependent (MEM records embed a line count),
+    so the boundaries form a linked list ``i -> i + len(record at i)``.
+    Pointer doubling walks it in O(log n) array passes instead of one
+    Python step per record.  Returns ``None`` on any structural
+    anomaly — unknown tag, nested launch, a record overrunning the
+    stream — so the scalar walk can raise its canonical error.
+    """
+    n = int(tok.size)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    step = np.full(n, -1, dtype=np.int64)
+    step[tok == TAG_KEND] = 2
+    step[(tok == TAG_INSTR) | (tok == TAG_BRANCH)] = 5
+    mem = np.flatnonzero(tok == TAG_MEM)
+    counted = mem[mem + 5 < n]
+    counts = tok[counted + 5]
+    sane = counts <= n            # larger can never fit; avoids overflow
+    step[counted[sane]] = 6 + counts[sane]
+    targets = np.arange(n, dtype=np.int64) + step
+    jump = np.empty(n + 2, dtype=np.int64)
+    jump[:n] = np.where((step > 0) & (targets <= n), targets, n + 1)
+    jump[n] = n                   # clean end: absorbing
+    jump[n + 1] = n + 1           # anomaly: absorbing
+    starts = np.zeros(1, dtype=np.int64)
+    reached = 1
+    while reached < n:
+        starts = np.concatenate([starts, jump[starts]])
+        jump = jump[jump]
+        reached *= 2
+    starts = np.unique(starts)
+    if starts[-1] != n:           # walk hit a bad tag or fell off
+        return None
+    return starts[:-1]
+
+
+def _unzigzag_cumsum(raw: np.ndarray) -> Optional[np.ndarray]:
+    """Undo zigzag and the delta chain in two array ops; ``None`` when
+    the reconstructed values might not fit int64."""
+    deltas = (raw >> 1) ^ -(raw & 1)
+    if deltas.size:
+        shadow = np.cumsum(deltas.astype(np.float64))
+        if float(np.abs(shadow).max()) >= _ADDR_SAFE_LIMIT:
+            return None
+    return np.cumsum(deltas)
+
+
+def _columns_vector(tok: np.ndarray) -> Optional[tuple]:
+    """The whole-frame vectorized column extraction; ``None`` punts to
+    the scalar reference (structural anomaly or int64-overflow risk)."""
+    rec = _record_starts(tok)
+    if rec is None:
+        return None
+    tags = tok[rec]
+    instr_at = rec[tags == TAG_INSTR]
+    mem_at = rec[tags == TAG_MEM]
+    branch_at = rec[tags == TAG_BRANCH]
+    kend_at = rec[tags == TAG_KEND]
+    addr_at = rec[tags != TAG_KEND]
+    addrs = _unzigzag_cumsum(tok[addr_at + 1])
+    if addrs is None:
+        return None
+    nlines = tok[mem_at + 5]
+    total = int(nlines.sum())
+    if total:
+        cum = np.cumsum(nlines)
+        flat = (np.repeat(mem_at + 6 - (cum - nlines), nlines)
+                + np.arange(total, dtype=np.int64))
+        lines = _unzigzag_cumsum(tok[flat])
+        if lines is None:
+            return None
+    else:
+        lines = np.empty(0, dtype=np.int64)
+    return (tags, tok[kend_at + 1],
+            addrs[np.searchsorted(addr_at, instr_at)],
+            tok[instr_at + 2], tok[instr_at + 3], tok[instr_at + 4],
+            addrs[np.searchsorted(addr_at, mem_at)],
+            tok[mem_at + 2], tok[mem_at + 3], tok[mem_at + 4],
+            nlines, lines,
+            addrs[np.searchsorted(addr_at, branch_at)],
+            tok[branch_at + 2], tok[branch_at + 3], tok[branch_at + 4])
+
+
+def _columns_scalar(tokens: List[int]) -> Optional[tuple]:
+    """The bit-exact reference walk over a frame's flat token list.
+
+    Mirrors the event decoder record by record and raises the canonical
+    :class:`TraceFormatError` where the stream is structurally bad.
+    Returns ``None`` when a decoded value exceeds int64 — the caller
+    then replays the frame in events mode, which handles
+    arbitrary-precision values.
+    """
+    record_tags: List[int] = []
+    kend_counts: List[int] = []
+    instr_addr: List[int] = []
+    instr_opcodes: List[int] = []
+    instr_lanes: List[int] = []
+    instr_widths: List[int] = []
+    mem_addr: List[int] = []
+    mem_flags: List[int] = []
+    mem_width: List[int] = []
+    mem_active: List[int] = []
+    mem_nlines: List[int] = []
+    mem_lines: List[int] = []
+    branch_addr: List[int] = []
+    branch_active: List[int] = []
+    branch_taken: List[int] = []
+    branch_not_taken: List[int] = []
+    prev_addr = 0
+    prev_line = 0
+    i = 0
+    n = len(tokens)
+    while i < n:
+        tag = tokens[i]
+        if tag == TAG_INSTR:
+            if i + 5 > n:
+                raise TraceFormatError("truncated record (corrupt trace)")
+            prev_addr += unzigzag(tokens[i + 1])
+            instr_addr.append(prev_addr)
+            instr_opcodes.append(tokens[i + 2])
+            instr_lanes.append(tokens[i + 3])
+            instr_widths.append(tokens[i + 4])
+            i += 5
+        elif tag == TAG_MEM:
+            if i + 6 > n:
+                raise TraceFormatError("truncated record (corrupt trace)")
+            prev_addr += unzigzag(tokens[i + 1])
+            mem_addr.append(prev_addr)
+            mem_flags.append(tokens[i + 2])
+            mem_width.append(tokens[i + 3])
+            mem_active.append(tokens[i + 4])
+            count = tokens[i + 5]
+            mem_nlines.append(count)
+            i += 6
+            if i + count > n:
+                raise TraceFormatError("truncated record (corrupt trace)")
+            for raw in tokens[i:i + count]:
+                prev_line += unzigzag(raw)
+                mem_lines.append(prev_line)
+            i += count
+        elif tag == TAG_BRANCH:
+            if i + 5 > n:
+                raise TraceFormatError("truncated record (corrupt trace)")
+            prev_addr += unzigzag(tokens[i + 1])
+            branch_addr.append(prev_addr)
+            branch_active.append(tokens[i + 2])
+            branch_taken.append(tokens[i + 3])
+            branch_not_taken.append(tokens[i + 4])
+            i += 5
+        elif tag == TAG_KEND:
+            if i + 2 > n:
+                raise TraceFormatError("truncated record (corrupt trace)")
+            kend_counts.append(tokens[i + 1])
+            i += 2
+        elif tag == TAG_LAUNCH:
+            raise TraceFormatError(
+                "nested launch record inside a frame slice")
+        else:
+            raise TraceFormatError(f"unknown event tag {tag}")
+        record_tags.append(tag)
+    try:
+        return tuple(np.asarray(column, dtype=np.int64)
+                     for column in (
+                         record_tags, kend_counts,
+                         instr_addr, instr_opcodes, instr_lanes,
+                         instr_widths,
+                         mem_addr, mem_flags, mem_width, mem_active,
+                         mem_nlines, mem_lines,
+                         branch_addr, branch_active, branch_taken,
+                         branch_not_taken))
+    except OverflowError:
+        return None
+
+
+class FrameColumns:
+    """One ``LAUNCH .. KEND`` frame decoded into int64 ndarray columns.
+
+    The replay stack's batch currency: built by
+    :func:`decode_frame_columns` in a few whole-frame array passes (no
+    per-event objects, no per-varint calls) and consumed by the
+    columnar analyses, the sharded replay workers, and the indexed
+    query path.  ``record_tags`` preserves the frame's full record
+    order; the per-kind columns are in stream order, so kind-local
+    index *k* is the *k*-th record of that kind.
+    """
+
+    __slots__ = ("launch", "events", "warp_instructions",
+                 "record_tags", "kend_counts",
+                 "instr_addr", "instr_opcodes", "instr_lanes",
+                 "instr_widths",
+                 "mem_addr", "mem_flags", "mem_width", "mem_active",
+                 "mem_nlines", "mem_lines",
+                 "branch_addr", "branch_active", "branch_taken",
+                 "branch_not_taken")
+
+    def __init__(self, launch, columns: tuple):
+        (self.record_tags, self.kend_counts,
+         self.instr_addr, self.instr_opcodes, self.instr_lanes,
+         self.instr_widths,
+         self.mem_addr, self.mem_flags, self.mem_width, self.mem_active,
+         self.mem_nlines, self.mem_lines,
+         self.branch_addr, self.branch_active, self.branch_taken,
+         self.branch_not_taken) = columns
+        self.launch = launch
+        self.events = int(self.record_tags.size) + 1
+        self.warp_instructions = (int(self.kend_counts[-1])
+                                  if self.kend_counts.size else 0)
+
+    @classmethod
+    def from_frame(cls, data: bytes) -> Optional["FrameColumns"]:
+        return decode_frame_columns(data)
+
+
+def decode_frame_columns(data: bytes) -> Optional[FrameColumns]:
+    """Decode one frame slice into :class:`FrameColumns`.
+
+    The vectorized pipeline handles well-formed frames in a few array
+    passes; any anomaly (over-long varints, truncation, bad tags) falls
+    back to the scalar reference walk, which raises the canonical
+    :class:`TraceFormatError` for corrupt input — so the error
+    behaviour is bit-identical to the streaming decoder.  Returns
+    ``None`` only when a decoded value exceeds int64; callers then
+    replay the frame in events mode (arbitrary-precision Python ints).
+    """
+    pos = 0
+    tag, pos = decode_varint(data, pos)
+    if tag != TAG_LAUNCH:
+        raise TraceFormatError(
+            "frame slice does not start at a launch record")
+    state = EncoderState()
+    launch, pos = decode_event(tag, data, pos, state)
+    tok = _decode_varints(data, pos)
+    columns = _columns_vector(tok) if tok is not None else None
+    if columns is None:
+        columns = _columns_scalar(decode_varint_stream(data, pos))
+        if columns is None:
+            return None
+    return FrameColumns(launch, columns)

@@ -33,15 +33,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.isa.opcodes import Opcode, OpClass, OPCODE_CLASSES
 from repro.trace import index as index_mod
 from repro.trace.format import (
+    TAG_BRANCH,
+    TAG_INSTR,
+    TAG_MEM,
+    BranchEvent,
     InstrEvent,
     KernelEndEvent,
     LaunchEvent,
     MemEvent,
+    iter_slice_events,
 )
-from repro.trace.io import TraceReader
+from repro.trace.io import FrameColumns, TraceReader, decode_frame_columns
 
 QUERY_KINDS = ("instr", "mem", "branch")
 
@@ -248,6 +255,127 @@ def _frame_hits(events, ordinal: int, kernel: str, filt: QueryFilter,
     yield from flush(None)
 
 
+#: opcode id -> OPCODE_CLASSES flag value, for vectorized class tests
+_class_values: Optional[np.ndarray] = None
+
+
+def _opclass_values() -> np.ndarray:
+    global _class_values
+    if _class_values is None:
+        table = np.zeros(max(op.value for op in Opcode) + 1,
+                         dtype=np.int64)
+        for op in Opcode:
+            table[op.value] = OPCODE_CLASSES[op].value
+        _class_values = table
+    return _class_values
+
+
+def _frame_hits_columns(frame: FrameColumns, ordinal: int, kernel: str,
+                        filt: QueryFilter, stats: QueryStats
+                        ) -> Iterator[QueryHit]:
+    """Columnar twin of :func:`_frame_hits` for warp-less filters: the
+    class/addr/kind predicates run as array masks over one decoded
+    frame, and only the matching events are materialized as objects.
+    Hit set and order are identical to the event-stream walk."""
+    stats.events_scanned += frame.events
+    tags = frame.record_tags
+    instr_pos = np.flatnonzero(tags == TAG_INSTR)
+
+    addr_range = filt.addr
+
+    def in_range(values: np.ndarray) -> np.ndarray:
+        if addr_range is None:
+            return np.ones(values.size, dtype=bool)
+        lo, hi = addr_range
+        match = np.ones(values.size, dtype=bool)
+        if lo is not None:
+            match &= values >= lo
+        if hi is not None:
+            match &= values < hi
+        return match
+
+    if filt.classes is None:
+        instr_class = np.ones(instr_pos.size, dtype=bool)
+    else:
+        instr_class = (_opclass_values()[frame.instr_opcodes]
+                       & filt.classes.value) != 0
+
+    def inherited(positions: np.ndarray) -> np.ndarray:
+        """Class verdict a mem/branch record inherits from the nearest
+        preceding instruction of the frame (none -> no match unless the
+        class filter is off)."""
+        if filt.classes is None:
+            return np.ones(positions.size, dtype=bool)
+        group = np.searchsorted(instr_pos, positions, side="right") - 1
+        verdict = np.zeros(positions.size, dtype=bool)
+        anchored = group >= 0
+        verdict[anchored] = instr_class[group[anchored]]
+        return verdict
+
+    pos_parts: List[np.ndarray] = []
+    kind_parts: List[np.ndarray] = []
+    local_parts: List[np.ndarray] = []
+
+    def add(kind: int, positions: np.ndarray, sel: np.ndarray) -> None:
+        local = np.flatnonzero(sel)
+        if local.size:
+            pos_parts.append(positions[local])
+            kind_parts.append(np.full(local.size, kind, dtype=np.int64))
+            local_parts.append(local)
+
+    if "instr" in filt.kinds and instr_pos.size:
+        add(0, instr_pos, instr_class & in_range(frame.instr_addr))
+    if "mem" in filt.kinds:
+        mem_pos = np.flatnonzero(tags == TAG_MEM)
+        if mem_pos.size:
+            sel = inherited(mem_pos)
+            if addr_range is not None:
+                line_match = in_range(frame.mem_lines)
+                seg = np.repeat(np.arange(mem_pos.size), frame.mem_nlines)
+                any_line = np.bincount(
+                    seg, weights=line_match,
+                    minlength=mem_pos.size) > 0
+                sel &= in_range(frame.mem_addr) | any_line
+            add(1, mem_pos, sel)
+    if "branch" in filt.kinds:
+        branch_pos = np.flatnonzero(tags == TAG_BRANCH)
+        if branch_pos.size:
+            add(2, branch_pos,
+                inherited(branch_pos) & in_range(frame.branch_addr))
+    if not pos_parts:
+        return
+    order = np.argsort(np.concatenate(pos_parts))
+    kinds = np.concatenate(kind_parts)[order].tolist()
+    locals_ = np.concatenate(local_parts)[order].tolist()
+    line_offsets = np.concatenate(
+        ([0], np.cumsum(frame.mem_nlines))).tolist()
+    for kind, i in zip(kinds, locals_):
+        if kind == 0:
+            event: object = InstrEvent(
+                ins_addr=int(frame.instr_addr[i]),
+                opcode=int(frame.instr_opcodes[i]),
+                lanes=int(frame.instr_lanes[i]),
+                width=int(frame.instr_widths[i]))
+        elif kind == 1:
+            lines = frame.mem_lines[line_offsets[i]:
+                                    line_offsets[i + 1]]
+            event = MemEvent(
+                ins_addr=int(frame.mem_addr[i]),
+                flags=int(frame.mem_flags[i]),
+                width=int(frame.mem_width[i]),
+                active_lanes=int(frame.mem_active[i]),
+                line_addresses=tuple(lines.tolist()))
+        else:
+            event = BranchEvent(
+                ins_addr=int(frame.branch_addr[i]),
+                active=int(frame.branch_active[i]),
+                taken=int(frame.branch_taken[i]),
+                not_taken=int(frame.branch_not_taken[i]))
+        stats.hits += 1
+        yield QueryHit(launch=ordinal, kernel=kernel, warp=None,
+                       event=event)
+
+
 def _entry_can_match(entry: "index_mod.LaunchEntry",
                      filt: QueryFilter) -> bool:
     """Can anything in this frame match, judging by counts alone?"""
@@ -273,12 +401,16 @@ def run_query(trace_path: str, filt: QueryFilter,
     Returns ``(hits, stats)`` — a lazy hit iterator plus a stats object
     that fills in as the iterator is consumed (final once exhausted;
     a truncated consumer sees the stats of what was actually read).
-    Uses the ``.rpti`` index to skip launches when available, else
-    falls back to a full scan (``stats.used_index`` says which).
+    Uses the ``.rpti`` sidecar to skip launches when one is on disk and
+    bound to this trace, else falls back to a full scan
+    (``stats.used_index`` says which — a missing sidecar is reported as
+    a full scan, never silently rebuilt by a hidden one).  Indexed
+    queries without a warp filter run the columnar fast path
+    (:func:`_frame_hits_columns`) per visited frame.
     """
     stats = QueryStats()
     if index is None:
-        index = index_mod.ensure_index(trace_path)
+        index = index_mod.sidecar_index(trace_path)
     if index is not None and index.shardable:
         stats.used_index = True
         stats.launches_total = index.launches
@@ -291,7 +423,16 @@ def run_query(trace_path: str, filt: QueryFilter,
                     stats.launches_skipped += 1
                     continue
                 stats.launches_visited += 1
-                events = reader.open_launch(ordinal, index)
+                if filt.warp is None:
+                    data = reader.read_frame(entry)
+                    frame = decode_frame_columns(data)
+                    if frame is not None:
+                        yield from _frame_hits_columns(
+                            frame, ordinal, entry.kernel, filt, stats)
+                        continue
+                    events = iter(iter_slice_events(data))
+                else:
+                    events = reader.open_launch(ordinal, index)
                 launch = next(events)
                 stats.events_scanned += 1
                 yield from _frame_hits(events, ordinal, entry.kernel,

@@ -14,24 +14,29 @@ tests hold them *exactly* equal to the live-instrumented results:
 * ``memdiv``     — Case Study II memory-address-divergence matrix/PMF
 * ``opcodes``    — the Figure 3 dynamic-instruction categorizer
 
-Two replay drivers share the analyses.  :func:`replay` is the original
-single pass over the event stream.  :func:`replay_sharded` partitions
-the trace by kernel-launch frames (using the ``.rpti`` index), replays
-frames through a :func:`repro.campaign.engine.run_tasks` process pool,
-and folds per-shard results back together in launch order with
+Two replay drivers share the analyses.  :func:`replay` is the serial
+pass: when every requested analysis supports the columnar fast path
+and a ``.rpti`` sidecar is on disk, it decodes whole launch frames
+into :class:`~repro.trace.io.FrameColumns` ndarray batches
+(:func:`~repro.trace.io.decode_frame_columns`) and feeds vectorized
+batch kernels — ``np.bincount``-style reductions instead of per-event
+Python dispatch — falling back to the original event-stream pass
+otherwise (``columnar=False`` forces it; results are bit-identical
+either way).  :func:`replay_sharded` partitions the trace by
+kernel-launch frames (using the ``.rpti`` index), replays frames
+through a :func:`repro.campaign.engine.run_tasks` process pool, and
+folds per-shard results back together in launch order with
 ``merge()`` — bit-identical to the streaming pass because every
 analysis is launch-local: caches flush at launch boundaries
 (:meth:`~repro.sim.cache.Cache.invalidate`), so no state crosses a
-frame edge.  Shard workers additionally use a *columnar* fast path
-when every requested analysis supports it: a frame's record bytes are
-flat-decoded into token columns (one tight varint pass, no event
-objects, no per-event dispatch), which is also what makes a sharded
-replay faster than streaming even on one core.
+frame edge.  Shard workers use the same columnar frame decode, so
+every shard inherits the vectorized serial core.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
@@ -47,17 +52,10 @@ from repro.trace.format import (
     KernelEndEvent,
     LaunchEvent,
     MemEvent,
-    TAG_BRANCH,
-    TAG_INSTR,
-    TAG_KEND,
-    TAG_LAUNCH,
-    TAG_MEM,
     TraceFormatError,
-    decode_launch_frame,
     iter_slice_events,
-    unzigzag,
 )
-from repro.trace.io import TraceReader
+from repro.trace.io import FrameColumns, TraceReader, decode_frame_columns
 
 
 class TraceAnalysis:
@@ -142,7 +140,7 @@ class CacheSimAnalysis(TraceAnalysis):
         for line in event.line_addresses:
             access(line)
 
-    def feed_columns(self, frame: "FrameColumns") -> None:
+    def feed_columns(self, frame: FrameColumns) -> None:
         self.l1.invalidate()
         # access_lines is stat-identical to the per-line access loop
         self.l1.access_lines(frame.mem_lines)
@@ -198,20 +196,38 @@ class DivergenceAnalysis(TraceAnalysis):
         if event.divergent:
             row[4] += 1
 
-    def feed_columns(self, frame: "FrameColumns") -> None:
+    def feed_columns(self, frame: FrameColumns) -> None:
+        addr = frame.branch_addr
+        if not addr.size:
+            return
+        active = frame.branch_active
+        taken = frame.branch_taken
+        not_taken = frame.branch_not_taken
+        # one reduction per statistic: group branches by address with
+        # np.unique, sum the lane counts per group with bincount.  The
+        # float64 weights are exact (lane sums sit far below 2**53).
+        uniq, first, inverse = np.unique(addr, return_index=True,
+                                         return_inverse=True)
+        totals = np.bincount(inverse)
+        sum_active = np.bincount(inverse, weights=active)
+        sum_taken = np.bincount(inverse, weights=taken)
+        sum_not = np.bincount(inverse, weights=not_taken)
+        divergent = ((taken != active) & (not_taken != active))
+        sum_div = np.bincount(inverse, weights=divergent)
         table = self.table
-        for addr, active, taken, not_taken in zip(
-                frame.branch_addr, frame.branch_active,
-                frame.branch_taken, frame.branch_not_taken):
-            row = table.get(addr)
+        # visit groups in first-occurrence order so the dict's insertion
+        # order (the stable-sort tie-break in branches()) matches the
+        # streaming pass exactly
+        for g in np.argsort(first, kind="stable").tolist():
+            key = int(uniq[g])
+            row = table.get(key)
             if row is None:
-                row = table[addr] = [0, 0, 0, 0, 0]
-            row[0] += 1
-            row[1] += active
-            row[2] += taken
-            row[3] += not_taken
-            if taken != active and not_taken != active:
-                row[4] += 1
+                row = table[key] = [0, 0, 0, 0, 0]
+            row[0] += int(totals[g])
+            row[1] += int(sum_active[g])
+            row[2] += int(sum_taken[g])
+            row[3] += int(sum_not[g])
+            row[4] += int(sum_div[g])
 
     def merge(self, piece: "DivergenceAnalysis") -> None:
         # folding in launch order preserves global first-occurrence
@@ -278,12 +294,12 @@ class MemoryDivergenceAnalysis(TraceAnalysis):
         self._matrix[event.active_lanes - 1,
                      min(event.unique_lines, 32) - 1] += 1
 
-    def feed_columns(self, frame: "FrameColumns") -> None:
-        if not frame.mem_active:
+    def feed_columns(self, frame: FrameColumns) -> None:
+        active = frame.mem_active
+        if not active.size:
             return
-        active = np.asarray(frame.mem_active, dtype=np.int64)
-        unique = np.asarray(frame.mem_nlines, dtype=np.int64)
-        np.add.at(self._matrix, (active - 1, np.minimum(unique, 32) - 1), 1)
+        np.add.at(self._matrix,
+                  (active - 1, np.minimum(frame.mem_nlines, 32) - 1), 1)
 
     def merge(self, piece: "MemoryDivergenceAnalysis") -> None:
         self._matrix += piece._matrix
@@ -350,21 +366,26 @@ class OpcodeHistogramAnalysis(TraceAnalysis):
             totals["texture"] += threads
         totals["total_executed"] += threads
 
-    def feed_columns(self, frame: "FrameColumns") -> None:
-        if not frame.instr_opcodes:
+    def feed_columns(self, frame: FrameColumns) -> None:
+        opcodes = frame.instr_opcodes
+        if not opcodes.size:
             return
-        opcodes = np.asarray(frame.instr_opcodes, dtype=np.int64)
-        lanes = np.asarray(frame.instr_lanes, dtype=np.int64)
-        widths = np.asarray(frame.instr_widths, dtype=np.int64)
+        lanes = frame.instr_lanes
+        # one mask gather + one masked reduction per category; the
+        # lane sums are exact (far below any integer precision edge)
         masks = _class_mask_table()[opcodes]
         totals = self._totals
         memory = (masks & _MASK_MEMORY) != 0
         totals["memory"] += int(lanes[memory].sum())
-        totals["extended_memory"] += int(lanes[memory & (widths > 4)].sum())
-        totals["control_xfer"] += int(lanes[(masks & _MASK_CONTROL) != 0].sum())
+        totals["extended_memory"] += int(
+            lanes[memory & (frame.instr_widths > 4)].sum())
+        totals["control_xfer"] += int(
+            lanes[(masks & _MASK_CONTROL) != 0].sum())
         totals["sync"] += int(lanes[(masks & _MASK_SYNC) != 0].sum())
-        totals["numeric"] += int(lanes[(masks & _MASK_NUMERIC) != 0].sum())
-        totals["texture"] += int(lanes[(masks & _MASK_TEXTURE) != 0].sum())
+        totals["numeric"] += int(
+            lanes[(masks & _MASK_NUMERIC) != 0].sum())
+        totals["texture"] += int(
+            lanes[(masks & _MASK_TEXTURE) != 0].sum())
         totals["total_executed"] += int(lanes.sum())
 
     def merge(self, piece: "OpcodeHistogramAnalysis") -> None:
@@ -422,88 +443,6 @@ def _class_mask_table() -> np.ndarray:
     return _mask_table
 
 
-class FrameColumns:
-    """One launch frame, decoded column-wise.
-
-    Built by one flat varint pass plus one token walk — no per-event
-    objects, no per-varint calls.  Holds exactly what the columnar
-    analyses consume; the event interleaving *order* is not preserved
-    (analyses that need it use the events-mode path).
-    """
-
-    __slots__ = ("launch", "warp_instructions", "events",
-                 "instr_opcodes", "instr_lanes", "instr_widths",
-                 "mem_active", "mem_nlines", "mem_lines",
-                 "branch_addr", "branch_active", "branch_taken",
-                 "branch_not_taken")
-
-    def __init__(self, data: bytes):
-        launch, tokens = decode_launch_frame(data)
-        self.launch = launch
-        self.warp_instructions = 0
-        instr_opcodes: List[int] = []
-        instr_lanes: List[int] = []
-        instr_widths: List[int] = []
-        mem_active: List[int] = []
-        mem_nlines: List[int] = []
-        mem_lines: List[int] = []
-        branch_addr: List[int] = []
-        branch_active: List[int] = []
-        branch_taken: List[int] = []
-        branch_not_taken: List[int] = []
-        prev_addr = 0
-        prev_line = 0
-        events = 1                      # the launch record itself
-        i = 0
-        n = len(tokens)
-        while i < n:
-            tag = tokens[i]
-            if tag == TAG_INSTR:
-                raw = tokens[i + 1]
-                prev_addr += unzigzag(raw)
-                instr_opcodes.append(tokens[i + 2])
-                instr_lanes.append(tokens[i + 3])
-                instr_widths.append(tokens[i + 4])
-                i += 5
-            elif tag == TAG_MEM:
-                prev_addr += unzigzag(tokens[i + 1])
-                mem_active.append(tokens[i + 4])
-                count = tokens[i + 5]
-                mem_nlines.append(count)
-                i += 6
-                for raw in tokens[i:i + count]:
-                    prev_line += unzigzag(raw)
-                    mem_lines.append(prev_line)
-                i += count
-            elif tag == TAG_BRANCH:
-                prev_addr += unzigzag(tokens[i + 1])
-                branch_addr.append(prev_addr)
-                branch_active.append(tokens[i + 2])
-                branch_taken.append(tokens[i + 3])
-                branch_not_taken.append(tokens[i + 4])
-                i += 4 + 1
-            elif tag == TAG_KEND:
-                self.warp_instructions = tokens[i + 1]
-                i += 2
-            elif tag == TAG_LAUNCH:
-                raise TraceFormatError(
-                    "nested launch record inside a frame slice")
-            else:
-                raise TraceFormatError(f"unknown event tag {tag}")
-            events += 1
-        self.events = events
-        self.instr_opcodes = instr_opcodes
-        self.instr_lanes = instr_lanes
-        self.instr_widths = instr_widths
-        self.mem_active = mem_active
-        self.mem_nlines = mem_nlines
-        self.mem_lines = mem_lines
-        self.branch_addr = branch_addr
-        self.branch_active = branch_active
-        self.branch_taken = branch_taken
-        self.branch_not_taken = branch_not_taken
-
-
 #: registry for the CLI's ``--analysis`` flag
 ANALYSES: Dict[str, Type[TraceAnalysis]] = {
     CacheSimAnalysis.name: CacheSimAnalysis,
@@ -522,15 +461,28 @@ def make_analysis(name: str, **kwargs) -> TraceAnalysis:
     return cls(**kwargs)
 
 
-def replay(trace, analyses: Sequence[TraceAnalysis]
-           ) -> List[TraceAnalysis]:
-    """One streaming pass over *trace*, feeding every analysis.
+def replay(trace, analyses: Sequence[TraceAnalysis],
+           columnar: bool = True) -> List[TraceAnalysis]:
+    """One serial pass over *trace*, feeding every analysis.
 
     *trace* is a path or a :class:`TraceReader`.  Returns the analyses
     (now holding their results) for convenience.
+
+    When every analysis supports the columnar fast path and a usable
+    ``.rpti`` sidecar is on disk, frames are decoded into
+    :class:`~repro.trace.io.FrameColumns` batches and fed through
+    ``feed_columns`` — bit-identical results, an order of magnitude
+    fewer Python-level dispatches.  ``columnar=False`` forces the
+    event-stream reference pass.
     """
     reader = trace if isinstance(trace, TraceReader) else TraceReader(trace)
     analyses = list(analyses)
+    path = getattr(reader, "path", None)
+    if (columnar and analyses and path is not None
+            and all(a.columnar for a in analyses)):
+        index = index_mod.sidecar_index(path)
+        if index is not None and index.shardable:
+            return _replay_columnar(reader, index, analyses)
     with telemetry_span("trace.replay",
                         trace=str(getattr(reader, "path", ""))):
         hooks = [(a.on_launch, a.on_kernel_end, a.on_instr, a.on_mem,
@@ -555,6 +507,40 @@ def replay(trace, analyses: Sequence[TraceAnalysis]
                     on_kernel_end(event)
         if TELEMETRY.enabled:
             TELEMETRY.incr("trace.replay.events", events)
+    return analyses
+
+
+def _replay_columnar(reader: TraceReader, index: "index_mod.TraceIndex",
+                     analyses: List[TraceAnalysis]) -> List[TraceAnalysis]:
+    """Serial columnar pass: one :class:`FrameColumns` batch per launch
+    frame, with decode-vs-analyze time attributed in telemetry.  Frames
+    the vector decoder declines (see :func:`decode_frame_columns`) drop
+    to the events-mode feed, so results never depend on which path ran.
+    """
+    events = 0
+    decode_ns = 0
+    analyze_ns = 0
+    timed = TELEMETRY.enabled
+    with telemetry_span("trace.replay", trace=str(reader.path),
+                        columnar="true"):
+        for entry, data in reader.frames(index):
+            t0 = time.perf_counter_ns() if timed else 0
+            frame = decode_frame_columns(data)
+            t1 = time.perf_counter_ns() if timed else 0
+            decode_ns += t1 - t0
+            if frame is None:
+                _feed_frame_events(data, analyses)
+                events += entry.events
+            else:
+                for analysis in analyses:
+                    analysis.feed_columns(frame)
+                events += frame.events
+            if timed:
+                analyze_ns += time.perf_counter_ns() - t1
+        if timed:
+            TELEMETRY.incr("trace.replay.events", events)
+            TELEMETRY.incr("trace.replay.decode_ns", decode_ns)
+            TELEMETRY.incr("trace.replay.analyze_ns", analyze_ns)
     return analyses
 
 
@@ -611,8 +597,9 @@ def _replay_shard(task):
     path, entry, specs = task
     analyses = _build(specs)
     data = TraceReader(path).read_frame(entry)
-    if all(a.columnar for a in analyses):
-        frame = FrameColumns(data)
+    frame = (decode_frame_columns(data)
+             if all(a.columnar for a in analyses) else None)
+    if frame is not None:
         for analysis in analyses:
             analysis.feed_columns(frame)
         events = frame.events

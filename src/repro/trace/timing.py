@@ -41,6 +41,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.isa.opcodes import Opcode
 from repro.isa.program import INSTRUCTION_BYTES
 from repro.sim.cache import Cache
@@ -54,13 +56,20 @@ from repro.sim.scheduler import (
 )
 from repro.sim.warp import WARP_SIZE
 from repro.trace.format import (
+    TAG_INSTR,
+    TAG_KEND,
+    TAG_MEM,
     BranchEvent,
     InstrEvent,
     KernelEndEvent,
     LaunchEvent,
     MemEvent,
 )
+from repro.trace.io import FrameColumns
 from repro.trace.replay import ANALYSES, TraceAnalysis
+
+#: opcode id -> Opcode member, skipping the per-event Enum __call__
+_OPCODES_BY_VALUE = {op.value: op for op in Opcode}
 
 
 class _LaunchBuilder:
@@ -275,6 +284,62 @@ class TimingModel:
         for event in events:
             self.feed(event)
 
+    def feed_frame(self, frame: FrameColumns) -> None:
+        """Columnar equivalent of feeding one launch frame's events
+        through :meth:`feed` in record order — bit-identical model
+        state (stream rebuild, cache grading, pending flushes), minus
+        the per-event object construction and isinstance dispatch."""
+        self.feed(frame.launch)
+        tags = frame.record_tags.tolist()
+        if not tags:
+            return
+        instr_addr = frame.instr_addr.tolist()
+        instr_op = frame.instr_opcodes.tolist()
+        instr_lanes = frame.instr_lanes.tolist()
+        line_ends = np.cumsum(frame.mem_nlines).tolist()
+        kend_counts = frame.kend_counts.tolist()
+        mem_lines = frame.mem_lines
+        opcode_of = _OPCODES_BY_VALUE
+        l1 = self.l1
+        l2 = self.l2
+        builder = self._builder
+        pending = self._pending
+        ii = mi = ki = 0
+        line_at = 0
+        for tag in tags:
+            if tag == TAG_INSTR:
+                addr = instr_addr[ii]
+                if pending is not None and builder is not None:
+                    builder.add(pending, addr)
+                    self._reports.clear()
+                value = instr_op[ii]
+                opcode = opcode_of.get(value) or Opcode(value)
+                pending = WarpInstr(addr=addr, opcode=opcode,
+                                    lanes=instr_lanes[ii])
+                ii += 1
+            elif tag == TAG_MEM:
+                end = line_ends[mi]
+                if pending is not None:
+                    before_l2 = l2.stats.misses
+                    pending.l1_misses += l1.access_lines(
+                        mem_lines[line_at:end])
+                    pending.l2_misses += l2.stats.misses - before_l2
+                    pending.transactions += end - line_at
+                line_at = end
+                mi += 1
+            elif tag == TAG_KEND:
+                if pending is not None and builder is not None:
+                    builder.add(pending, None)
+                    self._reports.clear()
+                pending = None
+                if builder is not None:
+                    builder.warp_instructions = kend_counts[ki]
+                    builder.finalize()
+                builder = self._builder = None
+                ki += 1
+            # TAG_BRANCH: divergence comes from lane counts, as in feed()
+        self._pending = pending
+
     def finish(self) -> None:
         """Close a trailing launch that never saw its end event."""
         self._end_launch()
@@ -325,11 +390,15 @@ class TimingAnalysis(TraceAnalysis):
 
     name = "timing"
     mergeable = True
+    columnar = True
 
     def __init__(self, policy: str = "gto"):
         self.policy = policy
         self.model = TimingModel()
         self._merged: List[LaunchTiming] = []
+
+    def feed_columns(self, frame: FrameColumns) -> None:
+        self.model.feed_frame(frame)
 
     def on_launch(self, event: LaunchEvent) -> None:
         self.model.feed(event)

@@ -10,6 +10,7 @@ import os
 import pytest
 
 from repro.cli import main
+from repro.trace.index import index_path_for
 
 
 @pytest.fixture(scope="module")
@@ -179,6 +180,43 @@ class TestTraceQuery:
                      "--count"]) == 0
         scanned = capsys.readouterr().out
         assert indexed.split(" hits")[0] == scanned.split(" hits")[0]
+
+    def test_indexless_query_reports_full_scan(self, captured_trace,
+                                               tmp_path, capsys):
+        # query never builds an index as a side effect; without a
+        # sidecar it must say so in the trace-info wording and point at
+        # the command that would keep one
+        bare = str(tmp_path / "bare.rptrace")
+        with open(bare, "wb") as handle:
+            handle.write(open(captured_trace, "rb").read())
+        assert main(["trace", "query", bare, "--count"]) == 0
+        out = capsys.readouterr().out
+        assert "full scan" in out
+        assert "no usable .rpti sidecar" in out
+        assert "repro trace index" in out
+        assert not os.path.exists(index_path_for(bare))
+
+    def test_indexless_query_honors_kind_filters(self, captured_trace,
+                                                 tmp_path, capsys):
+        bare = str(tmp_path / "bare.rptrace")
+        with open(bare, "wb") as handle:
+            handle.write(open(captured_trace, "rb").read())
+        counts = {}
+        for kind in ("instr", "mem", "branch"):
+            assert main(["trace", "query", bare, "--kind", kind,
+                         "--count"]) == 0
+            out = capsys.readouterr().out
+            assert "full scan" in out
+            counts[kind] = int(out.split(" hits")[0].rsplit(None, 1)[-1])
+            assert counts[kind] > 0
+            # the same filter on the indexed original matches exactly
+            assert main(["trace", "query", captured_trace, "--kind",
+                         kind, "--count"]) == 0
+            indexed = capsys.readouterr().out
+            assert "(index sidecar)" in indexed
+            assert int(indexed.split(" hits")[0]
+                       .rsplit(None, 1)[-1]) == counts[kind]
+        assert len(set(counts.values())) > 1
 
     def test_bad_class_is_cli_error(self, captured_trace, capsys):
         assert main(["trace", "query", captured_trace,
